@@ -1,0 +1,84 @@
+//! GA benchmarks: workload-order optimization cost across workload sizes,
+//! plus the exhaustive scheduler as the small-n oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivdss_catalog::ids::TableId;
+use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+use ivdss_core::plan::QueryRequest;
+use ivdss_core::value::DiscountRates;
+use ivdss_costmodel::model::StylizedCostModel;
+use ivdss_costmodel::query::{QueryId, QuerySpec};
+use ivdss_ga::engine::GaConfig;
+use ivdss_mqo::evaluate::WorkloadEvaluator;
+use ivdss_mqo::scheduler::{ExhaustiveScheduler, MqoScheduler, WorkloadScheduler};
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+use ivdss_simkernel::time::SimTime;
+use std::hint::black_box;
+
+fn fixture() -> (ivdss_catalog::Catalog, SyncTimelines) {
+    let base = synthetic_catalog(&SyntheticConfig {
+        tables: 8,
+        sites: 2,
+        replicated_tables: 0,
+        seed: 13,
+        ..SyntheticConfig::default()
+    })
+    .unwrap();
+    let mut plan = ReplicationPlan::new();
+    for i in 0..6 {
+        plan.add(TableId::new(i), ReplicaSpec::new(5.0));
+    }
+    let catalog = base.with_replication(plan).unwrap();
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    (catalog, timelines)
+}
+
+fn requests(n: usize) -> Vec<QueryRequest> {
+    (0..n)
+        .map(|i| {
+            QueryRequest::new(
+                QuerySpec::new(
+                    QueryId::new(i as u64),
+                    vec![TableId::new((i % 3) as u32), TableId::new(((i + 1) % 3) as u32)],
+                ),
+                SimTime::new(10.0 + 0.2 * i as f64),
+            )
+        })
+        .collect()
+}
+
+fn bench_mqo(c: &mut Criterion) {
+    let (catalog, timelines) = fixture();
+    let model = StylizedCostModel::paper_fig4();
+    let rates = DiscountRates::new(0.15, 0.15);
+    let ga = GaConfig {
+        population: 16,
+        generations: 15,
+        parents: 6,
+        elites: 2,
+        mutation_rate: 0.2,
+        seed: 1,
+    };
+
+    let mut group = c.benchmark_group("mqo_scheduling");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let reqs = requests(n);
+        let evaluator = WorkloadEvaluator::new(&catalog, &timelines, &model, rates, &reqs);
+        group.bench_with_input(BenchmarkId::new("ga", n), &n, |b, _| {
+            b.iter(|| black_box(MqoScheduler::with_config(ga).schedule(&evaluator).unwrap()));
+        });
+        if n <= 6 {
+            group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(ExhaustiveScheduler::default().schedule(&evaluator).unwrap())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mqo);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the information-value arithmetic: the formula
+//! itself, its boundary inversion, and full plan evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivdss_core::latency::Latencies;
+use ivdss_core::plan::{evaluate_plan, NoQueues, PlanContext, QueryRequest};
+use ivdss_core::value::{BusinessValue, DiscountRate, DiscountRates, InformationValue};
+use ivdss_costmodel::model::StylizedCostModel;
+use ivdss_costmodel::query::{QueryId, QuerySpec};
+use ivdss_catalog::ids::TableId;
+use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+use ivdss_simkernel::time::{SimDuration, SimTime};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_iv(c: &mut Criterion) {
+    let rates = DiscountRates::new(0.01, 0.05);
+    c.bench_function("iv_formula", |b| {
+        b.iter(|| {
+            black_box(InformationValue::compute(
+                black_box(BusinessValue::UNIT),
+                black_box(rates),
+                black_box(Latencies::new(
+                    SimDuration::new(7.3),
+                    SimDuration::new(12.9),
+                )),
+            ))
+        });
+    });
+    c.bench_function("boundary_inversion", |b| {
+        let rate = DiscountRate::new(0.05);
+        b.iter(|| black_box(rate.max_latency_for_factor(black_box(0.42))));
+    });
+
+    let base = synthetic_catalog(&SyntheticConfig {
+        tables: 6,
+        sites: 2,
+        replicated_tables: 0,
+        seed: 3,
+        ..SyntheticConfig::default()
+    })
+    .unwrap();
+    let mut plan = ReplicationPlan::new();
+    for i in 0..4 {
+        plan.add(TableId::new(i), ReplicaSpec::new(5.0));
+    }
+    let catalog = base.with_replication(plan).unwrap();
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let model = StylizedCostModel::paper_fig4();
+    let ctx = PlanContext {
+        catalog: &catalog,
+        timelines: &timelines,
+        model: &model,
+        rates,
+        queues: &NoQueues,
+    };
+    let request = QueryRequest::new(
+        QuerySpec::new(QueryId::new(0), (0..6).map(TableId::new).collect()),
+        SimTime::new(11.0),
+    );
+    let local: BTreeSet<TableId> = (0..3).map(TableId::new).collect();
+    c.bench_function("evaluate_plan", |b| {
+        b.iter(|| {
+            black_box(
+                evaluate_plan(
+                    black_box(&ctx),
+                    black_box(&request),
+                    SimTime::new(11.0),
+                    black_box(&local),
+                )
+                .unwrap(),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_iv);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end simulation throughput per planner on the paper's TPC-H
+//! setup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivdss_core::value::DiscountRates;
+use ivdss_costmodel::model::AnalyticCostModel;
+use ivdss_dsim::experiments::common::{method_setups, tpch_hybrid, Method};
+use ivdss_dsim::simulator::{run_arrival_driven, Environment, ReplicaLoading};
+use ivdss_simkernel::time::SimTime;
+use ivdss_workloads::stream::{ArrivalStream, FrequencyRatio};
+use ivdss_workloads::tpch::tpch_query_specs;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let ratio = FrequencyRatio::one_to(10.0);
+    let hybrid = tpch_hybrid(ratio, 20.0, 1);
+    let setups = method_setups(&hybrid, 2.0, SimTime::new(6_000.0), 2);
+    let model = AnalyticCostModel::paper_scale();
+    let requests = ArrivalStream::new(tpch_query_specs(), 20.0, 3).take_requests(100);
+
+    let mut group = c.benchmark_group("simulate_100_queries");
+    group.sample_size(10);
+    for (i, method) in Method::ALL.iter().enumerate() {
+        let setup = &setups[i];
+        let env = Environment {
+            catalog: &setup.catalog,
+            timelines: &setup.timelines,
+            model: &model,
+            rates: DiscountRates::new(0.01, 0.01),
+            loading: Some(ReplicaLoading::paper_scale()),
+        };
+        group.bench_with_input(
+            BenchmarkId::new(method.label().replace(' ', "_"), 100),
+            &i,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        run_arrival_driven(&env, method.planner().as_ref(), &requests).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

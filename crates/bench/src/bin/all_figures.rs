@@ -1,0 +1,54 @@
+//! Regenerates every figure of the paper's evaluation section in
+//! sequence. Pass `--quick` for a scaled-down run.
+
+use ivdss_bench::quick_mode;
+use ivdss_dsim::experiments::{fig4, fig5, fig67, fig8, fig9};
+use ivdss_ga::engine::GaConfig;
+
+fn main() {
+    let quick = quick_mode();
+    println!("IVDSS — regenerating all figures{}", if quick { " (quick)" } else { "" });
+    println!();
+    print!("{}", fig4::run_fig4().to_table());
+    println!();
+
+    let f5 = if quick {
+        fig5::Fig5Config { arrivals: 40, ..Default::default() }
+    } else {
+        fig5::Fig5Config::default()
+    };
+    print!("{}", fig5::run_fig5(&f5).to_table());
+
+    let f67 = if quick {
+        fig67::Fig67Config { arrivals: 60, ..Default::default() }
+    } else {
+        fig67::Fig67Config::default()
+    };
+    print!("{}", fig67::run_fig6(&f67).to_table());
+    println!();
+    print!("{}", fig67::run_fig7(&f67).to_table());
+
+    let f8 = if quick {
+        fig8::Fig8Config { arrivals: 40, ..Default::default() }
+    } else {
+        fig8::Fig8Config::default()
+    };
+    print!("{}", fig8::run_fig8(&f8).to_table());
+
+    let f9 = if quick {
+        fig9::Fig9Config {
+            ga: GaConfig {
+                population: 12,
+                generations: 12,
+                parents: 4,
+                elites: 2,
+                mutation_rate: 0.25,
+                seed: 0x9a,
+            },
+            ..Default::default()
+        }
+    } else {
+        fig9::Fig9Config::default()
+    };
+    print!("{}", fig9::run_fig9(&f9).to_table());
+}

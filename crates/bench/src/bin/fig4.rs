@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 4 worked example (§3.1).
+
+use ivdss_dsim::experiments::fig4::run_fig4;
+
+fn main() {
+    print!("{}", run_fig4().to_table());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 5 — information value vs synchronization frequency.
+
+use ivdss_bench::quick_mode;
+use ivdss_dsim::experiments::fig5::{run_fig5, Fig5Config};
+
+fn main() {
+    let config = if quick_mode() {
+        Fig5Config {
+            arrivals: 40,
+            ..Fig5Config::default()
+        }
+    } else {
+        Fig5Config::default()
+    };
+    print!("{}", run_fig5(&config).to_table());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 6 — per-query computational latency.
+
+use ivdss_bench::quick_mode;
+use ivdss_dsim::experiments::fig67::{run_fig6, Fig67Config};
+
+fn main() {
+    let config = if quick_mode() {
+        Fig67Config {
+            arrivals: 60,
+            ..Fig67Config::default()
+        }
+    } else {
+        Fig67Config::default()
+    };
+    print!("{}", run_fig6(&config).to_table());
+}

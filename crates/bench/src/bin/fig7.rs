@@ -1,0 +1,16 @@
+//! Regenerates Fig. 7 — per-query synchronization latency.
+
+use ivdss_bench::quick_mode;
+use ivdss_dsim::experiments::fig67::{run_fig7, Fig67Config};
+
+fn main() {
+    let config = if quick_mode() {
+        Fig67Config {
+            arrivals: 60,
+            ..Fig67Config::default()
+        }
+    } else {
+        Fig67Config::default()
+    };
+    print!("{}", run_fig7(&config).to_table());
+}

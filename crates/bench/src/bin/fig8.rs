@@ -1,0 +1,16 @@
+//! Regenerates Fig. 8 — information value vs number of sites.
+
+use ivdss_bench::quick_mode;
+use ivdss_dsim::experiments::fig8::{run_fig8, Fig8Config};
+
+fn main() {
+    let config = if quick_mode() {
+        Fig8Config {
+            arrivals: 40,
+            ..Fig8Config::default()
+        }
+    } else {
+        Fig8Config::default()
+    };
+    print!("{}", run_fig8(&config).to_table());
+}

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 9 — the effect of multi-query optimization.
+
+use ivdss_bench::quick_mode;
+use ivdss_dsim::experiments::fig9::{run_fig9, Fig9Config};
+use ivdss_ga::engine::GaConfig;
+
+fn main() {
+    let config = if quick_mode() {
+        Fig9Config {
+            ga: GaConfig {
+                population: 12,
+                generations: 12,
+                parents: 4,
+                elites: 2,
+                mutation_rate: 0.25,
+                seed: 0x9a,
+            },
+            ..Fig9Config::default()
+        }
+    } else {
+        Fig9Config::default()
+    };
+    print!("{}", run_fig9(&config).to_table());
+}

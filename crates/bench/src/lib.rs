@@ -1,0 +1,27 @@
+//! # ivdss-bench — figure regeneration and performance benchmarks
+//!
+//! Binaries (run with `cargo run -p ivdss-bench --release --bin <name>`,
+//! add `--quick` for a scaled-down run):
+//!
+//! * `fig4` — the §3.1 scatter-and-gather worked example;
+//! * `fig5` — information value vs synchronization frequency (Fig. 5a–d);
+//! * `fig6` — per-query computational latency (Fig. 6);
+//! * `fig7` — per-query synchronization latency (Fig. 7a–c);
+//! * `fig8` — information value vs number of sites (Fig. 8a–b);
+//! * `fig9` — the effect of multi-query optimization (Fig. 9a–b);
+//! * `all_figures` — everything above in sequence.
+//!
+//! Criterion benches (`cargo bench -p ivdss-bench`):
+//!
+//! * `plan_search` — scatter-and-gather vs exhaustive search (the
+//!   pruning-bound ablation);
+//! * `ga_convergence` — GA workload-ordering cost across workload sizes
+//!   and an exhaustive-oracle comparison point;
+//! * `simulator` — end-to-end simulation throughput per planner;
+//! * `iv_math` — the information-value formula and its inversion.
+
+/// Returns `true` if the process arguments request a scaled-down run.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

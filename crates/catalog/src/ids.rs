@@ -1,0 +1,93 @@
+//! Typed identifiers for catalog objects.
+//!
+//! Newtype ids ([`TableId`], [`SiteId`]) keep table and site indices from
+//! being confused with each other or with plain integers (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of a base table (and of its replica, if one exists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TableId(u32);
+
+impl TableId {
+    /// Creates a table id from a raw index.
+    #[must_use]
+    pub const fn new(raw: u32) -> Self {
+        TableId(raw)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u32> for TableId {
+    fn from(raw: u32) -> Self {
+        TableId::new(raw)
+    }
+}
+
+/// Identifier of a remote server (site). The local federation server (the
+/// DSS itself) is *not* a `SiteId`; it is addressed separately so that a
+/// query plan can never accidentally treat the DSS as a remote source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SiteId(u32);
+
+impl SiteId {
+    /// Creates a site id from a raw index.
+    #[must_use]
+    pub const fn new(raw: u32) -> Self {
+        SiteId(raw)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<u32> for SiteId {
+    fn from(raw: u32) -> Self {
+        SiteId::new(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_distinctly() {
+        assert_eq!(TableId::new(3).to_string(), "T3");
+        assert_eq!(SiteId::new(3).to_string(), "S3");
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        assert_eq!(TableId::from(7u32).index(), 7);
+        assert_eq!(SiteId::from(7u32).index(), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(TableId::new(1) < TableId::new(2));
+        assert!(SiteId::new(0) < SiteId::new(9));
+    }
+}

@@ -1,0 +1,47 @@
+//! # ivdss-catalog — the data model of a federated DSS
+//!
+//! This crate models the *static* side of the paper's hybrid architecture:
+//! base tables ([`table::TableMeta`]) living at remote sites
+//! ([`ids::SiteId`]), their [`placement`] over those sites (uniform or
+//! skewed, paper Fig. 8), and the [`replica::ReplicationPlan`] describing
+//! which tables the local federation server replicates and how often each
+//! replica synchronizes.
+//!
+//! Two schema generators reproduce the paper's data sets:
+//!
+//! * [`tpch`] — the TPC-H schema at scale factor 6 with the LineItem table
+//!   split into five partitions (12 tables total, 5 replicated);
+//! * [`synthetic`] — randomly generated schemas of 10–300 tables.
+//!
+//! # Example
+//!
+//! ```
+//! use ivdss_catalog::tpch::{tpch_catalog, TpchConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let catalog = tpch_catalog(&TpchConfig::default())?;
+//! assert_eq!(catalog.table_count(), 12);
+//! // 5 of the 12 tables are replicated at the DSS.
+//! assert_eq!(catalog.replication().len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod ids;
+pub mod placement;
+pub mod replica;
+pub mod synthetic;
+pub mod table;
+pub mod tpch;
+
+pub use catalog::{Catalog, CatalogError};
+pub use ids::{SiteId, TableId};
+pub use placement::{place_tables, tables_per_site, PlacementStrategy};
+pub use replica::{ReplicaSpec, ReplicationPlan};
+pub use synthetic::{synthetic_catalog, SyntheticConfig};
+pub use table::TableMeta;
+pub use tpch::{tpch_catalog, tpch_tables, TpchConfig, TpchTable};

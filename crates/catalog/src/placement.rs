@@ -1,0 +1,178 @@
+//! Assigning base tables to remote sites.
+//!
+//! The paper's Fig. 8 experiment varies both the number of sites (2–22) and
+//! the distribution of tables over sites: *uniform* (each site gets an equal
+//! share) or *skewed* ("1/2 of the tables will be in site 0, 1/4 in site 1
+//! and 1/8 in site 2 …").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::ids::{SiteId, TableId};
+
+/// How base tables are distributed over remote sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PlacementStrategy {
+    /// Tables are spread evenly (round-robin over a random permutation).
+    #[default]
+    Uniform,
+    /// Site 0 holds 1/2 of the tables, site 1 holds 1/4, site 2 holds 1/8,
+    /// and so on; the final site absorbs the remainder.
+    Skewed,
+}
+
+/// Computes a placement of `n_tables` tables over `n_sites` sites.
+///
+/// Returns a vector indexed by table (`TableId::index`) whose entries are
+/// the assigned sites. The assignment is deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `n_tables == 0` or `n_sites == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_catalog::placement::{place_tables, PlacementStrategy};
+///
+/// let placement = place_tables(100, 4, PlacementStrategy::Skewed, 7);
+/// assert_eq!(placement.len(), 100);
+/// let at_site0 = placement.iter().filter(|s| s.index() == 0).count();
+/// assert_eq!(at_site0, 50); // half of the tables at site 0
+/// ```
+#[must_use]
+pub fn place_tables(
+    n_tables: usize,
+    n_sites: usize,
+    strategy: PlacementStrategy,
+    seed: u64,
+) -> Vec<SiteId> {
+    assert!(n_tables > 0, "need at least one table");
+    assert!(n_sites > 0, "need at least one site");
+    let mut order: Vec<usize> = (0..n_tables).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut placement = vec![SiteId::new(0); n_tables];
+    match strategy {
+        PlacementStrategy::Uniform => {
+            for (pos, &table) in order.iter().enumerate() {
+                placement[table] = SiteId::new((pos % n_sites) as u32);
+            }
+        }
+        PlacementStrategy::Skewed => {
+            // Quotas 1/2, 1/4, ... of the *total*; the last site takes the rest.
+            let mut quotas = Vec::with_capacity(n_sites);
+            let mut assigned = 0usize;
+            for site in 0..n_sites {
+                let quota = if site + 1 == n_sites {
+                    n_tables - assigned
+                } else {
+                    let q = n_tables >> (site + 1);
+                    q.min(n_tables - assigned)
+                };
+                quotas.push(quota);
+                assigned += quota;
+            }
+            // If quotas did not exhaust the tables before the last site,
+            // the last site already absorbed the remainder above.
+            let mut cursor = 0usize;
+            for (site, &quota) in quotas.iter().enumerate() {
+                for _ in 0..quota {
+                    placement[order[cursor]] = SiteId::new(site as u32);
+                    cursor += 1;
+                }
+            }
+            debug_assert_eq!(cursor, n_tables);
+        }
+    }
+    placement
+}
+
+/// Convenience view over a placement: tables grouped per site.
+#[must_use]
+pub fn tables_per_site(placement: &[SiteId], n_sites: usize) -> Vec<Vec<TableId>> {
+    let mut groups = vec![Vec::new(); n_sites];
+    for (idx, site) in placement.iter().enumerate() {
+        groups[site.index()].push(TableId::new(idx as u32));
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_balanced() {
+        let p = place_tables(100, 4, PlacementStrategy::Uniform, 1);
+        let groups = tables_per_site(&p, 4);
+        for g in &groups {
+            assert_eq!(g.len(), 25);
+        }
+    }
+
+    #[test]
+    fn uniform_balanced_with_remainder() {
+        let p = place_tables(10, 3, PlacementStrategy::Uniform, 1);
+        let groups = tables_per_site(&p, 3);
+        let mut sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn skewed_follows_geometric_quotas() {
+        let p = place_tables(100, 5, PlacementStrategy::Skewed, 42);
+        let groups = tables_per_site(&p, 5);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert_eq!(sizes[0], 50);
+        assert_eq!(sizes[1], 25);
+        assert_eq!(sizes[2], 12);
+        assert_eq!(sizes[3], 6);
+        assert_eq!(sizes[4], 7); // remainder
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn skewed_with_many_sites_small_tables() {
+        // More sites than log2(tables): later sites get zero, last absorbs rest.
+        let p = place_tables(8, 6, PlacementStrategy::Skewed, 3);
+        let groups = tables_per_site(&p, 6);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 8);
+        assert_eq!(groups[0].len(), 4);
+        assert_eq!(groups[1].len(), 2);
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let a = place_tables(50, 7, PlacementStrategy::Uniform, 9);
+        let b = place_tables(50, 7, PlacementStrategy::Uniform, 9);
+        let c = place_tables(50, 7, PlacementStrategy::Uniform, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_site_takes_everything() {
+        for strat in [PlacementStrategy::Uniform, PlacementStrategy::Skewed] {
+            let p = place_tables(13, 1, strat, 0);
+            assert!(p.iter().all(|s| s.index() == 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_rejected() {
+        let _ = place_tables(10, 0, PlacementStrategy::Uniform, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn zero_tables_rejected() {
+        let _ = place_tables(0, 3, PlacementStrategy::Uniform, 0);
+    }
+}

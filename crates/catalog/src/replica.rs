@@ -1,0 +1,289 @@
+//! Replication plans: which tables have local replicas and how often each
+//! replica is synchronized.
+//!
+//! The paper's hybrid architecture replicates "a small set of frequently
+//! accessed base tables" to the local federation server; each replica is
+//! refreshed on its own synchronization cycle ("each table has a different
+//! synchronization cycle, one table may be synchronized multiple times
+//! before another table is synchronized once", §3.1 / Fig. 4).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::ids::TableId;
+
+/// Synchronization configuration of a single replica.
+///
+/// `mean_period` is the mean of the synchronization cycle in time units; an
+/// exponential stream with this mean drives stochastic schedules (as in the
+/// paper's experiments), while deterministic schedules use it directly as
+/// the period. `phase` offsets the first synchronization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReplicaSpec {
+    mean_period: f64,
+    phase: f64,
+}
+
+impl ReplicaSpec {
+    /// Creates a replica spec with the given mean synchronization period and
+    /// zero phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_period` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(mean_period: f64) -> Self {
+        Self::with_phase(mean_period, 0.0)
+    }
+
+    /// Creates a replica spec with an explicit first-synchronization phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_period` is not strictly positive and finite, or if
+    /// `phase` is negative or not finite.
+    #[must_use]
+    pub fn with_phase(mean_period: f64, phase: f64) -> Self {
+        assert!(
+            mean_period.is_finite() && mean_period > 0.0,
+            "mean synchronization period must be positive and finite"
+        );
+        assert!(
+            phase.is_finite() && phase >= 0.0,
+            "phase must be non-negative and finite"
+        );
+        ReplicaSpec { mean_period, phase }
+    }
+
+    /// Mean synchronization period in time units.
+    #[must_use]
+    pub fn mean_period(&self) -> f64 {
+        self.mean_period
+    }
+
+    /// Offset of the first synchronization.
+    #[must_use]
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+}
+
+/// The set of replicated tables with their synchronization specs.
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+/// use ivdss_catalog::ids::TableId;
+///
+/// let mut plan = ReplicationPlan::new();
+/// plan.add(TableId::new(0), ReplicaSpec::new(10.0));
+/// assert!(plan.is_replicated(TableId::new(0)));
+/// assert!(!plan.is_replicated(TableId::new(1)));
+/// assert_eq!(plan.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReplicationPlan {
+    replicas: BTreeMap<TableId, ReplicaSpec>,
+}
+
+impl ReplicationPlan {
+    /// Creates an empty plan (pure federation — no replicas).
+    #[must_use]
+    pub fn new() -> Self {
+        ReplicationPlan::default()
+    }
+
+    /// Adds (or replaces) the replica spec for `table`; returns the previous
+    /// spec if the table was already replicated.
+    pub fn add(&mut self, table: TableId, spec: ReplicaSpec) -> Option<ReplicaSpec> {
+        self.replicas.insert(table, spec)
+    }
+
+    /// Removes the replica of `table`, returning its spec if present.
+    pub fn remove(&mut self, table: TableId) -> Option<ReplicaSpec> {
+        self.replicas.remove(&table)
+    }
+
+    /// Returns `true` if `table` has a local replica.
+    #[must_use]
+    pub fn is_replicated(&self, table: TableId) -> bool {
+        self.replicas.contains_key(&table)
+    }
+
+    /// The replica spec for `table`, if replicated.
+    #[must_use]
+    pub fn spec(&self, table: TableId) -> Option<&ReplicaSpec> {
+        self.replicas.get(&table)
+    }
+
+    /// Iterates over `(table, spec)` pairs in table order.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &ReplicaSpec)> {
+        self.replicas.iter().map(|(t, s)| (*t, s))
+    }
+
+    /// The replicated tables, in table order.
+    #[must_use]
+    pub fn tables(&self) -> Vec<TableId> {
+        self.replicas.keys().copied().collect()
+    }
+
+    /// Number of replicated tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Returns `true` if no table is replicated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Builds a plan that replicates *every* table with the same mean
+    /// period — the paper's *Data Warehouse* configuration.
+    #[must_use]
+    pub fn full(tables: impl IntoIterator<Item = TableId>, mean_period: f64) -> Self {
+        let mut plan = ReplicationPlan::new();
+        for t in tables {
+            plan.add(t, ReplicaSpec::new(mean_period));
+        }
+        plan
+    }
+
+    /// Builds a plan that replicates a random subset of `count` tables (the
+    /// paper randomly selects 5 of 12 TPC-H tables, and 50 of 100 synthetic
+    /// tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the number of tables offered.
+    #[must_use]
+    pub fn random_subset(
+        tables: &[TableId],
+        count: usize,
+        mean_period: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            count <= tables.len(),
+            "cannot replicate {count} of {} tables",
+            tables.len()
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pool: Vec<TableId> = tables.to_vec();
+        pool.shuffle(&mut rng);
+        let mut plan = ReplicationPlan::new();
+        for &t in pool.iter().take(count) {
+            plan.add(t, ReplicaSpec::new(mean_period));
+        }
+        plan
+    }
+}
+
+impl FromIterator<(TableId, ReplicaSpec)> for ReplicationPlan {
+    fn from_iter<I: IntoIterator<Item = (TableId, ReplicaSpec)>>(iter: I) -> Self {
+        ReplicationPlan {
+            replicas: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(TableId, ReplicaSpec)> for ReplicationPlan {
+    fn extend<I: IntoIterator<Item = (TableId, ReplicaSpec)>>(&mut self, iter: I) {
+        self.replicas.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u32) -> Vec<TableId> {
+        (0..n).map(TableId::new).collect()
+    }
+
+    #[test]
+    fn add_remove_query() {
+        let mut plan = ReplicationPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.add(TableId::new(1), ReplicaSpec::new(5.0)), None);
+        assert!(plan
+            .add(TableId::new(1), ReplicaSpec::new(7.0))
+            .is_some());
+        assert_eq!(plan.spec(TableId::new(1)).map(ReplicaSpec::mean_period), Some(7.0));
+        assert_eq!(plan.remove(TableId::new(1)).map(|s| s.mean_period()), Some(7.0));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn full_plan_covers_all_tables() {
+        let plan = ReplicationPlan::full(ids(12), 10.0);
+        assert_eq!(plan.len(), 12);
+        assert!(ids(12).iter().all(|&t| plan.is_replicated(t)));
+    }
+
+    #[test]
+    fn random_subset_size_and_determinism() {
+        let tables = ids(12);
+        let a = ReplicationPlan::random_subset(&tables, 5, 10.0, 42);
+        let b = ReplicationPlan::random_subset(&tables, 5, 10.0, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        for t in a.tables() {
+            assert!(t.index() < 12);
+        }
+    }
+
+    #[test]
+    fn random_subsets_differ_by_seed() {
+        let tables = ids(100);
+        let a = ReplicationPlan::random_subset(&tables, 50, 10.0, 1);
+        let b = ReplicationPlan::random_subset(&tables, 50, 10.0, 2);
+        assert_ne!(a.tables(), b.tables());
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut plan: ReplicationPlan = ids(3)
+            .into_iter()
+            .map(|t| (t, ReplicaSpec::new(4.0)))
+            .collect();
+        plan.extend([(TableId::new(9), ReplicaSpec::new(2.0))]);
+        assert_eq!(plan.len(), 4);
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let mut plan = ReplicationPlan::new();
+        plan.add(TableId::new(5), ReplicaSpec::new(1.0));
+        plan.add(TableId::new(2), ReplicaSpec::new(1.0));
+        let order: Vec<TableId> = plan.iter().map(|(t, _)| t).collect();
+        assert_eq!(order, vec![TableId::new(2), TableId::new(5)]);
+    }
+
+    #[test]
+    fn spec_with_phase() {
+        let s = ReplicaSpec::with_phase(8.0, 3.0);
+        assert_eq!(s.mean_period(), 8.0);
+        assert_eq!(s.phase(), 3.0);
+        assert_eq!(ReplicaSpec::new(8.0).phase(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_period_rejected() {
+        let _ = ReplicaSpec::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot replicate")]
+    fn oversized_subset_rejected() {
+        let _ = ReplicationPlan::random_subset(&ids(3), 4, 1.0, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Base-table metadata.
+
+use std::fmt;
+
+use crate::ids::TableId;
+
+/// Static metadata of one base table stored at a remote server.
+///
+/// Sizes drive the cost model: query processing cost scales with the bytes a
+/// plan scans and joins, and replica synchronization cost scales with the
+/// table's churn.
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_catalog::table::TableMeta;
+/// use ivdss_catalog::ids::TableId;
+///
+/// let t = TableMeta::new(TableId::new(0), "orders", 1_500_000, 120);
+/// assert_eq!(t.size_bytes(), 180_000_000);
+/// assert_eq!(t.name(), "orders");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TableMeta {
+    id: TableId,
+    name: String,
+    rows: u64,
+    row_bytes: u32,
+}
+
+impl TableMeta {
+    /// Creates table metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty or `row_bytes` is zero.
+    #[must_use]
+    pub fn new(id: TableId, name: impl Into<String>, rows: u64, row_bytes: u32) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "table name must not be empty");
+        assert!(row_bytes > 0, "row size must be positive");
+        TableMeta {
+            id,
+            name,
+            rows,
+            row_bytes,
+        }
+    }
+
+    /// The table's identifier.
+    #[must_use]
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// The table's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Average row size in bytes.
+    #[must_use]
+    pub fn row_bytes(&self) -> u32 {
+        self.row_bytes
+    }
+
+    /// Total size in bytes (`rows × row_bytes`).
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.rows.saturating_mul(u64::from(self.row_bytes))
+    }
+}
+
+impl fmt::Display for TableMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} rows × {} B)",
+            self.name, self.id, self.rows, self.row_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_product() {
+        let t = TableMeta::new(TableId::new(1), "x", 100, 8);
+        assert_eq!(t.size_bytes(), 800);
+        assert_eq!(t.rows(), 100);
+        assert_eq!(t.row_bytes(), 8);
+        assert_eq!(t.id(), TableId::new(1));
+    }
+
+    #[test]
+    fn size_saturates() {
+        let t = TableMeta::new(TableId::new(1), "big", u64::MAX, 1000);
+        assert_eq!(t.size_bytes(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_name_rejected() {
+        let _ = TableMeta::new(TableId::new(0), "", 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_row_bytes_rejected() {
+        let _ = TableMeta::new(TableId::new(0), "t", 1, 0);
+    }
+
+    #[test]
+    fn display_mentions_name_and_id() {
+        let t = TableMeta::new(TableId::new(2), "nation", 25, 128);
+        let s = t.to_string();
+        assert!(s.contains("nation") && s.contains("T2"));
+    }
+}

@@ -1,0 +1,296 @@
+//! The TPC-H-derived schema used by the paper's evaluation.
+//!
+//! The paper uses the TPC-H benchmark data set (6 GB — scale factor 6, 22
+//! queries) and "first split[s] LineItem table into 5 partitions, therefore
+//! there are totally 12 tables", then randomly selects 5 of the 12 tables
+//! into the replication plan.
+//!
+//! Cardinalities follow the TPC-H specification scaled by `sf`; row widths
+//! are the standard average tuple sizes.
+
+use crate::catalog::{Catalog, CatalogError};
+use crate::ids::TableId;
+use crate::placement::{place_tables, PlacementStrategy};
+use crate::replica::ReplicationPlan;
+use crate::table::TableMeta;
+
+/// Number of LineItem partitions in the paper's setup.
+pub const LINEITEM_PARTITIONS: usize = 5;
+
+/// Total number of tables after LineItem partitioning (7 + 5 = 12).
+pub const TPCH_TABLE_COUNT: usize = 7 + LINEITEM_PARTITIONS;
+
+/// The scale factor corresponding to the paper's "6GB data".
+pub const PAPER_SCALE_FACTOR: f64 = 6.0;
+
+/// The eight logical TPC-H tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpchTable {
+    /// REGION — 5 rows, unscaled.
+    Region,
+    /// NATION — 25 rows, unscaled.
+    Nation,
+    /// SUPPLIER — 10 000 × SF rows.
+    Supplier,
+    /// CUSTOMER — 150 000 × SF rows.
+    Customer,
+    /// PART — 200 000 × SF rows.
+    Part,
+    /// PARTSUPP — 800 000 × SF rows.
+    PartSupp,
+    /// ORDERS — 1 500 000 × SF rows.
+    Orders,
+    /// LINEITEM — ≈6 000 000 × SF rows, split into
+    /// [`LINEITEM_PARTITIONS`] horizontal partitions.
+    LineItem,
+}
+
+impl TpchTable {
+    /// All logical tables, in catalog order.
+    pub const ALL: [TpchTable; 8] = [
+        TpchTable::Region,
+        TpchTable::Nation,
+        TpchTable::Supplier,
+        TpchTable::Customer,
+        TpchTable::Part,
+        TpchTable::PartSupp,
+        TpchTable::Orders,
+        TpchTable::LineItem,
+    ];
+
+    /// The table's lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TpchTable::Region => "region",
+            TpchTable::Nation => "nation",
+            TpchTable::Supplier => "supplier",
+            TpchTable::Customer => "customer",
+            TpchTable::Part => "part",
+            TpchTable::PartSupp => "partsupp",
+            TpchTable::Orders => "orders",
+            TpchTable::LineItem => "lineitem",
+        }
+    }
+
+    /// Row count at scale factor `sf`.
+    #[must_use]
+    pub fn rows(self, sf: f64) -> u64 {
+        assert!(sf.is_finite() && sf > 0.0, "scale factor must be positive");
+        let base = match self {
+            TpchTable::Region => return 5,
+            TpchTable::Nation => return 25,
+            TpchTable::Supplier => 10_000.0,
+            TpchTable::Customer => 150_000.0,
+            TpchTable::Part => 200_000.0,
+            TpchTable::PartSupp => 800_000.0,
+            TpchTable::Orders => 1_500_000.0,
+            TpchTable::LineItem => 6_000_000.0,
+        };
+        (base * sf) as u64
+    }
+
+    /// Average row width in bytes.
+    #[must_use]
+    pub fn row_bytes(self) -> u32 {
+        match self {
+            TpchTable::Region => 124,
+            TpchTable::Nation => 128,
+            TpchTable::Supplier => 159,
+            TpchTable::Customer => 179,
+            TpchTable::Part => 155,
+            TpchTable::PartSupp => 144,
+            TpchTable::Orders => 104,
+            TpchTable::LineItem => 112,
+        }
+    }
+
+    /// The catalog [`TableId`]s this logical table maps to: a single id for
+    /// the first seven tables, and all partition ids for LineItem.
+    #[must_use]
+    pub fn table_ids(self) -> Vec<TableId> {
+        match self {
+            TpchTable::Region => vec![TableId::new(0)],
+            TpchTable::Nation => vec![TableId::new(1)],
+            TpchTable::Supplier => vec![TableId::new(2)],
+            TpchTable::Customer => vec![TableId::new(3)],
+            TpchTable::Part => vec![TableId::new(4)],
+            TpchTable::PartSupp => vec![TableId::new(5)],
+            TpchTable::Orders => vec![TableId::new(6)],
+            TpchTable::LineItem => (0..LINEITEM_PARTITIONS)
+                .map(|p| TableId::new((7 + p) as u32))
+                .collect(),
+        }
+    }
+}
+
+/// Builds the 12 physical tables (7 logical + 5 LineItem partitions) at
+/// scale factor `sf`.
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_catalog::tpch::{tpch_tables, TPCH_TABLE_COUNT, PAPER_SCALE_FACTOR};
+///
+/// let tables = tpch_tables(PAPER_SCALE_FACTOR);
+/// assert_eq!(tables.len(), TPCH_TABLE_COUNT);
+/// assert_eq!(tables[0].name(), "region");
+/// assert!(tables[7].name().starts_with("lineitem_p"));
+/// ```
+#[must_use]
+pub fn tpch_tables(sf: f64) -> Vec<TableMeta> {
+    let mut tables = Vec::with_capacity(TPCH_TABLE_COUNT);
+    let mut next_id = 0u32;
+    for logical in TpchTable::ALL {
+        if logical == TpchTable::LineItem {
+            let per_part = logical.rows(sf) / LINEITEM_PARTITIONS as u64;
+            for p in 0..LINEITEM_PARTITIONS {
+                tables.push(TableMeta::new(
+                    TableId::new(next_id),
+                    format!("lineitem_p{p}"),
+                    per_part,
+                    logical.row_bytes(),
+                ));
+                next_id += 1;
+            }
+        } else {
+            tables.push(TableMeta::new(
+                TableId::new(next_id),
+                logical.name(),
+                logical.rows(sf),
+                logical.row_bytes(),
+            ));
+            next_id += 1;
+        }
+    }
+    tables
+}
+
+/// Configuration for building a TPC-H catalog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchConfig {
+    /// TPC-H scale factor (the paper uses 6.0 ≙ 6 GB).
+    pub scale_factor: f64,
+    /// Number of remote sites the 12 tables are spread over.
+    pub sites: usize,
+    /// Placement strategy over the sites.
+    pub placement: PlacementStrategy,
+    /// How many of the 12 tables get local replicas (paper: 5).
+    pub replicated_tables: usize,
+    /// Mean synchronization period of each replica, in time units.
+    pub mean_sync_period: f64,
+    /// RNG seed for placement and replica selection.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    /// The paper's §4.2 configuration: SF 6, 3 remote sites, uniform
+    /// placement, 5 of 12 tables replicated, sync period 10.
+    fn default() -> Self {
+        TpchConfig {
+            scale_factor: PAPER_SCALE_FACTOR,
+            sites: 3,
+            placement: PlacementStrategy::Uniform,
+            replicated_tables: 5,
+            mean_sync_period: 10.0,
+            seed: 0x7c_b1,
+        }
+    }
+}
+
+/// Builds the paper's TPC-H catalog: 12 tables, random placement, a random
+/// subset replicated.
+///
+/// # Errors
+///
+/// Propagates [`CatalogError`] if the configuration is inconsistent (e.g.
+/// `replicated_tables > 12`).
+pub fn tpch_catalog(config: &TpchConfig) -> Result<Catalog, CatalogError> {
+    let tables = tpch_tables(config.scale_factor);
+    let placement = place_tables(tables.len(), config.sites, config.placement, config.seed);
+    let ids: Vec<TableId> = (0..tables.len() as u32).map(TableId::new).collect();
+    if config.replicated_tables > ids.len() {
+        return Err(CatalogError::UnknownReplicatedTable {
+            table: TableId::new(ids.len() as u32),
+        });
+    }
+    let plan = ReplicationPlan::random_subset(
+        &ids,
+        config.replicated_tables,
+        config.mean_sync_period,
+        config.seed ^ 0x5eed,
+    );
+    Catalog::new(tables, config.sites, placement, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_tables_at_any_sf() {
+        for sf in [1.0, 6.0, 10.0] {
+            assert_eq!(tpch_tables(sf).len(), 12);
+        }
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let t1 = tpch_tables(1.0);
+        let t6 = tpch_tables(6.0);
+        // orders is id 6
+        assert_eq!(t1[6].rows(), 1_500_000);
+        assert_eq!(t6[6].rows(), 9_000_000);
+        // region/nation unscaled
+        assert_eq!(t6[0].rows(), 5);
+        assert_eq!(t6[1].rows(), 25);
+    }
+
+    #[test]
+    fn lineitem_partitions_sum_to_total() {
+        let tables = tpch_tables(6.0);
+        let total: u64 = tables[7..].iter().map(TableMeta::rows).sum();
+        assert_eq!(total, TpchTable::LineItem.rows(6.0) / 5 * 5);
+        assert_eq!(tables[7..].len(), LINEITEM_PARTITIONS);
+    }
+
+    #[test]
+    fn paper_dataset_is_about_6gb() {
+        let bytes: u64 = tpch_tables(PAPER_SCALE_FACTOR)
+            .iter()
+            .map(TableMeta::size_bytes)
+            .sum();
+        let gb = bytes as f64 / 1e9;
+        assert!((4.0..9.0).contains(&gb), "TPC-H SF6 ≈ 6 GB, got {gb:.2} GB");
+    }
+
+    #[test]
+    fn logical_to_physical_mapping() {
+        assert_eq!(TpchTable::Orders.table_ids(), vec![TableId::new(6)]);
+        let li = TpchTable::LineItem.table_ids();
+        assert_eq!(li.len(), 5);
+        assert_eq!(li[0], TableId::new(7));
+        assert_eq!(li[4], TableId::new(11));
+    }
+
+    #[test]
+    fn default_config_builds_valid_catalog() {
+        let catalog = tpch_catalog(&TpchConfig::default()).unwrap();
+        assert_eq!(catalog.table_count(), 12);
+        assert_eq!(catalog.site_count(), 3);
+        assert_eq!(catalog.replication().len(), 5);
+    }
+
+    #[test]
+    fn catalog_is_deterministic() {
+        let a = tpch_catalog(&TpchConfig::default()).unwrap();
+        let b = tpch_catalog(&TpchConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_scale_factor_rejected() {
+        let _ = TpchTable::Orders.rows(0.0);
+    }
+}

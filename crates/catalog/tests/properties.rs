@@ -1,0 +1,118 @@
+//! Property-based tests for catalog invariants.
+
+use ivdss_catalog::catalog::Catalog;
+use ivdss_catalog::ids::TableId;
+use ivdss_catalog::placement::{place_tables, tables_per_site, PlacementStrategy};
+use ivdss_catalog::replica::ReplicationPlan;
+use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+use ivdss_catalog::table::TableMeta;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every placement assigns every table to exactly one in-range site.
+    #[test]
+    fn placement_is_total_and_in_range(
+        n_tables in 1usize..400,
+        n_sites in 1usize..30,
+        skewed in any::<bool>(),
+        seed in any::<u64>()
+    ) {
+        let strat = if skewed { PlacementStrategy::Skewed } else { PlacementStrategy::Uniform };
+        let p = place_tables(n_tables, n_sites, strat, seed);
+        prop_assert_eq!(p.len(), n_tables);
+        for s in &p {
+            prop_assert!(s.index() < n_sites);
+        }
+        let groups = tables_per_site(&p, n_sites);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n_tables);
+    }
+
+    /// Uniform placement is balanced: site loads differ by at most one.
+    #[test]
+    fn uniform_placement_is_balanced(
+        n_tables in 1usize..300,
+        n_sites in 1usize..25,
+        seed in any::<u64>()
+    ) {
+        let p = place_tables(n_tables, n_sites, PlacementStrategy::Uniform, seed);
+        let groups = tables_per_site(&p, n_sites);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    /// Skewed placement puts floor(n/2) tables at site 0 whenever there are
+    /// at least two sites.
+    #[test]
+    fn skewed_placement_halves_at_site0(
+        n_tables in 2usize..300,
+        n_sites in 2usize..25,
+        seed in any::<u64>()
+    ) {
+        let p = place_tables(n_tables, n_sites, PlacementStrategy::Skewed, seed);
+        let site0 = p.iter().filter(|s| s.index() == 0).count();
+        prop_assert_eq!(site0, n_tables / 2);
+    }
+
+    /// A random replica subset has the requested size and only contains
+    /// offered tables.
+    #[test]
+    fn random_subset_is_valid(
+        n_tables in 1u32..200,
+        frac in 0.0..1.0f64,
+        seed in any::<u64>()
+    ) {
+        let tables: Vec<TableId> = (0..n_tables).map(TableId::new).collect();
+        let count = ((n_tables as f64) * frac) as usize;
+        let plan = ReplicationPlan::random_subset(&tables, count, 5.0, seed);
+        prop_assert_eq!(plan.len(), count);
+        for t in plan.tables() {
+            prop_assert!(t.index() < n_tables as usize);
+        }
+    }
+
+    /// Synthetic catalogs are always internally consistent.
+    #[test]
+    fn synthetic_catalog_valid(
+        tables in 1usize..120,
+        sites in 1usize..23,
+        seed in any::<u64>(),
+        skewed in any::<bool>()
+    ) {
+        let cfg = SyntheticConfig {
+            tables,
+            sites,
+            replicated_tables: tables / 2,
+            placement: if skewed { PlacementStrategy::Skewed } else { PlacementStrategy::Uniform },
+            seed,
+            ..SyntheticConfig::default()
+        };
+        let cat = synthetic_catalog(&cfg).unwrap();
+        prop_assert_eq!(cat.table_count(), tables);
+        // Every table resolvable and placed in range.
+        for t in cat.table_ids() {
+            prop_assert!(cat.site_of(t).index() < sites);
+            prop_assert!(cat.table(t).rows() > 0);
+        }
+        // Replicated tables are all catalog tables.
+        for t in cat.replication().tables() {
+            prop_assert!(t.index() < tables);
+        }
+    }
+
+    /// Catalog::new round-trips whatever valid inputs we hand it.
+    #[test]
+    fn catalog_roundtrip(n in 1u32..60, sites in 1usize..10, seed in any::<u64>()) {
+        let tables: Vec<TableMeta> = (0..n)
+            .map(|i| TableMeta::new(TableId::new(i), format!("t{i}"), 10 + u64::from(i), 32))
+            .collect();
+        let placement = place_tables(n as usize, sites, PlacementStrategy::Uniform, seed);
+        let cat = Catalog::new(tables.clone(), sites, placement.clone(), ReplicationPlan::new()).unwrap();
+        prop_assert_eq!(cat.tables(), &tables[..]);
+        for (i, site) in placement.iter().enumerate() {
+            prop_assert_eq!(cat.site_of(TableId::new(i as u32)), *site);
+        }
+    }
+}

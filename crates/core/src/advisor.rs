@@ -1,0 +1,361 @@
+//! Data-placement advisor — the paper's stated future work.
+//!
+//! "The future work includes developing a data placement advisor to
+//! recommend table placement and replication strategies to further
+//! improve an overall information value." (§6)
+//!
+//! [`PlacementAdvisor`] implements that advisor: given a representative
+//! workload and a replica budget, it greedily grows a replication plan one
+//! table at a time, at each step adding the replica that maximizes the
+//! workload's total information value under IVQP planning. The evaluation
+//! is exact (it re-plans every query against the candidate plan), so the
+//! greedy trajectory also yields the marginal value of every replica —
+//! useful for capacity planning.
+
+use std::collections::BTreeSet;
+
+use ivdss_catalog::catalog::Catalog;
+use ivdss_catalog::ids::TableId;
+use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+use ivdss_costmodel::model::CostModel;
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+
+use crate::plan::{NoQueues, PlanContext, PlanError, QueryRequest};
+use crate::planner::{IvqpPlanner, Planner};
+use crate::value::DiscountRates;
+
+/// One greedy step of the advisor: the replica added and the workload
+/// value before/after.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvisorStep {
+    /// The table whose replica was added.
+    pub table: TableId,
+    /// Total workload information value before adding it.
+    pub value_before: f64,
+    /// Total workload information value after adding it.
+    pub value_after: f64,
+}
+
+impl AdvisorStep {
+    /// The marginal information value of this replica.
+    #[must_use]
+    pub fn marginal_value(&self) -> f64 {
+        self.value_after - self.value_before
+    }
+}
+
+/// The advisor's recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The recommended replication plan.
+    pub plan: ReplicationPlan,
+    /// The greedy trajectory, one step per added replica.
+    pub steps: Vec<AdvisorStep>,
+    /// Total workload information value with no replicas (pure
+    /// federation).
+    pub baseline_value: f64,
+}
+
+impl Recommendation {
+    /// Total workload value under the recommended plan.
+    #[must_use]
+    pub fn final_value(&self) -> f64 {
+        self.steps
+            .last()
+            .map_or(self.baseline_value, |s| s.value_after)
+    }
+
+    /// Relative improvement over the replica-free baseline.
+    #[must_use]
+    pub fn improvement(&self) -> f64 {
+        if self.baseline_value <= 0.0 {
+            0.0
+        } else {
+            self.final_value() / self.baseline_value - 1.0
+        }
+    }
+}
+
+/// Greedy replication-plan advisor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementAdvisor {
+    /// Mean synchronization period assigned to recommended replicas.
+    pub mean_sync_period: f64,
+    /// Stop early when the best remaining replica's marginal value falls
+    /// below this threshold.
+    pub min_marginal_value: f64,
+}
+
+impl PlacementAdvisor {
+    /// Creates an advisor assigning `mean_sync_period` to every
+    /// recommended replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_sync_period` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(mean_sync_period: f64) -> Self {
+        assert!(
+            mean_sync_period.is_finite() && mean_sync_period > 0.0,
+            "sync period must be positive and finite"
+        );
+        PlacementAdvisor {
+            mean_sync_period,
+            min_marginal_value: 1e-9,
+        }
+    }
+
+    /// Sets the early-stopping threshold (builder style).
+    #[must_use]
+    pub fn with_min_marginal_value(mut self, threshold: f64) -> Self {
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        self.min_marginal_value = threshold;
+        self
+    }
+
+    /// Recommends up to `budget` replicas for `workload` on `catalog`.
+    ///
+    /// The catalog's own replication plan is ignored; the advisor starts
+    /// from a replica-free deployment and adds the most valuable tables
+    /// first. Queue effects are ignored (queries are planned against idle
+    /// servers) so the recommendation reflects intrinsic plan quality, not
+    /// one particular arrival pattern.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    pub fn recommend(
+        &self,
+        catalog: &Catalog,
+        model: &dyn CostModel,
+        rates: DiscountRates,
+        workload: &[QueryRequest],
+        budget: usize,
+    ) -> Result<Recommendation, PlanError> {
+        let mut plan = ReplicationPlan::new();
+        let baseline_value = self.workload_value(catalog, model, rates, workload, &plan)?;
+        let mut current = baseline_value;
+        let mut steps = Vec::new();
+
+        // Candidates: tables the workload actually touches.
+        let mut candidates: BTreeSet<TableId> = workload
+            .iter()
+            .flat_map(|r| r.query.tables().iter().copied())
+            .collect();
+
+        for _ in 0..budget.min(candidates.len()) {
+            let mut best: Option<(TableId, f64)> = None;
+            for &table in &candidates {
+                let mut trial = plan.clone();
+                trial.add(table, ReplicaSpec::new(self.mean_sync_period));
+                let value = self.workload_value(catalog, model, rates, workload, &trial)?;
+                if best.is_none_or(|(_, v)| value > v) {
+                    best = Some((table, value));
+                }
+            }
+            let Some((table, value)) = best else { break };
+            if value - current < self.min_marginal_value {
+                break; // no remaining replica is worth adding
+            }
+            plan.add(table, ReplicaSpec::new(self.mean_sync_period));
+            candidates.remove(&table);
+            steps.push(AdvisorStep {
+                table,
+                value_before: current,
+                value_after: value,
+            });
+            current = value;
+        }
+
+        Ok(Recommendation {
+            plan,
+            steps,
+            baseline_value,
+        })
+    }
+
+    /// Total IVQP information value of `workload` under `plan`.
+    fn workload_value(
+        &self,
+        catalog: &Catalog,
+        model: &dyn CostModel,
+        rates: DiscountRates,
+        workload: &[QueryRequest],
+        plan: &ReplicationPlan,
+    ) -> Result<f64, PlanError> {
+        let catalog = catalog
+            .with_replication(plan.clone())
+            .map_err(|_| PlanError::NoFeasiblePlan {
+                query: workload[0].id(),
+            })?;
+        let timelines = SyncTimelines::from_plan(plan, SyncMode::Deterministic);
+        let ctx = PlanContext {
+            catalog: &catalog,
+            timelines: &timelines,
+            model,
+            rates,
+            queues: &NoQueues,
+        };
+        let planner = IvqpPlanner::new();
+        let mut total = 0.0;
+        for request in workload {
+            total += planner
+                .select_plan(&ctx, request)?
+                .information_value
+                .value();
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+    use ivdss_costmodel::model::StylizedCostModel;
+    use ivdss_costmodel::query::{QueryId, QuerySpec};
+    use ivdss_simkernel::time::SimTime;
+
+    fn t(i: u32) -> TableId {
+        TableId::new(i)
+    }
+
+    fn catalog() -> Catalog {
+        synthetic_catalog(&SyntheticConfig {
+            tables: 6,
+            sites: 2,
+            replicated_tables: 0,
+            seed: 31,
+            ..SyntheticConfig::default()
+        })
+        .unwrap()
+    }
+
+    /// A workload hammering tables 0 and 1; table 5 is touched once.
+    fn workload() -> Vec<QueryRequest> {
+        let mut reqs = Vec::new();
+        for i in 0..6 {
+            reqs.push(QueryRequest::new(
+                QuerySpec::new(QueryId::new(i), vec![t(0), t(1)]),
+                SimTime::new(10.0 + i as f64),
+            ));
+        }
+        reqs.push(QueryRequest::new(
+            QuerySpec::new(QueryId::new(99), vec![t(5)]),
+            SimTime::new(20.0),
+        ));
+        reqs
+    }
+
+    #[test]
+    fn recommends_hot_tables_first() {
+        let advisor = PlacementAdvisor::new(5.0);
+        let rec = advisor
+            .recommend(
+                &catalog(),
+                &StylizedCostModel::paper_fig4(),
+                DiscountRates::new(0.1, 0.01),
+                &workload(),
+                2,
+            )
+            .unwrap();
+        assert_eq!(rec.plan.len(), 2);
+        // The two hot tables dominate the workload value.
+        assert!(rec.plan.is_replicated(t(0)));
+        assert!(rec.plan.is_replicated(t(1)));
+    }
+
+    #[test]
+    fn value_is_monotone_along_the_trajectory() {
+        let advisor = PlacementAdvisor::new(5.0);
+        let rec = advisor
+            .recommend(
+                &catalog(),
+                &StylizedCostModel::paper_fig4(),
+                DiscountRates::new(0.1, 0.01),
+                &workload(),
+                4,
+            )
+            .unwrap();
+        let mut prev = rec.baseline_value;
+        for step in &rec.steps {
+            assert!(step.value_before >= prev - 1e-12);
+            assert!(step.value_after >= step.value_before);
+            assert!(step.marginal_value() >= 0.0);
+            prev = step.value_after;
+        }
+        assert!(rec.final_value() >= rec.baseline_value);
+        assert!(rec.improvement() >= 0.0);
+    }
+
+    #[test]
+    fn respects_budget_and_stops_when_worthless() {
+        let advisor = PlacementAdvisor::new(5.0).with_min_marginal_value(1e-6);
+        let rec = advisor
+            .recommend(
+                &catalog(),
+                &StylizedCostModel::paper_fig4(),
+                DiscountRates::new(0.1, 0.01),
+                &workload(),
+                100, // budget exceeds candidate count
+            )
+            .unwrap();
+        // Only tables the workload touches can be recommended.
+        assert!(rec.plan.len() <= 3);
+        for table in rec.plan.tables() {
+            assert!([t(0), t(1), t(5)].contains(&table));
+        }
+    }
+
+    #[test]
+    fn zero_budget_keeps_federation() {
+        let advisor = PlacementAdvisor::new(5.0);
+        let rec = advisor
+            .recommend(
+                &catalog(),
+                &StylizedCostModel::paper_fig4(),
+                DiscountRates::new(0.1, 0.01),
+                &workload(),
+                0,
+            )
+            .unwrap();
+        assert!(rec.plan.is_empty());
+        assert!(rec.steps.is_empty());
+        assert_eq!(rec.final_value(), rec.baseline_value);
+    }
+
+    #[test]
+    fn staleness_averse_workload_gets_fewer_replicas() {
+        // With a brutal staleness discount, replicas lose appeal; the
+        // advisor must recommend no more than it would for a
+        // latency-averse workload.
+        let model = StylizedCostModel::paper_fig4();
+        let stale_averse = PlacementAdvisor::new(50.0) // very slow refresh
+            .with_min_marginal_value(1e-6)
+            .recommend(
+                &catalog(),
+                &model,
+                DiscountRates::new(0.01, 0.5),
+                &workload(),
+                6,
+            )
+            .unwrap();
+        let latency_averse = PlacementAdvisor::new(50.0)
+            .with_min_marginal_value(1e-6)
+            .recommend(
+                &catalog(),
+                &model,
+                DiscountRates::new(0.5, 0.01),
+                &workload(),
+                6,
+            )
+            .unwrap();
+        assert!(stale_averse.plan.len() <= latency_averse.plan.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_period_rejected() {
+        let _ = PlacementAdvisor::new(0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Computational and synchronization latencies.
+//!
+//! Paper §2:
+//!
+//! * **Computational latency (CL)** — "the summation of query queuing
+//!   time, query processing time, and query result transmission time",
+//!   i.e. result-receipt time minus submission time (a deliberately
+//!   delayed plan's waiting time counts towards CL — Fig. 2);
+//! * **Synchronization latency (SL)** — "measured from the point when the
+//!   tables the query accesses last synchronized to the point when the
+//!   query result is received". For a replica that point is its last
+//!   completed synchronization; for a remote base table the data may
+//!   change as soon as execution starts, so its effective timestamp is the
+//!   moment processing begins (which makes SL = CL for a pure-remote,
+//!   queue-free plan, exactly as in Fig. 1).
+
+use std::fmt;
+
+use ivdss_simkernel::time::{SimDuration, SimTime};
+
+/// The latency pair the information-value formula discounts by.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Latencies {
+    /// Computational latency (CL).
+    pub computational: SimDuration,
+    /// Synchronization latency (SL).
+    pub synchronization: SimDuration,
+}
+
+impl Latencies {
+    /// Creates a latency pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either latency is negative.
+    #[must_use]
+    pub fn new(computational: SimDuration, synchronization: SimDuration) -> Self {
+        assert!(
+            !computational.is_negative(),
+            "computational latency must be non-negative"
+        );
+        assert!(
+            !synchronization.is_negative(),
+            "synchronization latency must be non-negative"
+        );
+        Latencies {
+            computational,
+            synchronization,
+        }
+    }
+
+    /// Derives the pair from the timing of a completed (or hypothesized)
+    /// query execution.
+    ///
+    /// * `submitted_at` — when the query entered the system;
+    /// * `received_at` — when the result reached the user;
+    /// * `data_version` — the stalest timestamp among the data the plan
+    ///   read (min over replica sync timestamps and, for remote base
+    ///   tables, the processing start time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received_at < submitted_at`.
+    #[must_use]
+    pub fn from_timing(submitted_at: SimTime, received_at: SimTime, data_version: SimTime) -> Self {
+        assert!(
+            received_at >= submitted_at,
+            "result cannot be received before submission"
+        );
+        Latencies {
+            computational: received_at - submitted_at,
+            synchronization: (received_at - data_version).clamp_non_negative(),
+        }
+    }
+}
+
+impl fmt::Display for Latencies {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CL={:.3} SL={:.3}",
+            self.computational.value(),
+            self.synchronization.value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_timing_computes_both() {
+        // Submitted at 11, received at 21, stalest data from 8.
+        let l = Latencies::from_timing(
+            SimTime::new(11.0),
+            SimTime::new(21.0),
+            SimTime::new(8.0),
+        );
+        assert_eq!(l.computational, SimDuration::new(10.0));
+        assert_eq!(l.synchronization, SimDuration::new(13.0));
+    }
+
+    #[test]
+    fn pure_remote_queue_free_plan_has_sl_equal_cl() {
+        // Fig. 1: execution starts at submission, data timestamped at start.
+        let submit = SimTime::new(5.0);
+        let receive = SimTime::new(12.0);
+        let l = Latencies::from_timing(submit, receive, submit);
+        assert_eq!(l.computational, l.synchronization);
+    }
+
+    #[test]
+    fn future_version_clamps_sl_to_zero() {
+        let l = Latencies::from_timing(
+            SimTime::new(0.0),
+            SimTime::new(1.0),
+            SimTime::new(2.0),
+        );
+        assert_eq!(l.synchronization, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_mentions_both() {
+        let l = Latencies::new(SimDuration::new(1.0), SimDuration::new(2.0));
+        let s = l.to_string();
+        assert!(s.contains("CL=") && s.contains("SL="));
+    }
+
+    #[test]
+    #[should_panic(expected = "before submission")]
+    fn receipt_before_submission_rejected() {
+        let _ = Latencies::from_timing(SimTime::new(2.0), SimTime::new(1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cl_rejected() {
+        let _ = Latencies::new(SimDuration::new(-1.0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,577 @@
+//! Query plans and their evaluation.
+//!
+//! A query plan (paper §2) "consists of a set of tables (i.e. base tables
+//! and/or replicas) to be used to evaluate Q as well as the time Q is to
+//! be executed". Here a candidate plan is the pair *(execute_at,
+//! local_tables)*: the tables in `local_tables` are read from the DSS
+//! replicas, everything else from remote base tables, and execution is
+//! released at `execute_at` (`> submitted_at` for the delayed plans of
+//! Fig. 2, which wait for a future synchronization).
+//!
+//! [`evaluate_plan`] turns a candidate into a full [`PlanEvaluation`]:
+//! queuing (from a [`QueueEstimator`]), processing/transmission (from the
+//! cost model), data-version timestamps (from the synchronization
+//! timelines), the CL/SL pair, and finally the information value.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use ivdss_catalog::catalog::Catalog;
+use ivdss_catalog::ids::{SiteId, TableId};
+use ivdss_costmodel::model::{CostModel, PlanCost};
+use ivdss_costmodel::query::{QueryId, QuerySpec};
+use ivdss_replication::timelines::SyncTimelines;
+use ivdss_simkernel::facility::Calendar;
+use ivdss_simkernel::time::{SimDuration, SimTime};
+
+use crate::latency::Latencies;
+use crate::value::{BusinessValue, DiscountRates, InformationValue};
+
+/// A query submitted to the DSS: its footprint plus the user-assigned
+/// business value and submission time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The query's footprint and cost profile.
+    pub query: QuerySpec,
+    /// The business value the user assigned to the report.
+    pub business_value: BusinessValue,
+    /// When the query entered the system.
+    pub submitted_at: SimTime,
+}
+
+impl QueryRequest {
+    /// Creates a request with unit business value.
+    #[must_use]
+    pub fn new(query: QuerySpec, submitted_at: SimTime) -> Self {
+        QueryRequest {
+            query,
+            business_value: BusinessValue::UNIT,
+            submitted_at,
+        }
+    }
+
+    /// Sets the business value (builder-style).
+    #[must_use]
+    pub fn with_business_value(mut self, bv: BusinessValue) -> Self {
+        self.business_value = bv;
+        self
+    }
+
+    /// The query's id.
+    #[must_use]
+    pub fn id(&self) -> QueryId {
+        self.query.id()
+    }
+}
+
+/// Estimates queuing delay at the servers a plan touches.
+///
+/// Planners consult this before committing work; the end-to-end simulator
+/// implements it from live [`Calendar`] state, while analytic studies can
+/// use [`NoQueues`]. The delay depends on the amount of work (`service`)
+/// because reservation calendars backfill: a short job may fit an idle gap
+/// a long job cannot.
+pub trait QueueEstimator {
+    /// Queuing delay at the local federation server for `service` worth of
+    /// work released at `at`.
+    fn local_delay(&self, at: SimTime, service: SimDuration) -> SimDuration;
+
+    /// Queuing delay at remote `site` for a subquery of length `service`
+    /// released at `at`.
+    fn remote_delay(&self, site: SiteId, at: SimTime, service: SimDuration) -> SimDuration;
+}
+
+/// A queue estimator that reports empty queues everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoQueues;
+
+impl QueueEstimator for NoQueues {
+    fn local_delay(&self, _at: SimTime, _service: SimDuration) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    fn remote_delay(&self, _site: SiteId, _at: SimTime, _service: SimDuration) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+/// Queue estimates backed by per-server reservation [`Calendar`]s: the
+/// delay is the wait until the earliest gap that fits the work. Delayed
+/// plans reserve future windows without blocking the idle time before
+/// them — later, shorter work backfills.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FacilityQueues {
+    local: Calendar,
+    remotes: Vec<Calendar>,
+}
+
+impl FacilityQueues {
+    /// Creates estimators for one local server and `sites` remote servers.
+    #[must_use]
+    pub fn new(sites: usize) -> Self {
+        FacilityQueues {
+            local: Calendar::new(),
+            remotes: vec![Calendar::new(); sites],
+        }
+    }
+
+    /// Mutable access to the local federation server calendar.
+    pub fn local_mut(&mut self) -> &mut Calendar {
+        &mut self.local
+    }
+
+    /// The local federation server calendar.
+    #[must_use]
+    pub fn local(&self) -> &Calendar {
+        &self.local
+    }
+
+    /// Mutable access to a remote site's calendar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn remote_mut(&mut self, site: SiteId) -> &mut Calendar {
+        &mut self.remotes[site.index()]
+    }
+
+    /// A remote site's calendar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn remote(&self, site: SiteId) -> &Calendar {
+        &self.remotes[site.index()]
+    }
+}
+
+impl QueueEstimator for FacilityQueues {
+    fn local_delay(&self, at: SimTime, service: SimDuration) -> SimDuration {
+        self.local.probe(at, service).queue_delay(at)
+    }
+
+    fn remote_delay(&self, site: SiteId, at: SimTime, service: SimDuration) -> SimDuration {
+        self.remotes[site.index()].probe(at, service).queue_delay(at)
+    }
+}
+
+/// Everything a planner needs to evaluate candidate plans.
+pub struct PlanContext<'a> {
+    /// The catalog (tables, placement, replication plan).
+    pub catalog: &'a Catalog,
+    /// Synchronization timelines of the replicated tables.
+    pub timelines: &'a SyncTimelines,
+    /// The computational-latency model.
+    pub model: &'a dyn CostModel,
+    /// Discount rates applied to CL and SL.
+    pub rates: DiscountRates,
+    /// Queue state of the involved servers.
+    pub queues: &'a dyn QueueEstimator,
+}
+
+impl fmt::Debug for PlanContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanContext")
+            .field("tables", &self.catalog.table_count())
+            .field("sites", &self.catalog.site_count())
+            .field("replicas", &self.timelines.len())
+            .field("rates", &self.rates)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Error evaluating or selecting a plan.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// A table was requested from the local replica store but has no
+    /// replica.
+    NotReplicated {
+        /// The table lacking a replica.
+        table: TableId,
+    },
+    /// The plan's release time precedes the query's submission.
+    ExecutesBeforeSubmission {
+        /// The offending release time.
+        execute_at: SimTime,
+        /// The submission time.
+        submitted_at: SimTime,
+    },
+    /// The plan references a table outside the query's footprint.
+    OutsideFootprint {
+        /// The offending table.
+        table: TableId,
+    },
+    /// No feasible plan exists (e.g. a warehouse planner on a query whose
+    /// footprint is not fully replicated).
+    NoFeasiblePlan {
+        /// The query that could not be planned.
+        query: QueryId,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NotReplicated { table } => {
+                write!(f, "table {table} has no local replica")
+            }
+            PlanError::ExecutesBeforeSubmission {
+                execute_at,
+                submitted_at,
+            } => write!(
+                f,
+                "plan executes at {execute_at} before submission at {submitted_at}"
+            ),
+            PlanError::OutsideFootprint { table } => {
+                write!(f, "table {table} is outside the query footprint")
+            }
+            PlanError::NoFeasiblePlan { query } => {
+                write!(f, "no feasible plan for query {query}")
+            }
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+/// A fully evaluated query plan: the choice, its timing, latencies and
+/// information value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEvaluation {
+    /// The planned query.
+    pub query: QueryId,
+    /// Tables read from local replicas; the rest of the footprint is read
+    /// from remote base tables.
+    pub local_tables: BTreeSet<TableId>,
+    /// When execution is released (submission time, or a future
+    /// synchronization point for delayed plans).
+    pub execute_at: SimTime,
+    /// When processing actually starts (release + queuing).
+    pub service_start: SimTime,
+    /// When the result is received.
+    pub finish: SimTime,
+    /// The stalest timestamp among the data the plan read.
+    pub data_version: SimTime,
+    /// The computational/synchronization latency pair.
+    pub latencies: Latencies,
+    /// The delivered information value.
+    pub information_value: InformationValue,
+    /// The cost-model components (processing + transmission, no queuing).
+    pub cost: PlanCost,
+}
+
+impl PlanEvaluation {
+    /// `true` if the plan reads every footprint table from replicas.
+    #[must_use]
+    pub fn is_all_local(&self, query: &QuerySpec) -> bool {
+        self.local_tables.len() == query.table_count()
+    }
+
+    /// `true` if the plan reads every footprint table remotely.
+    #[must_use]
+    pub fn is_all_remote(&self) -> bool {
+        self.local_tables.is_empty()
+    }
+
+    /// `true` if the plan delays execution past submission (Fig. 2).
+    #[must_use]
+    pub fn is_delayed(&self, submitted_at: SimTime) -> bool {
+        self.execute_at > submitted_at
+    }
+}
+
+/// Evaluates the candidate plan *(execute_at, local)* for `request`.
+///
+/// Timing model:
+///
+/// 1. execution is released at `execute_at ≥ submitted_at`;
+/// 2. queuing delays it until every involved server is free — the maximum
+///    of the local queue (always involved) and, if any table is read
+///    remotely, the queues of the spanned remote sites;
+/// 3. processing and result transmission take the cost model's estimate;
+/// 4. replica data is stamped with its last synchronization at or before
+///    `execute_at`; remote base data is stamped with the processing start;
+/// 5. `CL = finish − submitted_at`, `SL = finish − min(data timestamps)`,
+///    and `IV = BV·(1−λ_CL)^CL·(1−λ_SL)^SL`.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] if `local` contains an unreplicated table or one
+/// outside the footprint, or if `execute_at < submitted_at`.
+pub fn evaluate_plan(
+    ctx: &PlanContext<'_>,
+    request: &QueryRequest,
+    execute_at: SimTime,
+    local: &BTreeSet<TableId>,
+) -> Result<PlanEvaluation, PlanError> {
+    if execute_at < request.submitted_at {
+        return Err(PlanError::ExecutesBeforeSubmission {
+            execute_at,
+            submitted_at: request.submitted_at,
+        });
+    }
+    for &t in local {
+        if !request.query.references(t) {
+            return Err(PlanError::OutsideFootprint { table: t });
+        }
+        if !ctx.timelines.has_replica(t) {
+            return Err(PlanError::NotReplicated { table: t });
+        }
+    }
+    let remote: BTreeSet<TableId> = request
+        .query
+        .tables()
+        .iter()
+        .copied()
+        .filter(|t| !local.contains(t))
+        .collect();
+
+    let cost = ctx.model.plan_cost(ctx.catalog, &request.query, &remote);
+
+    // Queuing: the local federation server always participates (for the
+    // plan's local work and result reception); remote sites participate
+    // when the plan reads base tables there.
+    let mut queue_delay = ctx.queues.local_delay(execute_at, cost.local_service());
+    if !remote.is_empty() {
+        let remote_vec: Vec<TableId> = remote.iter().copied().collect();
+        for site in ctx.catalog.sites_spanned(&remote_vec) {
+            queue_delay =
+                queue_delay.max(ctx.queues.remote_delay(site, execute_at, cost.remote_processing));
+        }
+    }
+    let service_start = execute_at + queue_delay;
+    let finish = service_start + cost.total();
+
+    // Data versions: replicas carry their last sync at release time; base
+    // tables are effectively stamped at processing start.
+    let mut data_version = if remote.is_empty() {
+        SimTime::MAX
+    } else {
+        service_start
+    };
+    for &t in local {
+        let version = ctx
+            .timelines
+            .last_sync(t, execute_at)
+            .unwrap_or(SimTime::ZERO);
+        data_version = data_version.min(version);
+    }
+
+    let latencies = Latencies::from_timing(request.submitted_at, finish, data_version);
+    let information_value =
+        InformationValue::compute(request.business_value, ctx.rates, latencies);
+
+    Ok(PlanEvaluation {
+        query: request.id(),
+        local_tables: local.clone(),
+        execute_at,
+        service_start,
+        finish,
+        data_version,
+        latencies,
+        information_value,
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivdss_catalog::placement::PlacementStrategy;
+    use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+    use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+    use ivdss_costmodel::model::StylizedCostModel;
+    use ivdss_replication::timelines::SyncMode;
+
+    fn t(i: u32) -> TableId {
+        TableId::new(i)
+    }
+
+    fn set(ids: &[u32]) -> BTreeSet<TableId> {
+        ids.iter().map(|&i| t(i)).collect()
+    }
+
+    /// Catalog of 4 tables on 2 sites; tables 0 and 1 replicated with
+    /// periods 8 and 2.
+    fn fixture() -> (Catalog, SyncTimelines) {
+        let base = synthetic_catalog(&SyntheticConfig {
+            tables: 4,
+            sites: 2,
+            replicated_tables: 0,
+            placement: PlacementStrategy::Uniform,
+            seed: 5,
+            ..SyntheticConfig::default()
+        })
+        .unwrap();
+        let mut plan = ReplicationPlan::new();
+        plan.add(t(0), ReplicaSpec::new(8.0));
+        plan.add(t(1), ReplicaSpec::new(2.0));
+        let catalog = base.with_replication(plan).unwrap();
+        let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+        (catalog, timelines)
+    }
+
+    fn ctx<'a>(
+        catalog: &'a Catalog,
+        timelines: &'a SyncTimelines,
+        model: &'a StylizedCostModel,
+        queues: &'a dyn QueueEstimator,
+    ) -> PlanContext<'a> {
+        PlanContext {
+            catalog,
+            timelines,
+            model,
+            rates: DiscountRates::paper_fig4(),
+            queues,
+        }
+    }
+
+    #[test]
+    fn all_remote_plan_sl_equals_cl_without_queue() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ctx(&catalog, &timelines, &model, &NoQueues);
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0), t(1)]),
+            SimTime::new(11.0),
+        );
+        let eval = evaluate_plan(&ctx, &req, SimTime::new(11.0), &BTreeSet::new()).unwrap();
+        // 2 remote tables → cost 6; CL = SL = 6.
+        assert_eq!(eval.latencies.computational, SimDuration::new(6.0));
+        assert_eq!(eval.latencies.synchronization, SimDuration::new(6.0));
+        assert!(eval.is_all_remote());
+        assert!(!eval.is_delayed(SimTime::new(11.0)));
+    }
+
+    #[test]
+    fn all_local_plan_uses_replica_timestamps() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ctx(&catalog, &timelines, &model, &NoQueues);
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0), t(1)]),
+            SimTime::new(11.0),
+        );
+        let eval = evaluate_plan(&ctx, &req, SimTime::new(11.0), &set(&[0, 1])).unwrap();
+        // Cost 2 → finish 13. T0 last synced at 8, T1 at 10 → stalest 8.
+        assert_eq!(eval.finish, SimTime::new(13.0));
+        assert_eq!(eval.data_version, SimTime::new(8.0));
+        assert_eq!(eval.latencies.computational, SimDuration::new(2.0));
+        assert_eq!(eval.latencies.synchronization, SimDuration::new(5.0));
+        assert!(eval.is_all_local(&req.query));
+    }
+
+    #[test]
+    fn delayed_plan_waits_for_fresher_replica() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ctx(&catalog, &timelines, &model, &NoQueues);
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0)]),
+            SimTime::new(11.0),
+        );
+        // Wait for T0's sync at 16.
+        let eval = evaluate_plan(&ctx, &req, SimTime::new(16.0), &set(&[0])).unwrap();
+        assert!(eval.is_delayed(SimTime::new(11.0)));
+        // Finish 18; CL = 7; version 16 → SL = 2.
+        assert_eq!(eval.latencies.computational, SimDuration::new(7.0));
+        assert_eq!(eval.latencies.synchronization, SimDuration::new(2.0));
+    }
+
+    #[test]
+    fn mixed_plan_version_is_min_of_sources() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ctx(&catalog, &timelines, &model, &NoQueues);
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0), t(2)]),
+            SimTime::new(11.0),
+        );
+        // T0 local (synced at 8), T2 remote (stamped at start 11).
+        let eval = evaluate_plan(&ctx, &req, SimTime::new(11.0), &set(&[0])).unwrap();
+        assert_eq!(eval.data_version, SimTime::new(8.0));
+        // cost = base 2 + 2·1 remote = 4 → finish 15, SL = 7.
+        assert_eq!(eval.latencies.synchronization, SimDuration::new(7.0));
+    }
+
+    #[test]
+    fn queue_delay_pushes_start() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let mut queues = FacilityQueues::new(catalog.site_count());
+        // Local server busy until t = 20.
+        queues
+            .local_mut()
+            .book(SimTime::ZERO, SimDuration::new(20.0));
+        let ctx = ctx(&catalog, &timelines, &model, &queues);
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0)]),
+            SimTime::new(11.0),
+        );
+        let eval = evaluate_plan(&ctx, &req, SimTime::new(11.0), &set(&[0])).unwrap();
+        assert_eq!(eval.service_start, SimTime::new(20.0));
+        // CL includes the queuing time: 20 + 2 − 11 = 11.
+        assert_eq!(eval.latencies.computational, SimDuration::new(11.0));
+    }
+
+    #[test]
+    fn remote_queue_counts_for_remote_plans() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let mut queues = FacilityQueues::new(catalog.site_count());
+        let site = catalog.site_of(t(2));
+        queues
+            .remote_mut(site)
+            .book(SimTime::ZERO, SimDuration::new(30.0));
+        let ctx = ctx(&catalog, &timelines, &model, &queues);
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(2)]),
+            SimTime::new(11.0),
+        );
+        let eval = evaluate_plan(&ctx, &req, SimTime::new(11.0), &BTreeSet::new()).unwrap();
+        assert_eq!(eval.service_start, SimTime::new(30.0));
+    }
+
+    #[test]
+    fn plan_errors_are_reported() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ctx(&catalog, &timelines, &model, &NoQueues);
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0), t(2)]),
+            SimTime::new(11.0),
+        );
+        // t2 has no replica.
+        let err = evaluate_plan(&ctx, &req, SimTime::new(11.0), &set(&[2])).unwrap_err();
+        assert!(matches!(err, PlanError::NotReplicated { .. }));
+        // t3 outside footprint.
+        let err = evaluate_plan(&ctx, &req, SimTime::new(11.0), &set(&[3])).unwrap_err();
+        assert!(matches!(err, PlanError::OutsideFootprint { .. }));
+        // executing in the past.
+        let err = evaluate_plan(&ctx, &req, SimTime::new(1.0), &BTreeSet::new()).unwrap_err();
+        assert!(matches!(err, PlanError::ExecutesBeforeSubmission { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn request_builder() {
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(3), vec![t(0)]),
+            SimTime::new(1.0),
+        )
+        .with_business_value(BusinessValue::new(7.0));
+        assert_eq!(req.business_value.value(), 7.0);
+        assert_eq!(req.id(), QueryId::new(3));
+    }
+
+    #[test]
+    fn context_debug_is_nonempty() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ctx(&catalog, &timelines, &model, &NoQueues);
+        assert!(format!("{ctx:?}").contains("PlanContext"));
+    }
+}

@@ -1,0 +1,475 @@
+//! The scatter-and-gather plan search (paper §3.1, Fig. 4).
+//!
+//! The search space of a query is the cross product of
+//!
+//! * the *combinations* — which subset of the replicated footprint tables
+//!   to read locally (the rest remotely), and
+//! * the *release times* — now, or any future synchronization point of a
+//!   replicated footprint table (a delayed plan, Fig. 2).
+//!
+//! The paper's key pruning insight: "if we have a current optimal solution
+//! with information value opt, then the longest computational latency we
+//! can tolerate to wait for a better solution can be bounded (just assume
+//! if synchronization latency will not result in any discount …). This
+//! boundary limits the searching space and any time during the search, if
+//! a better solution opt is encountered, the boundary can be even
+//! tighter."
+//!
+//! * **Scatter** — evaluate every combination at the submission time,
+//!   establishing the incumbent and the first boundary;
+//! * **Gather** — push the time line to the very next synchronization
+//!   point, re-evaluate the combinations that could have improved (plans
+//!   that read everything remotely never benefit from waiting, so they are
+//!   only considered at submission), tighten the boundary on every
+//!   improvement, and stop as soon as the next synchronization lies beyond
+//!   the boundary.
+
+use std::collections::BTreeSet;
+
+use ivdss_catalog::ids::TableId;
+use ivdss_simkernel::time::SimTime;
+
+use crate::plan::{evaluate_plan, PlanContext, PlanError, PlanEvaluation, QueryRequest};
+
+/// Hard cap on gather iterations, protecting against unbounded searches
+/// when `λ_CL = 0` (no boundary exists) over infinite periodic schedules.
+pub const DEFAULT_MAX_SYNC_POINTS: usize = 64;
+
+/// Outcome of a plan search: the winning plan plus search-effort counters
+/// (used by the pruning ablation benches).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The plan with the maximal information value.
+    pub best: PlanEvaluation,
+    /// Total candidate plans evaluated.
+    pub plans_explored: usize,
+    /// Synchronization points the time line was pushed to.
+    pub sync_points_visited: usize,
+    /// The final search boundary (release times beyond it were pruned).
+    pub boundary: SimTime,
+}
+
+/// The bounded scatter-and-gather search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScatterGatherSearch {
+    max_sync_points: usize,
+}
+
+impl Default for ScatterGatherSearch {
+    fn default() -> Self {
+        ScatterGatherSearch {
+            max_sync_points: DEFAULT_MAX_SYNC_POINTS,
+        }
+    }
+}
+
+impl ScatterGatherSearch {
+    /// Creates a search with the default sync-point cap.
+    #[must_use]
+    pub fn new() -> Self {
+        ScatterGatherSearch::default()
+    }
+
+    /// Overrides the gather-iteration cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_sync_points == 0`.
+    #[must_use]
+    pub fn with_max_sync_points(max_sync_points: usize) -> Self {
+        assert!(max_sync_points > 0, "need at least one sync point");
+        ScatterGatherSearch { max_sync_points }
+    }
+
+    /// Finds the plan maximizing the information value of `request`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation (the search itself
+    /// only generates valid candidates, so this indicates an inconsistent
+    /// context).
+    pub fn search(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+    ) -> Result<SearchOutcome, PlanError> {
+        self.search_from(ctx, request, request.submitted_at)
+    }
+
+    /// Like [`ScatterGatherSearch::search`], but no candidate plan may be
+    /// released before `not_before` — used by schedulers that re-plan a
+    /// queued query at dispatch time (the clock has moved past its
+    /// submission, and releasing into the past would violate causality).
+    ///
+    /// Latencies are still measured from the query's true submission time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    pub fn search_from(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+    ) -> Result<SearchOutcome, PlanError> {
+        let submit = request.submitted_at.max(not_before);
+        let replicated = replicated_footprint(ctx, request);
+        let subsets = local_subsets(&replicated);
+
+        let mut explored = 0usize;
+        let mut best: Option<PlanEvaluation> = None;
+
+        // Scatter: every combination, released immediately.
+        for local in &subsets {
+            let eval = evaluate_plan(ctx, request, submit, local)?;
+            explored += 1;
+            if is_better(&eval, best.as_ref()) {
+                best = Some(eval);
+            }
+        }
+        let mut best = best.expect("at least the all-remote plan exists");
+        let mut boundary = self.boundary_for(ctx, request, &best);
+
+        // Gather: walk the synchronization time line.
+        let mut now = submit;
+        let mut visited = 0usize;
+        while visited < self.max_sync_points {
+            let Some((_, next_sync)) = ctx.timelines.next_sync_among(&replicated, now) else {
+                break; // trace schedules exhaust
+            };
+            if next_sync > boundary {
+                break; // beyond the tolerable computational latency
+            }
+            now = next_sync;
+            visited += 1;
+            for local in &subsets {
+                if local.is_empty() {
+                    // "if only base tables are involved, then the query
+                    // evaluation should be executed immediately" — delaying
+                    // an all-remote plan only adds CL.
+                    continue;
+                }
+                let eval = evaluate_plan(ctx, request, now, local)?;
+                explored += 1;
+                if is_better(&eval, Some(&best)) {
+                    best = eval;
+                    boundary = self.boundary_for(ctx, request, &best);
+                }
+            }
+        }
+
+        Ok(SearchOutcome {
+            best,
+            plans_explored: explored,
+            sync_points_visited: visited,
+            boundary,
+        })
+    }
+
+    /// The latest release time that could still beat `best`: even with
+    /// zero synchronization latency and zero service time, a plan released
+    /// at `submit + L` has `CL ≥ L`, so it needs
+    /// `(1 − λ_CL)^L ≥ best/BV`.
+    fn boundary_for(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        best: &PlanEvaluation,
+    ) -> SimTime {
+        let threshold =
+            (best.information_value.value() / request.business_value.value()).min(1.0);
+        if threshold <= 0.0 {
+            return SimTime::MAX;
+        }
+        match ctx.rates.cl.max_latency_for_factor(threshold) {
+            Some(max_cl) => request.submitted_at + max_cl,
+            None => SimTime::MAX, // λ_CL = 0: no boundary, the cap applies
+        }
+    }
+}
+
+/// Exhaustively evaluates every combination at the submission time and at
+/// the first `sync_points` synchronization points, with no boundary
+/// pruning. Reference oracle for tests and the pruning-ablation bench.
+///
+/// # Errors
+///
+/// Propagates [`PlanError`] from plan evaluation.
+pub fn exhaustive_search(
+    ctx: &PlanContext<'_>,
+    request: &QueryRequest,
+    sync_points: usize,
+) -> Result<SearchOutcome, PlanError> {
+    let submit = request.submitted_at;
+    let replicated = replicated_footprint(ctx, request);
+    let subsets = local_subsets(&replicated);
+
+    let mut explored = 0usize;
+    let mut best: Option<PlanEvaluation> = None;
+    let mut times = vec![submit];
+    let mut now = submit;
+    for _ in 0..sync_points {
+        match ctx.timelines.next_sync_among(&replicated, now) {
+            Some((_, next)) => {
+                times.push(next);
+                now = next;
+            }
+            None => break,
+        }
+    }
+    let visited = times.len() - 1;
+    for (i, &at) in times.iter().enumerate() {
+        for local in &subsets {
+            if i > 0 && local.is_empty() {
+                continue; // delayed all-remote is dominated, same as above
+            }
+            let eval = evaluate_plan(ctx, request, at, local)?;
+            explored += 1;
+            if is_better(&eval, best.as_ref()) {
+                best = Some(eval);
+            }
+        }
+    }
+    Ok(SearchOutcome {
+        best: best.expect("at least one candidate"),
+        plans_explored: explored,
+        sync_points_visited: visited,
+        boundary: now,
+    })
+}
+
+/// The footprint tables that have replicas (the combination dimension).
+fn replicated_footprint(ctx: &PlanContext<'_>, request: &QueryRequest) -> Vec<TableId> {
+    request
+        .query
+        .tables()
+        .iter()
+        .copied()
+        .filter(|&t| ctx.timelines.has_replica(t))
+        .collect()
+}
+
+/// All subsets of the replicated footprint, smallest mask first (the empty
+/// set — the all-remote plan — comes first).
+fn local_subsets(replicated: &[TableId]) -> Vec<BTreeSet<TableId>> {
+    let n = replicated.len();
+    assert!(n < usize::BITS as usize, "too many replicated tables");
+    (0..(1usize << n))
+        .map(|mask| {
+            replicated
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &t)| t)
+                .collect()
+        })
+        .collect()
+}
+
+/// Strict improvement with deterministic tie-breaking: higher IV wins;
+/// ties prefer earlier finish, then fewer remote reads.
+fn is_better(candidate: &PlanEvaluation, incumbent: Option<&PlanEvaluation>) -> bool {
+    let Some(inc) = incumbent else { return true };
+    let c = candidate.information_value.value();
+    let i = inc.information_value.value();
+    if c != i {
+        return c > i;
+    }
+    if candidate.finish != inc.finish {
+        return candidate.finish < inc.finish;
+    }
+    candidate.local_tables.len() > inc.local_tables.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::NoQueues;
+    use crate::value::{BusinessValue, DiscountRates};
+    use ivdss_catalog::catalog::Catalog;
+    use ivdss_catalog::placement::PlacementStrategy;
+    use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+    use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+    use ivdss_costmodel::model::StylizedCostModel;
+    use ivdss_costmodel::query::{QueryId, QuerySpec};
+    use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+
+    fn t(i: u32) -> TableId {
+        TableId::new(i)
+    }
+
+    fn fixture(periods: &[(u32, f64)]) -> (Catalog, SyncTimelines) {
+        let base = synthetic_catalog(&SyntheticConfig {
+            tables: 6,
+            sites: 2,
+            replicated_tables: 0,
+            placement: PlacementStrategy::Uniform,
+            seed: 5,
+            ..SyntheticConfig::default()
+        })
+        .unwrap();
+        let mut plan = ReplicationPlan::new();
+        for &(id, period) in periods {
+            plan.add(t(id), ReplicaSpec::new(period));
+        }
+        let catalog = base.with_replication(plan).unwrap();
+        let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+        (catalog, timelines)
+    }
+
+    fn ctx<'a>(
+        catalog: &'a Catalog,
+        timelines: &'a SyncTimelines,
+        model: &'a StylizedCostModel,
+        rates: DiscountRates,
+    ) -> PlanContext<'a> {
+        PlanContext {
+            catalog,
+            timelines,
+            model,
+            rates,
+            queues: &NoQueues,
+        }
+    }
+
+    #[test]
+    fn search_matches_exhaustive_oracle() {
+        let (catalog, timelines) = fixture(&[(0, 8.0), (1, 2.0), (2, 5.0)]);
+        let model = StylizedCostModel::paper_fig4();
+        for (lcl, lsl) in [(0.1, 0.1), (0.01, 0.05), (0.05, 0.01), (0.2, 0.02)] {
+            let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(lcl, lsl));
+            let req = QueryRequest::new(
+                QuerySpec::new(QueryId::new(0), vec![t(0), t(1), t(2), t(3)]),
+                SimTime::new(11.0),
+            );
+            let sg = ScatterGatherSearch::new().search(&ctx, &req).unwrap();
+            let ex = exhaustive_search(&ctx, &req, 64).unwrap();
+            assert!(
+                (sg.best.information_value.value() - ex.best.information_value.value()).abs()
+                    < 1e-12,
+                "λcl={lcl} λsl={lsl}: sg {} vs ex {}",
+                sg.best.information_value,
+                ex.best.information_value
+            );
+        }
+    }
+
+    #[test]
+    fn bound_prunes_work() {
+        let (catalog, timelines) = fixture(&[(0, 8.0), (1, 2.0), (2, 5.0)]);
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(0.1, 0.1));
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0), t(1), t(2), t(3)]),
+            SimTime::new(11.0),
+        );
+        let sg = ScatterGatherSearch::new().search(&ctx, &req).unwrap();
+        let ex = exhaustive_search(&ctx, &req, 64).unwrap();
+        assert!(
+            sg.plans_explored < ex.plans_explored,
+            "pruned {} vs exhaustive {}",
+            sg.plans_explored,
+            ex.plans_explored
+        );
+    }
+
+    #[test]
+    fn high_sl_rate_favors_delaying_for_fresh_replica() {
+        // One replica syncing every 10; stale at submission.
+        let (catalog, timelines) = fixture(&[(0, 10.0)]);
+        let model = StylizedCostModel::paper_fig4();
+        // SL hurts much more than CL.
+        let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(0.01, 0.3));
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0)]),
+            SimTime::new(11.0),
+        );
+        let sg = ScatterGatherSearch::new().search(&ctx, &req).unwrap();
+        // Best plan should wait for the sync at t = 20 (Fig. 2's insight).
+        assert!(
+            sg.best.is_delayed(SimTime::new(11.0)),
+            "expected delayed plan, got release at {}",
+            sg.best.execute_at
+        );
+        assert_eq!(sg.best.execute_at, SimTime::new(20.0));
+    }
+
+    #[test]
+    fn high_cl_rate_prefers_immediate_local() {
+        let (catalog, timelines) = fixture(&[(0, 10.0)]);
+        let model = StylizedCostModel::paper_fig4();
+        // CL hurts much more than SL: run now on the (stale) replica,
+        // because the replica plan is fastest (cost 2 vs 4 remote).
+        let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(0.3, 0.01));
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0)]),
+            SimTime::new(11.0),
+        );
+        let sg = ScatterGatherSearch::new().search(&ctx, &req).unwrap();
+        assert!(!sg.best.is_delayed(SimTime::new(11.0)));
+        assert!(sg.best.is_all_local(&req.query));
+    }
+
+    #[test]
+    fn low_cl_rate_prefers_fresh_remote() {
+        let (catalog, timelines) = fixture(&[(0, 100.0)]);
+        let model = StylizedCostModel::paper_fig4();
+        // Replica is very stale (last sync t=0, next far away); SL rate
+        // dominates → read the base table (Fig. 1 plan 1).
+        let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(0.01, 0.2));
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0)]),
+            SimTime::new(50.0),
+        );
+        let sg = ScatterGatherSearch::new().search(&ctx, &req).unwrap();
+        assert!(sg.best.is_all_remote());
+    }
+
+    #[test]
+    fn unreplicated_footprint_yields_single_plan() {
+        let (catalog, timelines) = fixture(&[]);
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ctx(&catalog, &timelines, &model, DiscountRates::paper_fig4());
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(3), t(4)]),
+            SimTime::new(1.0),
+        );
+        let sg = ScatterGatherSearch::new().search(&ctx, &req).unwrap();
+        assert_eq!(sg.plans_explored, 1);
+        assert!(sg.best.is_all_remote());
+        assert_eq!(sg.sync_points_visited, 0);
+    }
+
+    #[test]
+    fn zero_cl_rate_respects_sync_cap() {
+        let (catalog, timelines) = fixture(&[(0, 1.0)]);
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(0.0, 0.1));
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0)]),
+            SimTime::ZERO,
+        );
+        let search = ScatterGatherSearch::with_max_sync_points(5);
+        let sg = search.search(&ctx, &req).unwrap();
+        assert!(sg.sync_points_visited <= 5);
+    }
+
+    #[test]
+    fn business_value_scales_but_does_not_change_choice() {
+        let (catalog, timelines) = fixture(&[(0, 8.0), (1, 2.0)]);
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(0.05, 0.05));
+        let spec = QuerySpec::new(QueryId::new(0), vec![t(0), t(1)]);
+        let small = QueryRequest::new(spec.clone(), SimTime::new(11.0));
+        let big = QueryRequest::new(spec, SimTime::new(11.0))
+            .with_business_value(BusinessValue::new(10.0));
+        let s = ScatterGatherSearch::new().search(&ctx, &small).unwrap();
+        let b = ScatterGatherSearch::new().search(&ctx, &big).unwrap();
+        assert_eq!(s.best.local_tables, b.best.local_tables);
+        assert_eq!(s.best.execute_at, b.best.execute_at);
+        assert!(
+            (b.best.information_value.value() / s.best.information_value.value() - 10.0).abs()
+                < 1e-9
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Query compilation: pre-computing plan costs for every replica/base
+//! combination.
+//!
+//! The paper (§3.1): "although we need to compare 8 plans, we only need to
+//! compile the query four times for the configurations {R1,R2}, {R1,T2},
+//! {T1,R2}, and {T1,T2} to generate their computational latencies. And this
+//! step needs to be done only once and can be done in advance."
+//!
+//! [`CompiledQuery`] enumerates all *local subsets* — subsets of the
+//! query's footprint whose tables have replicas — and caches one
+//! [`PlanCost`] per subset. The plan search then combines these cached
+//! costs with live synchronization timestamps, which is why it "can be
+//! done almost instantly".
+
+use std::collections::BTreeSet;
+
+use ivdss_catalog::catalog::Catalog;
+use ivdss_catalog::ids::TableId;
+
+use crate::model::{CostModel, PlanCost};
+use crate::query::QuerySpec;
+
+/// Upper bound on replicated tables per query footprint (the compilation
+/// table has `2^r` entries; the paper caps queries at 10 tables).
+pub const MAX_REPLICATED_PER_QUERY: usize = 20;
+
+/// Pre-computed plan costs for one query: one entry per subset of its
+/// replicated tables that could be read locally.
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_catalog::ids::TableId;
+/// use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+/// use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+/// use ivdss_costmodel::compile::CompiledQuery;
+/// use ivdss_costmodel::model::StylizedCostModel;
+/// use ivdss_costmodel::query::{QueryId, QuerySpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let catalog = synthetic_catalog(&SyntheticConfig {
+///     tables: 4, sites: 2, replicated_tables: 2, ..SyntheticConfig::default()
+/// })?;
+/// let q = QuerySpec::new(QueryId::new(0), catalog.table_ids());
+/// let compiled = CompiledQuery::compile(&catalog, &StylizedCostModel::paper_fig4(), q);
+/// // 2 replicated tables in the footprint → 2² = 4 combinations.
+/// assert_eq!(compiled.combination_count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledQuery {
+    query: QuerySpec,
+    /// Footprint tables that have local replicas, sorted.
+    replicated: Vec<TableId>,
+    /// `costs[mask]` = cost when exactly the tables of `mask` (bit `i` ⇒
+    /// `replicated[i]`) are read locally and everything else remotely.
+    costs: Vec<PlanCost>,
+}
+
+impl CompiledQuery {
+    /// Compiles `query` against `catalog` under `model`, evaluating the
+    /// cost of every local/remote combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's footprint contains more than
+    /// [`MAX_REPLICATED_PER_QUERY`] replicated tables (the combination
+    /// table would be excessive).
+    #[must_use]
+    pub fn compile<M: CostModel + ?Sized>(catalog: &Catalog, model: &M, query: QuerySpec) -> Self {
+        let replicated: Vec<TableId> = query
+            .tables()
+            .iter()
+            .copied()
+            .filter(|&t| catalog.is_replicated(t))
+            .collect();
+        assert!(
+            replicated.len() <= MAX_REPLICATED_PER_QUERY,
+            "query references {} replicated tables; max {MAX_REPLICATED_PER_QUERY}",
+            replicated.len()
+        );
+        let combos = 1usize << replicated.len();
+        let mut costs = Vec::with_capacity(combos);
+        for mask in 0..combos {
+            let local: BTreeSet<TableId> = replicated
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &t)| t)
+                .collect();
+            let remote: BTreeSet<TableId> = query
+                .tables()
+                .iter()
+                .copied()
+                .filter(|t| !local.contains(t))
+                .collect();
+            costs.push(model.plan_cost(catalog, &query, &remote));
+        }
+        CompiledQuery {
+            query,
+            replicated,
+            costs,
+        }
+    }
+
+    /// The compiled query.
+    #[must_use]
+    pub fn query(&self) -> &QuerySpec {
+        &self.query
+    }
+
+    /// Footprint tables that have local replicas.
+    #[must_use]
+    pub fn replicated_tables(&self) -> &[TableId] {
+        &self.replicated
+    }
+
+    /// Number of cached local/remote combinations (`2^r`).
+    #[must_use]
+    pub fn combination_count(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Cost when exactly `local` is read from replicas. `local` must be a
+    /// subset of the replicated footprint tables.
+    ///
+    /// Returns `None` if `local` contains a table without a replica or
+    /// outside the footprint.
+    #[must_use]
+    pub fn cost_for_local(&self, local: &BTreeSet<TableId>) -> Option<PlanCost> {
+        let mut mask = 0usize;
+        for t in local {
+            let i = self.replicated.iter().position(|r| r == t)?;
+            mask |= 1 << i;
+        }
+        Some(self.costs[mask])
+    }
+
+    /// Cost of the all-remote plan (every table read from its base copy).
+    #[must_use]
+    pub fn all_remote_cost(&self) -> PlanCost {
+        self.costs[0]
+    }
+
+    /// Cost of the all-local plan, if every footprint table is replicated.
+    #[must_use]
+    pub fn all_local_cost(&self) -> Option<PlanCost> {
+        if self.replicated.len() == self.query.table_count() {
+            Some(self.costs[self.costs.len() - 1])
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over every combination as `(local tables, cost)`.
+    pub fn combinations(&self) -> impl Iterator<Item = (BTreeSet<TableId>, PlanCost)> + '_ {
+        (0..self.costs.len()).map(move |mask| {
+            let local: BTreeSet<TableId> = self
+                .replicated
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &t)| t)
+                .collect();
+            (local, self.costs[mask])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AnalyticCostModel, StylizedCostModel};
+    use crate::query::QueryId;
+    use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+    use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+
+    fn t(i: u32) -> TableId {
+        TableId::new(i)
+    }
+
+    fn catalog_with_replicas(tables: usize, replicated: &[u32]) -> Catalog {
+        let base = synthetic_catalog(&SyntheticConfig {
+            tables,
+            sites: 2,
+            replicated_tables: 0,
+            seed: 3,
+            ..SyntheticConfig::default()
+        })
+        .unwrap();
+        let mut plan = ReplicationPlan::new();
+        for &i in replicated {
+            plan.add(t(i), ReplicaSpec::new(10.0));
+        }
+        base.with_replication(plan).unwrap()
+    }
+
+    #[test]
+    fn combination_count_is_power_of_replicated() {
+        let cat = catalog_with_replicas(6, &[0, 2, 4]);
+        let q = QuerySpec::new(QueryId::new(0), vec![t(0), t(1), t(2), t(3)]);
+        // replicated ∩ footprint = {0, 2} → 4 combos.
+        let c = CompiledQuery::compile(&cat, &StylizedCostModel::paper_fig4(), q);
+        assert_eq!(c.combination_count(), 4);
+        assert_eq!(c.replicated_tables(), &[t(0), t(2)]);
+    }
+
+    #[test]
+    fn stylized_costs_by_mask() {
+        let cat = catalog_with_replicas(4, &[0, 1, 2, 3]);
+        let q = QuerySpec::new(QueryId::new(0), vec![t(0), t(1), t(2), t(3)]);
+        let c = CompiledQuery::compile(&cat, &StylizedCostModel::paper_fig4(), q);
+        // All-remote = 10, all-local = 2.
+        assert_eq!(c.all_remote_cost().total().value(), 10.0);
+        assert_eq!(c.all_local_cost().unwrap().total().value(), 2.0);
+        // One local table → 3 remote → 8.
+        let one_local: BTreeSet<TableId> = [t(1)].into_iter().collect();
+        assert_eq!(c.cost_for_local(&one_local).unwrap().total().value(), 8.0);
+    }
+
+    #[test]
+    fn all_local_requires_full_replication() {
+        let cat = catalog_with_replicas(4, &[0]);
+        let q = QuerySpec::new(QueryId::new(0), vec![t(0), t(1)]);
+        let c = CompiledQuery::compile(&cat, &StylizedCostModel::paper_fig4(), q);
+        assert!(c.all_local_cost().is_none());
+        assert_eq!(c.combination_count(), 2);
+    }
+
+    #[test]
+    fn cost_for_invalid_local_is_none() {
+        let cat = catalog_with_replicas(4, &[0]);
+        let q = QuerySpec::new(QueryId::new(0), vec![t(0), t(1)]);
+        let c = CompiledQuery::compile(&cat, &StylizedCostModel::paper_fig4(), q);
+        let bad: BTreeSet<TableId> = [t(1)].into_iter().collect(); // not replicated
+        assert_eq!(c.cost_for_local(&bad), None);
+        let outside: BTreeSet<TableId> = [t(3)].into_iter().collect(); // outside footprint
+        assert_eq!(c.cost_for_local(&outside), None);
+    }
+
+    #[test]
+    fn combinations_iterates_all_masks() {
+        let cat = catalog_with_replicas(3, &[0, 1]);
+        let q = QuerySpec::new(QueryId::new(0), vec![t(0), t(1), t(2)]);
+        let c = CompiledQuery::compile(&cat, &AnalyticCostModel::paper_scale(), q);
+        let combos: Vec<_> = c.combinations().collect();
+        assert_eq!(combos.len(), 4);
+        let sizes: Vec<usize> = combos.iter().map(|(l, _)| l.len()).collect();
+        assert_eq!(sizes, vec![0, 1, 1, 2]);
+        // More local tables never increases analytic cost (local is faster).
+        let all_remote = combos[0].1.total();
+        let all_local_combo = combos[3].1.total();
+        assert!(all_local_combo <= all_remote);
+    }
+
+    #[test]
+    fn compile_with_dyn_model() {
+        let cat = catalog_with_replicas(2, &[0]);
+        let q = QuerySpec::new(QueryId::new(0), vec![t(0), t(1)]);
+        let model: Box<dyn CostModel> = Box::new(StylizedCostModel::paper_fig4());
+        let c = CompiledQuery::compile(&cat, model.as_ref(), q);
+        assert_eq!(c.combination_count(), 2);
+    }
+}

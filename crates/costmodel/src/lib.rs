@@ -1,0 +1,46 @@
+//! # ivdss-costmodel — query footprints and computational-latency models
+//!
+//! The paper's computational latency is "query queuing time + query
+//! processing time + query result transmission time" (§2). This crate
+//! estimates the processing and transmission components for every
+//! *combination* of a query's tables over {remote base table, local
+//! replica}, and caches them per query ([`compile::CompiledQuery`]) exactly
+//! as §3.1 prescribes ("this step needs to be done only once and can be
+//! done in advance").
+//!
+//! * [`query::QuerySpec`] — a query's table footprint plus cost profile;
+//! * [`model::StylizedCostModel`] — the paper's Fig. 4 cost function;
+//! * [`model::AnalyticCostModel`] — a size-based model with per-site
+//!   parallelism, bounded-bandwidth result shipping and per-site
+//!   coordination overhead;
+//! * [`compile::CompiledQuery`] — the pre-computed combination table.
+//!
+//! # Example
+//!
+//! ```
+//! use ivdss_catalog::tpch::{tpch_catalog, TpchConfig};
+//! use ivdss_costmodel::compile::CompiledQuery;
+//! use ivdss_costmodel::model::AnalyticCostModel;
+//! use ivdss_costmodel::query::{QueryId, QuerySpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let catalog = tpch_catalog(&TpchConfig::default())?;
+//! let query = QuerySpec::new(QueryId::new(1), catalog.table_ids()[..4].to_vec());
+//! let compiled = CompiledQuery::compile(&catalog, &AnalyticCostModel::paper_scale(), query);
+//! // The all-remote plan is always available…
+//! let remote = compiled.all_remote_cost();
+//! assert!(remote.total().value() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod model;
+pub mod query;
+
+pub use compile::CompiledQuery;
+pub use model::{AnalyticCostModel, CostModel, PlanCost, StylizedCostModel};
+pub use query::{QueryId, QuerySpec};

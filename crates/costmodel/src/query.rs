@@ -1,0 +1,256 @@
+//! Query footprints.
+//!
+//! The paper treats a query as the set of base tables it reads plus a cost
+//! profile; plan selection then assigns each referenced table to either its
+//! remote base copy or the local replica. [`QuerySpec`] captures exactly
+//! that footprint — no SQL is needed to reproduce the paper's evaluation,
+//! because every reported quantity derives from per-(query, combination)
+//! computational latencies and synchronization timestamps.
+
+use std::fmt;
+
+use ivdss_catalog::ids::TableId;
+
+/// Identifier of a query (unique within a workload or simulation run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(u64);
+
+impl QueryId {
+    /// Creates a query id from a raw value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        QueryId(raw)
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+impl From<u64> for QueryId {
+    fn from(raw: u64) -> Self {
+        QueryId::new(raw)
+    }
+}
+
+/// The static description of one query: which tables it reads and how much
+/// work it does per byte scanned.
+///
+/// * `weight` scales processing cost — a cheap single-join lookup might be
+///   `0.5`, a 6-way aggregation `3.0`;
+/// * `selectivity` scales the result size shipped back from remote
+///   subqueries (fraction of scanned bytes that survive into the result).
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_catalog::ids::TableId;
+/// use ivdss_costmodel::query::{QueryId, QuerySpec};
+///
+/// let q = QuerySpec::new(QueryId::new(1), vec![TableId::new(3), TableId::new(0), TableId::new(3)]);
+/// // Footprint is sorted and deduplicated.
+/// assert_eq!(q.tables(), &[TableId::new(0), TableId::new(3)]);
+/// assert_eq!(q.table_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    id: QueryId,
+    tables: Vec<TableId>,
+    weight: f64,
+    selectivity: f64,
+}
+
+impl QuerySpec {
+    /// Creates a query over the given footprint with weight 1 and
+    /// selectivity 0.01.
+    ///
+    /// The footprint is sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty.
+    #[must_use]
+    pub fn new(id: QueryId, tables: Vec<TableId>) -> Self {
+        Self::with_profile(id, tables, 1.0, 0.01)
+    }
+
+    /// Creates a query with an explicit cost profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty, `weight` is not strictly positive and
+    /// finite, or `selectivity` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_profile(
+        id: QueryId,
+        mut tables: Vec<TableId>,
+        weight: f64,
+        selectivity: f64,
+    ) -> Self {
+        assert!(!tables.is_empty(), "query must reference at least one table");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive and finite"
+        );
+        assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "selectivity must be in (0, 1]"
+        );
+        tables.sort_unstable();
+        tables.dedup();
+        QuerySpec {
+            id,
+            tables,
+            weight,
+            selectivity,
+        }
+    }
+
+    /// The query's identifier.
+    #[must_use]
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// The sorted, deduplicated footprint.
+    #[must_use]
+    pub fn tables(&self) -> &[TableId] {
+        &self.tables
+    }
+
+    /// Number of distinct tables referenced.
+    #[must_use]
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Returns `true` if the query reads `table`.
+    #[must_use]
+    pub fn references(&self, table: TableId) -> bool {
+        self.tables.binary_search(&table).is_ok()
+    }
+
+    /// Processing-cost weight.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Result selectivity (fraction of scanned remote bytes shipped back).
+    #[must_use]
+    pub fn selectivity(&self) -> f64 {
+        self.selectivity
+    }
+
+    /// Returns `true` if this query's footprint shares a table with
+    /// `other` — the overlap relation the paper's multi-query optimizer
+    /// groups workloads by (§3.2, Fig. 9a).
+    #[must_use]
+    pub fn overlaps(&self, other: &QuerySpec) -> bool {
+        // Footprints are sorted: merge-scan.
+        let (mut i, mut j) = (0, 0);
+        while i < self.tables.len() && j < other.tables.len() {
+            match self.tables[i].cmp(&other.tables[j]) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+            }
+        }
+        false
+    }
+
+    /// Returns a copy with a different id (useful when instantiating a
+    /// template query several times in a stream).
+    #[must_use]
+    pub fn with_id(&self, id: QueryId) -> Self {
+        QuerySpec {
+            id,
+            tables: self.tables.clone(),
+            weight: self.weight,
+            selectivity: self.selectivity,
+        }
+    }
+}
+
+impl fmt::Display for QuerySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.id)?;
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TableId {
+        TableId::new(i)
+    }
+
+    #[test]
+    fn footprint_sorted_dedup() {
+        let q = QuerySpec::new(QueryId::new(0), vec![t(5), t(1), t(5), t(3)]);
+        assert_eq!(q.tables(), &[t(1), t(3), t(5)]);
+        assert!(q.references(t(3)));
+        assert!(!q.references(t(2)));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = QuerySpec::new(QueryId::new(0), vec![t(1), t(2)]);
+        let b = QuerySpec::new(QueryId::new(1), vec![t(2), t(3)]);
+        let c = QuerySpec::new(QueryId::new(2), vec![t(4)]);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn with_id_preserves_profile() {
+        let q = QuerySpec::with_profile(QueryId::new(0), vec![t(1)], 2.5, 0.1);
+        let q2 = q.with_id(QueryId::new(9));
+        assert_eq!(q2.id(), QueryId::new(9));
+        assert_eq!(q2.weight(), 2.5);
+        assert_eq!(q2.selectivity(), 0.1);
+        assert_eq!(q2.tables(), q.tables());
+    }
+
+    #[test]
+    fn display_lists_tables() {
+        let q = QuerySpec::new(QueryId::new(7), vec![t(2), t(0)]);
+        assert_eq!(q.to_string(), "Q7[T0,T2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn empty_footprint_rejected() {
+        let _ = QuerySpec::new(QueryId::new(0), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn bad_selectivity_rejected() {
+        let _ = QuerySpec::with_profile(QueryId::new(0), vec![t(0)], 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn bad_weight_rejected() {
+        let _ = QuerySpec::with_profile(QueryId::new(0), vec![t(0)], 0.0, 0.5);
+    }
+}

@@ -1,0 +1,305 @@
+//! Figure 9 — the effect of multi-query optimization.
+//!
+//! Paper §4.4: synthetic data, 100 tables, λCL = λSL = 0.15. Two sweeps:
+//! (a) the query-overlap rate from 10 % to 50 % with the workload size
+//! fixed, and (b) the number of queries from 2 to 14 with the overlap
+//! fixed. The y-axis is the mean information value per query with MQO
+//! (GA-ordered workload) vs. without MQO (FIFO order).
+
+use ivdss_catalog::placement::PlacementStrategy;
+use ivdss_core::plan::QueryRequest;
+use ivdss_core::value::DiscountRates;
+use ivdss_costmodel::model::AnalyticCostModel;
+use ivdss_ga::engine::GaConfig;
+use ivdss_mqo::evaluate::WorkloadEvaluator;
+use ivdss_mqo::scheduler::{FifoScheduler, MqoScheduler, WorkloadScheduler};
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+use ivdss_simkernel::rng::SeedFactory;
+use ivdss_simkernel::time::SimTime;
+use ivdss_workloads::synthetic::{overlapping_queries, OverlapConfig};
+
+use crate::experiments::common::synthetic_hybrid;
+
+/// Configuration of the Fig. 9 run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig9Config {
+    /// Workload size for the overlap sweep (a).
+    pub queries_for_overlap_sweep: usize,
+    /// Overlap rate for the size sweep (b).
+    pub overlap_for_size_sweep: f64,
+    /// Submission spacing inside a workload (queries arrive almost
+    /// together, which is what makes them conflict).
+    pub submit_spacing: f64,
+    /// Mean replica synchronization period.
+    pub mean_sync_period: f64,
+    /// GA configuration (the paper's 50 generations by default).
+    pub ga: GaConfig,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Fig9Config {
+    fn default() -> Self {
+        Fig9Config {
+            queries_for_overlap_sweep: 10,
+            overlap_for_size_sweep: 0.4,
+            submit_spacing: 0.5,
+            mean_sync_period: 5.0,
+            ga: GaConfig::paper(),
+            seed: 0xf9,
+        }
+    }
+}
+
+/// One swept point: MQO vs FIFO mean information value per query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig9Point {
+    /// The x-axis value (overlap rate in % for (a), query count for (b)).
+    pub x: f64,
+    /// Mean IV per query with MQO.
+    pub mqo: f64,
+    /// Mean IV per query without MQO (FIFO).
+    pub without_mqo: f64,
+}
+
+impl Fig9Point {
+    /// Relative improvement of MQO over FIFO.
+    #[must_use]
+    pub fn improvement(&self) -> f64 {
+        if self.without_mqo <= 0.0 {
+            0.0
+        } else {
+            self.mqo / self.without_mqo - 1.0
+        }
+    }
+}
+
+/// Fig. 9 output: the overlap sweep (a) and the size sweep (b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Results {
+    /// (a) x = overlap rate in percent.
+    pub by_overlap: Vec<Fig9Point>,
+    /// (b) x = number of queries.
+    pub by_count: Vec<Fig9Point>,
+}
+
+impl Fig9Results {
+    /// Renders both sweeps as aligned tables.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== Fig. 9a — MQO vs overlap rate (λ=.15) ==");
+        let _ = writeln!(out, "{:<14} {:>10} {:>12} {:>10}", "overlap %", "MQO", "without", "gain %");
+        for p in &self.by_overlap {
+            let _ = writeln!(
+                out,
+                "{:<14.0} {:>10.4} {:>12.4} {:>10.1}",
+                p.x,
+                p.mqo,
+                p.without_mqo,
+                100.0 * p.improvement()
+            );
+        }
+        let _ = writeln!(out, "\n== Fig. 9b — MQO vs number of queries (λ=.15) ==");
+        let _ = writeln!(out, "{:<14} {:>10} {:>12} {:>10}", "queries", "MQO", "without", "gain %");
+        for p in &self.by_count {
+            let _ = writeln!(
+                out,
+                "{:<14.0} {:>10.4} {:>12.4} {:>10.1}",
+                p.x,
+                p.mqo,
+                p.without_mqo,
+                100.0 * p.improvement()
+            );
+        }
+        out
+    }
+}
+
+/// Builds one conflicting workload and returns (MQO, FIFO) mean IV per
+/// query.
+fn run_workload_point(
+    config: &Fig9Config,
+    queries: usize,
+    target_overlap: f64,
+    seed: u64,
+) -> (f64, f64) {
+    let seeds = SeedFactory::new(seed);
+    let hybrid = synthetic_hybrid(
+        10,
+        PlacementStrategy::Uniform,
+        config.mean_sync_period,
+        seeds.seed_for("catalog"),
+    );
+    let timelines = SyncTimelines::from_plan(
+        hybrid.replication(),
+        SyncMode::Stochastic {
+            horizon: SimTime::new(10_000.0),
+            seed: seeds.seed_for("sync"),
+        },
+    );
+    let model = AnalyticCostModel::paper_scale();
+    let rates = DiscountRates::new(0.15, 0.15);
+
+    let specs = overlapping_queries(&OverlapConfig {
+        queries,
+        tables: 100,
+        tables_per_query: 4,
+        target_overlap,
+        seed: seeds.seed_for("queries"),
+    });
+    let requests: Vec<QueryRequest> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            QueryRequest::new(spec, SimTime::new(100.0 + config.submit_spacing * i as f64))
+        })
+        .collect();
+
+    let evaluator = WorkloadEvaluator::new(&hybrid, &timelines, &model, rates, &requests);
+    let mqo = MqoScheduler::with_config(config.ga)
+        .schedule(&evaluator)
+        .expect("workload evaluation is feasible");
+    let fifo = FifoScheduler::new()
+        .schedule(&evaluator)
+        .expect("workload evaluation is feasible");
+    (
+        mqo.mean_information_value(),
+        fifo.mean_information_value(),
+    )
+}
+
+/// Workload repetitions averaged per swept point (each with a different
+/// random workload; the paper plots single stochastic runs, we average to
+/// de-noise the trend).
+pub const REPETITIONS: usize = 3;
+
+/// Averages `run_workload_point` over [`REPETITIONS`] workload seeds.
+fn averaged_point(
+    config: &Fig9Config,
+    queries: usize,
+    target_overlap: f64,
+    salt: u64,
+) -> (f64, f64) {
+    let mut mqo_sum = 0.0;
+    let mut fifo_sum = 0.0;
+    for rep in 0..REPETITIONS {
+        let (mqo, fifo) =
+            run_workload_point(config, queries, target_overlap, salt ^ ((rep as u64) << 16));
+        mqo_sum += mqo;
+        fifo_sum += fifo;
+    }
+    (
+        mqo_sum / REPETITIONS as f64,
+        fifo_sum / REPETITIONS as f64,
+    )
+}
+
+/// Runs the Fig. 9 experiment (both sweeps).
+#[must_use]
+pub fn run_fig9(config: &Fig9Config) -> Fig9Results {
+    let by_overlap = [0.1, 0.2, 0.3, 0.4, 0.5]
+        .into_iter()
+        .map(|target| {
+            let (mqo, without) = averaged_point(
+                config,
+                config.queries_for_overlap_sweep,
+                target,
+                config.seed ^ (target * 100.0) as u64,
+            );
+            Fig9Point {
+                x: target * 100.0,
+                mqo,
+                without_mqo: without,
+            }
+        })
+        .collect();
+    let by_count = [2usize, 4, 6, 8, 10, 12, 14]
+        .into_iter()
+        .map(|n| {
+            let (mqo, without) = averaged_point(
+                config,
+                n,
+                config.overlap_for_size_sweep,
+                config.seed ^ (n as u64) << 8,
+            );
+            Fig9Point {
+                x: n as f64,
+                mqo,
+                without_mqo: without,
+            }
+        })
+        .collect();
+    Fig9Results {
+        by_overlap,
+        by_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Fig9Config {
+        Fig9Config {
+            ga: GaConfig {
+                population: 12,
+                generations: 12,
+                parents: 4,
+                elites: 2,
+                mutation_rate: 0.25,
+                seed: 0x9a,
+            },
+            ..Fig9Config::default()
+        }
+    }
+
+    #[test]
+    fn mqo_never_loses_to_fifo() {
+        let r = run_fig9(&small());
+        for p in r.by_overlap.iter().chain(&r.by_count) {
+            assert!(
+                p.mqo >= p.without_mqo - 1e-9,
+                "x={}: MQO {} < FIFO {}",
+                p.x,
+                p.mqo,
+                p.without_mqo
+            );
+        }
+    }
+
+    #[test]
+    fn gain_grows_with_overlap() {
+        // "the improvement of using MQO increases with the grows of query
+        // overlapping rate" — compare the low- and high-overlap ends.
+        let r = run_fig9(&small());
+        let low = r.by_overlap.first().unwrap().improvement();
+        let high = r.by_overlap.last().unwrap().improvement();
+        assert!(
+            high >= low,
+            "gain at 50% ({high:.3}) should be ≥ gain at 10% ({low:.3})"
+        );
+    }
+
+    #[test]
+    fn sweeps_have_expected_shape() {
+        let r = run_fig9(&small());
+        assert_eq!(r.by_overlap.len(), 5);
+        assert_eq!(r.by_count.len(), 7);
+        assert_eq!(r.by_overlap[0].x, 10.0);
+        assert_eq!(r.by_count[0].x, 2.0);
+        for p in &r.by_overlap {
+            assert!(p.mqo > 0.0 && p.without_mqo > 0.0);
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run_fig9(&small());
+        let t = r.to_table();
+        assert!(t.contains("Fig. 9a"));
+        assert!(t.contains("Fig. 9b"));
+        assert!(t.contains("gain %"));
+    }
+}

@@ -1,0 +1,543 @@
+//! The end-to-end DSS simulator.
+//!
+//! Ties the substrates together the way the paper's JavaSim harness did:
+//! a stream of query arrivals hits the federation server, a pluggable
+//! [`Planner`] selects each query's plan against the live queue state and
+//! the (pre-generated, stochastic) synchronization timelines, and the
+//! chosen plan's service window is committed to the servers it occupies.
+//!
+//! Two execution disciplines are provided:
+//!
+//! * [`run_arrival_driven`] — each query is planned and dispatched at its
+//!   arrival instant (the discipline of the paper's single-query
+//!   experiments, Fig. 5–8);
+//! * [`run_prioritized`] — arrivals queue at the federation server and a
+//!   dispatcher releases the pending query with the highest *effective*
+//!   value whenever capacity frees up, where the effective value is the
+//!   plan's information value boosted by the §3.3 aging policy — the
+//!   starvation experiments toggle that policy.
+
+use ivdss_catalog::catalog::Catalog;
+use ivdss_catalog::ids::TableId;
+use ivdss_core::plan::{
+    FacilityQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest,
+};
+use ivdss_core::planner::Planner;
+use ivdss_core::starvation::AgingPolicy;
+use ivdss_core::value::DiscountRates;
+use ivdss_costmodel::model::CostModel;
+use ivdss_replication::timelines::SyncTimelines;
+use ivdss_simkernel::events::Engine;
+use ivdss_simkernel::time::{SimDuration, SimTime};
+
+use crate::metrics::{QueryOutcome, RunMetrics};
+
+/// Models the cost of applying replica refreshes at the federation
+/// server: each synchronization ships the base table's churn since the
+/// previous refresh and applying it occupies the local server.
+///
+/// This is the "data loading" burden the paper's introduction levels at
+/// centralized warehouses ("business intelligence applications based on a
+/// centralized data warehouse cannot scale up to overcome the challenges
+/// of data loading and job scheduling"): the more data a deployment
+/// replicates, the more of the local server's capacity its refreshes
+/// consume, independent of how often they run (churn accrues between
+/// refreshes either way).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaLoading {
+    /// Fraction of a table's bytes that change per time unit.
+    pub churn_per_time_unit: f64,
+    /// Bytes of refresh the local server can apply per time unit.
+    pub load_rate: f64,
+}
+
+impl ReplicaLoading {
+    /// Default calibration matching
+    /// [`ivdss_costmodel::model::AnalyticCostModel::paper_scale`]: 3 % of
+    /// each replicated table changes per minute and refreshes apply at the
+    /// local scan rate.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        ReplicaLoading {
+            churn_per_time_unit: 0.03,
+            load_rate: 2.0e9,
+        }
+    }
+
+    /// The load-application time for one refresh of a table of
+    /// `table_bytes` whose previous refresh was `gap` time units earlier.
+    /// The shipped delta is `churn × gap` of the table, capped at the full
+    /// table (rewriting every row is the worst case, however stale the
+    /// replica is), and the duration is further capped at `gap` (a server
+    /// cannot spend longer applying a refresh than the interval it
+    /// covers).
+    #[must_use]
+    pub fn refresh_duration(&self, table_bytes: u64, gap: f64) -> f64 {
+        let delta_fraction = (self.churn_per_time_unit * gap).min(1.0);
+        (table_bytes as f64 * delta_fraction / self.load_rate).min(gap)
+    }
+}
+
+/// Immutable simulation environment shared by all runs of one
+/// configuration point.
+pub struct Environment<'a> {
+    /// The catalog (tables, placement, replication plan).
+    pub catalog: &'a Catalog,
+    /// Synchronization timelines of the replicated tables.
+    pub timelines: &'a SyncTimelines,
+    /// The computational-latency model.
+    pub model: &'a dyn CostModel,
+    /// Discount rates of the workload.
+    pub rates: DiscountRates,
+    /// Replica-refresh loading interference at the local server, or
+    /// `None` to ignore loading cost.
+    pub loading: Option<ReplicaLoading>,
+}
+
+impl std::fmt::Debug for Environment<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Environment")
+            .field("tables", &self.catalog.table_count())
+            .field("sites", &self.catalog.site_count())
+            .field("rates", &self.rates)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Books `plan`'s service window on the servers it occupies: the local
+/// federation server for the full service time, each spanned remote site
+/// for the processing component.
+pub fn commit_plan(
+    queues: &mut FacilityQueues,
+    catalog: &Catalog,
+    request: &QueryRequest,
+    plan: &PlanEvaluation,
+) {
+    queues
+        .local_mut()
+        .book(plan.service_start, plan.cost.local_service());
+    let remote: Vec<TableId> = request
+        .query
+        .tables()
+        .iter()
+        .copied()
+        .filter(|t| !plan.local_tables.contains(t))
+        .collect();
+    if !remote.is_empty() {
+        for site in catalog.sites_spanned(&remote) {
+            queues
+                .remote_mut(site)
+                .book(plan.service_start, plan.cost.remote_processing);
+        }
+    }
+}
+
+/// Runs the arrival-driven discipline: each request is planned at its
+/// submission instant against the queue state left by earlier requests.
+///
+/// Requests may be supplied in any order; they are dispatched in
+/// submission order through the event engine.
+///
+/// # Errors
+///
+/// Propagates the first [`PlanError`] a planner reports (e.g. a warehouse
+/// planner facing an unreplicated footprint).
+pub fn run_arrival_driven(
+    env: &Environment<'_>,
+    planner: &dyn Planner,
+    requests: &[QueryRequest],
+) -> Result<RunMetrics, PlanError> {
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Ev {
+        Arrival(usize),
+        /// A replica refresh starts applying at the local server.
+        Load(SimDuration),
+    }
+
+    let mut engine: Engine<Ev> = Engine::new();
+    let mut horizon = SimTime::ZERO;
+    for (idx, req) in requests.iter().enumerate() {
+        engine.schedule(req.submitted_at, Ev::Arrival(idx));
+        horizon = horizon.max(req.submitted_at);
+    }
+    for (start, duration) in load_events(env, horizon) {
+        engine.schedule(start, Ev::Load(duration));
+    }
+    let mut queues = FacilityQueues::new(env.catalog.site_count());
+    let mut metrics = RunMetrics::new();
+    let mut error: Option<PlanError> = None;
+
+    engine.run(|eng, ev| {
+        if error.is_some() {
+            return;
+        }
+        let idx = match ev {
+            Ev::Load(duration) => {
+                queues.local_mut().book(eng.now(), duration);
+                return;
+            }
+            Ev::Arrival(idx) => idx,
+        };
+        let request = &requests[idx];
+        let ctx = PlanContext {
+            catalog: env.catalog,
+            timelines: env.timelines,
+            model: env.model,
+            rates: env.rates,
+            queues: &queues,
+        };
+        match planner.select_plan(&ctx, request) {
+            Ok(plan) => {
+                commit_plan(&mut queues, env.catalog, request, &plan);
+                metrics.record(QueryOutcome {
+                    index: idx,
+                    request: request.clone(),
+                    plan,
+                });
+            }
+            Err(e) => error = Some(e),
+        }
+    });
+
+    match error {
+        Some(e) => Err(e),
+        None => Ok(metrics),
+    }
+}
+
+/// Generates `(start, duration)` local-server bookings for every replica
+/// refresh up to `horizon`, per the environment's [`ReplicaLoading`]
+/// model. Returns an empty list when loading cost is ignored.
+fn load_events(env: &Environment<'_>, horizon: SimTime) -> Vec<(SimTime, SimDuration)> {
+    let Some(loading) = env.loading else {
+        return Vec::new();
+    };
+    let mut events = Vec::new();
+    for (table, schedule) in env.timelines.iter() {
+        let bytes = env.catalog.table(table).size_bytes();
+        let mut prev = SimTime::ZERO;
+        for completion in schedule.completions_in(SimTime::ZERO, horizon) {
+            let gap = (completion - prev).value();
+            prev = completion;
+            let duration = loading.refresh_duration(bytes, gap);
+            if duration > 1e-9 {
+                events.push((
+                    completion - SimDuration::new(duration),
+                    SimDuration::new(duration),
+                ));
+            }
+        }
+    }
+    events
+}
+
+/// Runs the prioritized discipline with the §3.3 aging policy: arrivals
+/// enter a pending set; whenever the federation server frees up (or a new
+/// query arrives while it is idle), the pending query with the highest
+/// effective value — plan IV boosted by `aging` over its waiting time — is
+/// planned and dispatched.
+///
+/// With [`AgingPolicy::DISABLED`] this reproduces the pure
+/// value-maximizing scheduler the paper warns about: under load it keeps
+/// preferring fresh, valuable queries and starves old ones.
+///
+/// # Errors
+///
+/// Propagates the first [`PlanError`] a planner reports.
+pub fn run_prioritized(
+    env: &Environment<'_>,
+    planner: &dyn Planner,
+    requests: &[QueryRequest],
+    aging: AgingPolicy,
+) -> Result<RunMetrics, PlanError> {
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Ev {
+        Arrival(usize),
+        ServerFree,
+        Load(SimDuration),
+    }
+
+    let mut engine: Engine<Ev> = Engine::new();
+    let mut horizon = SimTime::ZERO;
+    for (idx, req) in requests.iter().enumerate() {
+        engine.schedule(req.submitted_at, Ev::Arrival(idx));
+        horizon = horizon.max(req.submitted_at);
+    }
+    for (start, duration) in load_events(env, horizon) {
+        engine.schedule(start, Ev::Load(duration));
+    }
+    let mut queues = FacilityQueues::new(env.catalog.site_count());
+    let mut pending: Vec<usize> = Vec::new();
+    let mut metrics = RunMetrics::new();
+    let mut error: Option<PlanError> = None;
+    // One query is dispatched at a time; the dispatcher re-ranks the
+    // pending set whenever the previous dispatch completes.
+    let mut dispatched_until = SimTime::ZERO;
+
+    engine.run(|eng, ev| {
+        if error.is_some() {
+            return;
+        }
+        match ev {
+            Ev::Arrival(idx) => pending.push(idx),
+            Ev::Load(duration) => {
+                queues.local_mut().book(eng.now(), duration);
+                return;
+            }
+            Ev::ServerFree => {}
+        }
+        let now = eng.now();
+        // Dispatch only while the local server is free: the dispatcher
+        // re-ranks the pending set at each decision point.
+        if pending.is_empty() || dispatched_until > now {
+            return;
+        }
+        // Rank pending queries by aged effective value of their current
+        // best plan.
+        let mut best: Option<(usize, f64, PlanEvaluation)> = None;
+        for (pos, &idx) in pending.iter().enumerate() {
+            let request = &requests[idx];
+            let ctx = PlanContext {
+                catalog: env.catalog,
+                timelines: env.timelines,
+                model: env.model,
+                rates: env.rates,
+                queues: &queues,
+            };
+            match planner.select_plan_from(&ctx, request, now) {
+                Ok(plan) => {
+                    let waited = (now - request.submitted_at).clamp_non_negative();
+                    let effective = aging.effective_value(plan.information_value, waited);
+                    let better = match &best {
+                        None => true,
+                        Some((_, b, _)) => effective > *b,
+                    };
+                    if better {
+                        best = Some((pos, effective, plan));
+                    }
+                }
+                Err(e) => {
+                    error = Some(e);
+                    return;
+                }
+            }
+        }
+        let (pos, _, plan) = best.expect("pending set is non-empty");
+        let idx = pending.remove(pos);
+        let request = &requests[idx];
+        commit_plan(&mut queues, env.catalog, request, &plan);
+        // Wake the dispatcher when this query completes.
+        dispatched_until = plan.finish;
+        if plan.finish > now {
+            eng.schedule(plan.finish, Ev::ServerFree);
+        }
+        metrics.record(QueryOutcome {
+            index: idx,
+            request: request.clone(),
+            plan,
+        });
+    });
+
+    match error {
+        Some(e) => Err(e),
+        None => Ok(metrics),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+    use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+    use ivdss_core::planner::{FederationPlanner, IvqpPlanner, WarehousePlanner};
+    use ivdss_core::value::BusinessValue;
+    use ivdss_costmodel::model::StylizedCostModel;
+    use ivdss_costmodel::query::{QueryId, QuerySpec};
+    use ivdss_replication::timelines::SyncMode;
+    use ivdss_simkernel::time::SimTime;
+
+    fn t(i: u32) -> TableId {
+        TableId::new(i)
+    }
+
+    fn fixture() -> (Catalog, SyncTimelines) {
+        let base = synthetic_catalog(&SyntheticConfig {
+            tables: 4,
+            sites: 2,
+            replicated_tables: 0,
+            seed: 21,
+            ..SyntheticConfig::default()
+        })
+        .unwrap();
+        let mut plan = ReplicationPlan::new();
+        for i in 0..4 {
+            plan.add(t(i), ReplicaSpec::new(5.0));
+        }
+        let catalog = base.with_replication(plan).unwrap();
+        let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+        (catalog, timelines)
+    }
+
+    fn requests(n: usize, gap: f64) -> Vec<QueryRequest> {
+        (0..n)
+            .map(|i| {
+                QueryRequest::new(
+                    QuerySpec::new(QueryId::new(i as u64), vec![t((i % 4) as u32)]),
+                    SimTime::new(1.0 + gap * i as f64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn arrival_driven_completes_all_queries() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let env = Environment {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::new(0.05, 0.05),
+            loading: None,
+        };
+        let reqs = requests(10, 3.0);
+        let metrics = run_arrival_driven(&env, &IvqpPlanner::new(), &reqs).unwrap();
+        assert_eq!(metrics.len(), 10);
+        assert!(metrics.mean_information_value() > 0.0);
+    }
+
+    #[test]
+    fn ivqp_beats_baselines_on_identical_stream() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let env = Environment {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::new(0.05, 0.05),
+            loading: None,
+        };
+        // Light load: per-query IVQP dominance only extends to streams
+        // when contention feedback is negligible (a delayed IVQP plan
+        // reserves the server and can push later queries back, which is
+        // exactly the conflict §3.2's MQO exists to resolve).
+        let reqs = requests(20, 10.0);
+        let ivqp = run_arrival_driven(&env, &IvqpPlanner::new(), &reqs).unwrap();
+        let fed = run_arrival_driven(&env, &FederationPlanner::new(), &reqs).unwrap();
+        let dw = run_arrival_driven(&env, &WarehousePlanner::new(), &reqs).unwrap();
+        let best = fed
+            .mean_information_value()
+            .max(dw.mean_information_value());
+        assert!(
+            ivqp.mean_information_value() >= best - 1e-9,
+            "IVQP {} vs best baseline {}",
+            ivqp.mean_information_value(),
+            best
+        );
+    }
+
+    #[test]
+    fn queue_contention_increases_latency() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let env = Environment {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::new(0.05, 0.05),
+            loading: None,
+        };
+        // Back-to-back arrivals pile up on the same servers.
+        let slow = run_arrival_driven(&env, &WarehousePlanner::new(), &requests(10, 0.01))
+            .unwrap();
+        let relaxed = run_arrival_driven(&env, &WarehousePlanner::new(), &requests(10, 50.0))
+            .unwrap();
+        assert!(
+            slow.mean_computational_latency() > relaxed.mean_computational_latency(),
+            "contended {} vs relaxed {}",
+            slow.mean_computational_latency(),
+            relaxed.mean_computational_latency()
+        );
+    }
+
+    #[test]
+    fn prioritized_with_aging_reduces_worst_waiting() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let env = Environment {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::new(0.1, 0.1),
+            loading: None,
+        };
+        // Heavy load: arrivals every 0.5 with service ≈ 2; mixed values so
+        // the un-aged scheduler persistently prefers the valuable fresh
+        // ones.
+        let reqs: Vec<QueryRequest> = (0..40)
+            .map(|i| {
+                let bv = if i % 4 == 0 { 0.1 } else { 1.0 };
+                QueryRequest::new(
+                    QuerySpec::new(QueryId::new(i as u64), vec![t((i % 4) as u32)]),
+                    SimTime::new(1.0 + 0.5 * i as f64),
+                )
+                .with_business_value(BusinessValue::new(bv))
+            })
+            .collect();
+        let no_aging =
+            run_prioritized(&env, &IvqpPlanner::new(), &reqs, AgingPolicy::DISABLED).unwrap();
+        let aged = run_prioritized(
+            &env,
+            &IvqpPlanner::new(),
+            &reqs,
+            AgingPolicy::outpacing(env.rates, 0.05),
+        )
+        .unwrap();
+        assert_eq!(no_aging.len(), 40);
+        assert_eq!(aged.len(), 40);
+        let worst_plain = no_aging.waiting_stats().max().unwrap();
+        let worst_aged = aged.waiting_stats().max().unwrap();
+        assert!(
+            worst_aged <= worst_plain + 1e-9,
+            "aged worst wait {worst_aged} vs plain {worst_plain}"
+        );
+    }
+
+    #[test]
+    fn warehouse_errors_propagate() {
+        let base = synthetic_catalog(&SyntheticConfig {
+            tables: 4,
+            sites: 2,
+            replicated_tables: 0,
+            seed: 3,
+            ..SyntheticConfig::default()
+        })
+        .unwrap();
+        let timelines = SyncTimelines::new();
+        let model = StylizedCostModel::paper_fig4();
+        let env = Environment {
+            catalog: &base,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::new(0.05, 0.05),
+            loading: None,
+        };
+        let reqs = requests(3, 1.0);
+        let err = run_arrival_driven(&env, &WarehousePlanner::new(), &reqs);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn environment_debug_nonempty() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let env = Environment {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::new(0.05, 0.05),
+            loading: None,
+        };
+        assert!(format!("{env:?}").contains("Environment"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Permutation genomes and their genetic operators.
+//!
+//! The paper's MQO chromosome "is the best execution sequence for the
+//! workload": a permutation of the queries. Recombination is order
+//! crossover — "a randomly chosen contiguous subsection of the first
+//! parent is copied to the child, and then all remaining items in the
+//! second parent (that have not already been taken from the first parent's
+//! subsection) are then copied to the child in order of appearance"
+//! (§3.2) — and mutation swaps or relocates elements.
+
+use std::fmt;
+
+use rand::Rng;
+
+/// A permutation of `0..len` — one candidate execution order.
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_ga::permutation::Permutation;
+///
+/// let p = Permutation::identity(4);
+/// assert_eq!(p.as_slice(), &[0, 1, 2, 3]);
+/// assert!(Permutation::new(vec![2, 0, 1]).is_some());
+/// assert!(Permutation::new(vec![0, 0, 1]).is_none()); // duplicate
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Permutation(Vec<usize>);
+
+impl Permutation {
+    /// The identity permutation of length `len`.
+    #[must_use]
+    pub fn identity(len: usize) -> Self {
+        Permutation((0..len).collect())
+    }
+
+    /// Validates and wraps a candidate permutation; `None` if `items` is
+    /// not a permutation of `0..items.len()`.
+    #[must_use]
+    pub fn new(items: Vec<usize>) -> Option<Self> {
+        let n = items.len();
+        let mut seen = vec![false; n];
+        for &x in &items {
+            if x >= n || seen[x] {
+                return None;
+            }
+            seen[x] = true;
+        }
+        Some(Permutation(items))
+    }
+
+    /// A uniformly random permutation (Fisher–Yates).
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        let mut items: Vec<usize> = (0..len).collect();
+        for i in (1..len).rev() {
+            let j = rng.random_range(0..=i);
+            items.swap(i, j);
+        }
+        Permutation(items)
+    }
+
+    /// The order as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Length of the permutation.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` for the empty permutation.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the items in order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Order crossover (OX): copies `parent1[lo..=hi]` into the child at
+    /// the same positions, then fills the remaining slots with the items
+    /// of `parent2` in their order of appearance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parents have different lengths.
+    #[must_use]
+    pub fn order_crossover<R: Rng + ?Sized>(
+        parent1: &Permutation,
+        parent2: &Permutation,
+        rng: &mut R,
+    ) -> Permutation {
+        let n = parent1.len();
+        assert_eq!(n, parent2.len(), "parents must have equal length");
+        if n <= 1 {
+            return parent1.clone();
+        }
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+
+        let mut child = vec![usize::MAX; n];
+        let mut taken = vec![false; n];
+        for i in lo..=hi {
+            child[i] = parent1.0[i];
+            taken[parent1.0[i]] = true;
+        }
+        let mut fill = parent2.0.iter().copied().filter(|&x| !taken[x]);
+        for slot in child.iter_mut() {
+            if *slot == usize::MAX {
+                *slot = fill.next().expect("exactly n - (hi-lo+1) items remain");
+            }
+        }
+        Permutation(child)
+    }
+
+    /// Swap mutation: exchanges two random positions.
+    pub fn swap_mutate<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.0.len();
+        if n < 2 {
+            return;
+        }
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        self.0.swap(i, j);
+    }
+
+    /// Insert mutation: removes a random element and reinserts it at a
+    /// random position — produces new adjacencies swap mutation cannot.
+    pub fn insert_mutate<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.0.len();
+        if n < 2 {
+            return;
+        }
+        let from = rng.random_range(0..n);
+        let to = rng.random_range(0..n);
+        let item = self.0.remove(from);
+        self.0.insert(to, item);
+    }
+}
+
+impl fmt::Display for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl AsRef<[usize]> for Permutation {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn is_valid(p: &Permutation) -> bool {
+        Permutation::new(p.as_slice().to_vec()).is_some()
+    }
+
+    #[test]
+    fn identity_and_validation() {
+        assert_eq!(Permutation::identity(3).as_slice(), &[0, 1, 2]);
+        assert!(Permutation::new(vec![]).is_some());
+        assert!(Permutation::new(vec![1, 2, 0]).is_some());
+        assert!(Permutation::new(vec![3, 0, 1]).is_none()); // out of range
+        assert!(Permutation::new(vec![0, 0]).is_none()); // duplicate
+    }
+
+    #[test]
+    fn random_is_valid_permutation() {
+        let mut r = rng(1);
+        for len in [0, 1, 2, 7, 50] {
+            let p = Permutation::random(len, &mut r);
+            assert_eq!(p.len(), len);
+            assert!(is_valid(&p));
+        }
+    }
+
+    #[test]
+    fn ox_produces_valid_children() {
+        let mut r = rng(2);
+        for _ in 0..200 {
+            let a = Permutation::random(10, &mut r);
+            let b = Permutation::random(10, &mut r);
+            let c = Permutation::order_crossover(&a, &b, &mut r);
+            assert!(is_valid(&c), "invalid child {c}");
+        }
+    }
+
+    #[test]
+    fn ox_preserves_parent1_segment() {
+        // With deterministic seeds we can't pin lo/hi, so check the weaker
+        // but structural property: every item of the child appears exactly
+        // once and items of parent1 inside any run shared with the child
+        // keep their positions at least somewhere. Instead verify the
+        // identity-parents case: OX(a, a) == a.
+        let mut r = rng(3);
+        let a = Permutation::random(8, &mut r);
+        let c = Permutation::order_crossover(&a, &a, &mut r);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn mutations_preserve_validity() {
+        let mut r = rng(4);
+        let mut p = Permutation::random(12, &mut r);
+        for _ in 0..100 {
+            p.swap_mutate(&mut r);
+            assert!(is_valid(&p));
+            p.insert_mutate(&mut r);
+            assert!(is_valid(&p));
+        }
+    }
+
+    #[test]
+    fn mutations_noop_on_tiny() {
+        let mut r = rng(5);
+        let mut p = Permutation::identity(1);
+        p.swap_mutate(&mut r);
+        p.insert_mutate(&mut r);
+        assert_eq!(p.as_slice(), &[0]);
+        let mut empty = Permutation::identity(0);
+        empty.swap_mutate(&mut r);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn display_and_as_ref() {
+        let p = Permutation::identity(3);
+        assert_eq!(p.to_string(), "[0 1 2]");
+        assert_eq!(p.as_ref(), &[0, 1, 2]);
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ox_length_mismatch_panics() {
+        let mut r = rng(6);
+        let a = Permutation::identity(3);
+        let b = Permutation::identity(4);
+        let _ = Permutation::order_crossover(&a, &b, &mut r);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the GA: operator validity and optimizer
+//! sanity.
+
+use ivdss_ga::engine::{optimize_permutation, GaConfig};
+use ivdss_ga::permutation::Permutation;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn is_valid(p: &Permutation) -> bool {
+    Permutation::new(p.as_slice().to_vec()).is_some()
+}
+
+proptest! {
+    /// Order crossover always yields a valid permutation, for any parents
+    /// and any RNG state.
+    #[test]
+    fn ox_closure(len in 1usize..40, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Permutation::random(len, &mut rng);
+        let b = Permutation::random(len, &mut rng);
+        let c = Permutation::order_crossover(&a, &b, &mut rng);
+        prop_assert!(is_valid(&c));
+        prop_assert_eq!(c.len(), len);
+    }
+
+    /// Both mutations preserve permutation validity.
+    #[test]
+    fn mutation_closure(len in 1usize..40, seed in any::<u64>(), rounds in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = Permutation::random(len, &mut rng);
+        for _ in 0..rounds {
+            p.swap_mutate(&mut rng);
+            prop_assert!(is_valid(&p));
+            p.insert_mutate(&mut rng);
+            prop_assert!(is_valid(&p));
+        }
+    }
+
+    /// The GA's result is always a valid permutation whose fitness equals
+    /// the reported best, and elitist history never regresses.
+    #[test]
+    fn ga_result_consistent(len in 1usize..12, seed in any::<u64>()) {
+        let cfg = GaConfig { seed, generations: 10, ..GaConfig::paper() };
+        // Arbitrary deterministic fitness.
+        let fit = |p: &Permutation| {
+            p.iter().enumerate().map(|(i, x)| ((i * 7 + x * 13) % 5) as f64).sum::<f64>()
+        };
+        let result = optimize_permutation(len, &cfg, fit);
+        prop_assert!(is_valid(&result.best));
+        prop_assert_eq!(result.best_fitness, fit(&result.best));
+        for w in result.history.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    /// The GA never returns something worse than the identity permutation
+    /// (which is seeded into the initial population).
+    #[test]
+    fn ga_at_least_identity(len in 1usize..10, seed in any::<u64>()) {
+        let cfg = GaConfig { seed, generations: 5, ..GaConfig::paper() };
+        let fit = |p: &Permutation| {
+            p.iter().enumerate().map(|(i, x)| (i as f64 - x as f64).abs()).sum::<f64>()
+        };
+        let identity_fitness = fit(&Permutation::identity(len));
+        let result = optimize_permutation(len, &cfg, fit);
+        prop_assert!(result.best_fitness >= identity_fitness);
+    }
+}

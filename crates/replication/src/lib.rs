@@ -1,0 +1,46 @@
+//! # ivdss-replication — synchronization timelines and replica state
+//!
+//! The dynamic side of the hybrid DSS architecture: *when* each local
+//! replica is refreshed from its base table. Plan selection (in
+//! `ivdss-core`) interrogates these timelines to timestamp the data a
+//! candidate plan would read and to find the future synchronization points
+//! that delayed plans wait for (paper §2, Fig. 1–4).
+//!
+//! * [`schedule::Schedule`] — one replica's completion timeline, either
+//!   strictly periodic or an explicit/stochastic trace;
+//! * [`timelines::SyncTimelines`] — per-table schedules derived from a
+//!   [`ivdss_catalog::replica::ReplicationPlan`];
+//! * [`timelines::ReplicaVersions`] — live version state during simulation;
+//! * [`qos::QosReplicationManager`] — staleness-bounded replication, the
+//!   paper's "QoS aware replication manager".
+//!
+//! # Example
+//!
+//! ```
+//! use ivdss_catalog::ids::TableId;
+//! use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+//! use ivdss_replication::{SyncMode, SyncTimelines};
+//! use ivdss_simkernel::time::SimTime;
+//!
+//! let mut plan = ReplicationPlan::new();
+//! plan.add(TableId::new(0), ReplicaSpec::new(8.0));
+//! plan.add(TableId::new(1), ReplicaSpec::new(2.0));
+//! let tl = SyncTimelines::from_plan(&plan, SyncMode::Deterministic);
+//!
+//! // At t = 11 the stalest of the two replicas was synced at t = 8.
+//! let stalest = tl
+//!     .stalest_version(&[TableId::new(0), TableId::new(1)], SimTime::new(11.0))
+//!     .unwrap();
+//! assert_eq!(stalest, Some(SimTime::new(8.0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod qos;
+pub mod schedule;
+pub mod timelines;
+
+pub use qos::QosReplicationManager;
+pub use schedule::Schedule;
+pub use timelines::{NotReplicatedError, ReplicaVersions, SyncMode, SyncTimelines};

@@ -1,0 +1,149 @@
+//! QoS-aware replication management.
+//!
+//! The paper notes (§3.1): "If all queries are registered in advance and a
+//! QoS aware replication manager is deployed to ensure updates to a table
+//! propagated to its replica in DSS within a pre-defined time frame,
+//! information values of all queries can be pre-calculated for routing."
+//!
+//! [`QosReplicationManager`] wraps a set of timelines and enforces a
+//! staleness bound: it reports the worst-case staleness each replica can
+//! exhibit and can tighten schedules that violate the bound.
+
+use std::collections::BTreeMap;
+
+use ivdss_catalog::ids::TableId;
+use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+use ivdss_simkernel::time::{SimDuration, SimTime};
+
+use crate::schedule::Schedule;
+use crate::timelines::{SyncMode, SyncTimelines};
+
+/// A replication manager that guarantees a maximum propagation delay
+/// (staleness bound) per replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosReplicationManager {
+    timelines: SyncTimelines,
+    staleness_bound: SimDuration,
+}
+
+impl QosReplicationManager {
+    /// Builds a manager from a replication plan, *tightening* any replica
+    /// whose mean period exceeds the bound so that the guarantee holds.
+    ///
+    /// Deterministic schedules guarantee staleness ≤ period; we therefore
+    /// clamp each replica's period to `staleness_bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `staleness_bound` is not strictly positive.
+    #[must_use]
+    pub fn with_bound(plan: &ReplicationPlan, staleness_bound: SimDuration) -> Self {
+        assert!(
+            staleness_bound.value() > 0.0,
+            "staleness bound must be positive"
+        );
+        let mut clamped = ReplicationPlan::new();
+        for (table, spec) in plan.iter() {
+            let period = spec.mean_period().min(staleness_bound.value());
+            clamped.add(table, ReplicaSpec::with_phase(period, spec.phase()));
+        }
+        QosReplicationManager {
+            timelines: SyncTimelines::from_plan(&clamped, SyncMode::Deterministic),
+            staleness_bound,
+        }
+    }
+
+    /// The staleness bound this manager guarantees.
+    #[must_use]
+    pub fn staleness_bound(&self) -> SimDuration {
+        self.staleness_bound
+    }
+
+    /// The managed timelines.
+    #[must_use]
+    pub fn timelines(&self) -> &SyncTimelines {
+        &self.timelines
+    }
+
+    /// Worst-case staleness of each replica under its (possibly clamped)
+    /// deterministic schedule.
+    #[must_use]
+    pub fn worst_case_staleness(&self) -> BTreeMap<TableId, SimDuration> {
+        self.timelines
+            .iter()
+            .map(|(table, schedule)| {
+                let worst = match schedule {
+                    Schedule::Periodic { period, .. } => SimDuration::new(*period),
+                    Schedule::Trace(times) => times
+                        .windows(2)
+                        .map(|w| w[1] - w[0])
+                        .max()
+                        .unwrap_or(SimDuration::ZERO),
+                };
+                (table, worst)
+            })
+            .collect()
+    }
+
+    /// Checks the guarantee: `true` iff every replica's worst-case
+    /// staleness is within the bound.
+    #[must_use]
+    pub fn satisfies_bound(&self) -> bool {
+        self.worst_case_staleness()
+            .values()
+            .all(|d| *d <= self.staleness_bound)
+    }
+
+    /// Staleness of `table`'s replica at `t` (time since its last sync),
+    /// or `None` if the table is not managed.
+    #[must_use]
+    pub fn staleness_at(&self, table: TableId, t: SimTime) -> Option<SimDuration> {
+        let last = self.timelines.last_sync(table, t)?;
+        Some((t - last).clamp_non_negative())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> ReplicationPlan {
+        let mut p = ReplicationPlan::new();
+        p.add(TableId::new(0), ReplicaSpec::new(4.0));
+        p.add(TableId::new(1), ReplicaSpec::new(20.0));
+        p
+    }
+
+    #[test]
+    fn clamps_slow_replicas() {
+        let m = QosReplicationManager::with_bound(&plan(), SimDuration::new(10.0));
+        let worst = m.worst_case_staleness();
+        assert_eq!(worst[&TableId::new(0)], SimDuration::new(4.0));
+        assert_eq!(worst[&TableId::new(1)], SimDuration::new(10.0));
+        assert!(m.satisfies_bound());
+        assert_eq!(m.staleness_bound(), SimDuration::new(10.0));
+    }
+
+    #[test]
+    fn staleness_at_reflects_schedule() {
+        let m = QosReplicationManager::with_bound(&plan(), SimDuration::new(100.0));
+        // T0 period 4: at t=9 last sync was 8 → staleness 1.
+        assert_eq!(
+            m.staleness_at(TableId::new(0), SimTime::new(9.0)),
+            Some(SimDuration::new(1.0))
+        );
+        assert_eq!(m.staleness_at(TableId::new(7), SimTime::new(9.0)), None);
+    }
+
+    #[test]
+    fn timelines_accessible() {
+        let m = QosReplicationManager::with_bound(&plan(), SimDuration::new(5.0));
+        assert_eq!(m.timelines().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_rejected() {
+        let _ = QosReplicationManager::with_bound(&plan(), SimDuration::ZERO);
+    }
+}

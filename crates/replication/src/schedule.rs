@@ -1,0 +1,255 @@
+//! Per-replica synchronization schedules.
+//!
+//! A [`Schedule`] answers the two questions plan selection needs (paper
+//! §3.1, Fig. 3 & 4):
+//!
+//! * *last completion* — when was the replica last synchronized at or
+//!   before time `t`? This timestamps the replica's data, and hence the
+//!   synchronization latency of any plan that reads it.
+//! * *next completion* — when is the next synchronization strictly after
+//!   `t`? Delayed plans wait for this point before executing.
+//!
+//! Two flavors exist: [`Schedule::periodic`] (deterministic, as in the
+//! paper's Fig. 4 worked example) and [`Schedule::trace`] (an explicit list
+//! of completion times, e.g. drawn from the exponential stream that the
+//! paper's experiments use).
+
+use ivdss_simkernel::rng::{ExponentialStream, Stream};
+use ivdss_simkernel::time::SimTime;
+
+/// A replica's synchronization-completion timeline.
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_replication::schedule::Schedule;
+/// use ivdss_simkernel::time::SimTime;
+///
+/// let s = Schedule::periodic(8.0, 0.0);
+/// assert_eq!(s.last_completion_at(SimTime::new(11.0)), Some(SimTime::new(8.0)));
+/// assert_eq!(s.next_completion_after(SimTime::new(11.0)), Some(SimTime::new(16.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// Completions at `phase + k·period`, `k = 0, 1, 2, …`.
+    Periodic {
+        /// The synchronization period (> 0).
+        period: f64,
+        /// Offset of the first completion (≥ 0).
+        phase: f64,
+    },
+    /// Explicit, sorted completion times.
+    Trace(Vec<SimTime>),
+}
+
+impl Schedule {
+    /// Creates a strictly periodic schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive and finite, or `phase`
+    /// is negative or not finite.
+    #[must_use]
+    pub fn periodic(period: f64, phase: f64) -> Self {
+        assert!(
+            period.is_finite() && period > 0.0,
+            "period must be positive and finite"
+        );
+        assert!(
+            phase.is_finite() && phase >= 0.0,
+            "phase must be non-negative and finite"
+        );
+        Schedule::Periodic { period, phase }
+    }
+
+    /// Creates a trace schedule from completion times (sorted internally).
+    #[must_use]
+    pub fn trace(mut times: Vec<SimTime>) -> Self {
+        times.sort();
+        Schedule::Trace(times)
+    }
+
+    /// Creates a trace schedule by sampling exponential inter-sync gaps with
+    /// the given `mean` until `horizon` (the paper's experimental setup).
+    ///
+    /// The trace begins with a completion at `t = 0` so every replica has a
+    /// well-defined initial version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    #[must_use]
+    pub fn exponential_trace(mean: f64, horizon: SimTime, seed: u64) -> Self {
+        let mut stream = ExponentialStream::new(mean, seed);
+        let mut times = vec![SimTime::ZERO];
+        let mut t = SimTime::ZERO;
+        loop {
+            t += stream.next_duration();
+            if t > horizon {
+                break;
+            }
+            times.push(t);
+        }
+        Schedule::Trace(times)
+    }
+
+    /// The latest completion at or before `t`, if any.
+    #[must_use]
+    pub fn last_completion_at(&self, t: SimTime) -> Option<SimTime> {
+        match self {
+            Schedule::Periodic { period, phase } => {
+                if t.value() < *phase {
+                    return None;
+                }
+                let k = ((t.value() - phase) / period).floor();
+                Some(SimTime::new(phase + k * period))
+            }
+            Schedule::Trace(times) => match times.binary_search(&t) {
+                Ok(idx) => Some(times[idx]),
+                Err(0) => None,
+                Err(idx) => Some(times[idx - 1]),
+            },
+        }
+    }
+
+    /// The earliest completion strictly after `t`, if any.
+    ///
+    /// Periodic schedules always have one; trace schedules return `None`
+    /// past their horizon.
+    #[must_use]
+    pub fn next_completion_after(&self, t: SimTime) -> Option<SimTime> {
+        match self {
+            Schedule::Periodic { period, phase } => {
+                if t.value() < *phase {
+                    return Some(SimTime::new(*phase));
+                }
+                let mut k = ((t.value() - phase) / period).floor() + 1.0;
+                // Floating-point guard: `(t - phase) / period` can round
+                // below the integer it mathematically equals, making
+                // `phase + k·period` collapse onto `t` itself. The result
+                // must be *strictly* after `t` or iteration never advances.
+                let mut next = phase + k * period;
+                while next <= t.value() {
+                    k += 1.0;
+                    next = phase + k * period;
+                }
+                Some(SimTime::new(next))
+            }
+            Schedule::Trace(times) => {
+                let idx = times.partition_point(|&x| x <= t);
+                times.get(idx).copied()
+            }
+        }
+    }
+
+    /// All completions in the half-open window `(from, to]` — the events a
+    /// discrete-event simulation must schedule.
+    #[must_use]
+    pub fn completions_in(&self, from: SimTime, to: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = from;
+        while let Some(next) = self.next_completion_after(t) {
+            if next > to {
+                break;
+            }
+            out.push(next);
+            t = next;
+        }
+        out
+    }
+
+    /// The mean gap between completions, where defined.
+    #[must_use]
+    pub fn mean_period(&self) -> Option<f64> {
+        match self {
+            Schedule::Periodic { period, .. } => Some(*period),
+            Schedule::Trace(times) if times.len() >= 2 => {
+                let span = (*times.last().expect("non-empty") - times[0]).value();
+                Some(span / (times.len() - 1) as f64)
+            }
+            Schedule::Trace(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_last_and_next() {
+        let s = Schedule::periodic(8.0, 0.0);
+        assert_eq!(s.last_completion_at(SimTime::ZERO), Some(SimTime::ZERO));
+        assert_eq!(s.last_completion_at(SimTime::new(7.9)), Some(SimTime::ZERO));
+        assert_eq!(s.last_completion_at(SimTime::new(8.0)), Some(SimTime::new(8.0)));
+        assert_eq!(s.next_completion_after(SimTime::new(8.0)), Some(SimTime::new(16.0)));
+        assert_eq!(s.next_completion_after(SimTime::ZERO), Some(SimTime::new(8.0)));
+    }
+
+    #[test]
+    fn periodic_with_phase() {
+        let s = Schedule::periodic(10.0, 3.0);
+        assert_eq!(s.last_completion_at(SimTime::new(2.9)), None);
+        assert_eq!(s.last_completion_at(SimTime::new(3.0)), Some(SimTime::new(3.0)));
+        assert_eq!(s.next_completion_after(SimTime::new(1.0)), Some(SimTime::new(3.0)));
+        assert_eq!(s.next_completion_after(SimTime::new(3.0)), Some(SimTime::new(13.0)));
+    }
+
+    #[test]
+    fn trace_last_and_next() {
+        let s = Schedule::trace(vec![
+            SimTime::new(5.0),
+            SimTime::new(1.0),
+            SimTime::new(9.0),
+        ]);
+        assert_eq!(s.last_completion_at(SimTime::new(0.5)), None);
+        assert_eq!(s.last_completion_at(SimTime::new(1.0)), Some(SimTime::new(1.0)));
+        assert_eq!(s.last_completion_at(SimTime::new(6.0)), Some(SimTime::new(5.0)));
+        assert_eq!(s.next_completion_after(SimTime::new(5.0)), Some(SimTime::new(9.0)));
+        assert_eq!(s.next_completion_after(SimTime::new(9.0)), None);
+    }
+
+    #[test]
+    fn completions_in_window() {
+        let s = Schedule::periodic(2.0, 0.0);
+        let w = s.completions_in(SimTime::new(1.0), SimTime::new(7.0));
+        assert_eq!(
+            w,
+            vec![SimTime::new(2.0), SimTime::new(4.0), SimTime::new(6.0)]
+        );
+    }
+
+    #[test]
+    fn exponential_trace_starts_at_zero_and_is_sorted() {
+        let s = Schedule::exponential_trace(5.0, SimTime::new(200.0), 3);
+        if let Schedule::Trace(times) = &s {
+            assert_eq!(times[0], SimTime::ZERO);
+            for w in times.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            assert!(times.len() > 10, "expected many syncs over horizon");
+        } else {
+            panic!("expected trace");
+        }
+    }
+
+    #[test]
+    fn exponential_trace_mean_near_target() {
+        let s = Schedule::exponential_trace(4.0, SimTime::new(100_000.0), 11);
+        let mean = s.mean_period().unwrap();
+        assert!((mean - 4.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn mean_period_of_degenerate_trace_is_none() {
+        assert_eq!(Schedule::trace(vec![]).mean_period(), None);
+        assert_eq!(Schedule::trace(vec![SimTime::ZERO]).mean_period(), None);
+        assert_eq!(Schedule::periodic(3.0, 0.0).mean_period(), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = Schedule::periodic(0.0, 0.0);
+    }
+}

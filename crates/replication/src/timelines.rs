@@ -1,0 +1,333 @@
+//! Synchronization timelines for every replicated table, plus the live
+//! replica-version state a running simulation maintains.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use ivdss_catalog::ids::TableId;
+use ivdss_catalog::replica::ReplicationPlan;
+use ivdss_simkernel::rng::SeedFactory;
+use ivdss_simkernel::time::SimTime;
+
+use crate::schedule::Schedule;
+
+/// Error raised when a table without a replica is used as one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotReplicatedError {
+    table: TableId,
+}
+
+impl NotReplicatedError {
+    /// The offending table.
+    #[must_use]
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+}
+
+impl fmt::Display for NotReplicatedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table {} has no local replica", self.table)
+    }
+}
+
+impl Error for NotReplicatedError {}
+
+/// How synchronization timelines are derived from a
+/// [`ReplicationPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncMode {
+    /// Strictly periodic completions (the paper's Fig. 4 example).
+    Deterministic,
+    /// Exponentially distributed inter-sync gaps with the plan's mean
+    /// period (the paper's experimental setup), generated up to the given
+    /// horizon with per-table seeds derived from the seed factory.
+    Stochastic {
+        /// Trace horizon; syncs beyond it are not generated.
+        horizon: SimTime,
+        /// Root seed for per-table streams.
+        seed: u64,
+    },
+}
+
+/// One synchronization [`Schedule`] per replicated table.
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_catalog::ids::TableId;
+/// use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+/// use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+/// use ivdss_simkernel::time::SimTime;
+///
+/// let mut plan = ReplicationPlan::new();
+/// plan.add(TableId::new(0), ReplicaSpec::new(8.0));
+/// let tl = SyncTimelines::from_plan(&plan, SyncMode::Deterministic);
+/// assert_eq!(
+///     tl.last_sync(TableId::new(0), SimTime::new(11.0)),
+///     Some(SimTime::new(8.0))
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SyncTimelines {
+    schedules: BTreeMap<TableId, Schedule>,
+}
+
+impl SyncTimelines {
+    /// Creates an empty set of timelines (no replicas).
+    #[must_use]
+    pub fn new() -> Self {
+        SyncTimelines::default()
+    }
+
+    /// Derives timelines from a replication plan.
+    #[must_use]
+    pub fn from_plan(plan: &ReplicationPlan, mode: SyncMode) -> Self {
+        let mut schedules = BTreeMap::new();
+        for (table, spec) in plan.iter() {
+            let schedule = match mode {
+                SyncMode::Deterministic => Schedule::periodic(spec.mean_period(), spec.phase()),
+                SyncMode::Stochastic { horizon, seed } => {
+                    let table_seed =
+                        SeedFactory::new(seed).seed_for_indexed("sync", table.index());
+                    Schedule::exponential_trace(spec.mean_period(), horizon, table_seed)
+                }
+            };
+            schedules.insert(table, schedule);
+        }
+        SyncTimelines { schedules }
+    }
+
+    /// Inserts or replaces the schedule of one table.
+    pub fn insert(&mut self, table: TableId, schedule: Schedule) -> Option<Schedule> {
+        self.schedules.insert(table, schedule)
+    }
+
+    /// Returns `true` if `table` has a replica schedule.
+    #[must_use]
+    pub fn has_replica(&self, table: TableId) -> bool {
+        self.schedules.contains_key(&table)
+    }
+
+    /// The schedule for `table`, if replicated.
+    #[must_use]
+    pub fn schedule(&self, table: TableId) -> Option<&Schedule> {
+        self.schedules.get(&table)
+    }
+
+    /// Timestamp of `table`'s replica at time `t` (the latest completed
+    /// synchronization), or `None` if the table is not replicated or has
+    /// not yet synchronized.
+    #[must_use]
+    pub fn last_sync(&self, table: TableId, t: SimTime) -> Option<SimTime> {
+        self.schedules.get(&table)?.last_completion_at(t)
+    }
+
+    /// The next synchronization of `table` strictly after `t`.
+    #[must_use]
+    pub fn next_sync(&self, table: TableId, t: SimTime) -> Option<SimTime> {
+        self.schedules.get(&table)?.next_completion_after(t)
+    }
+
+    /// Iterates over `(table, schedule)` pairs in table order.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &Schedule)> {
+        self.schedules.iter().map(|(t, s)| (*t, s))
+    }
+
+    /// Number of replicated tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// Returns `true` if no table has a schedule.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.schedules.is_empty()
+    }
+
+    /// The earliest upcoming synchronization strictly after `t` across the
+    /// given tables — the "very next synchronization" the scatter-gather
+    /// search pushes its time line to (paper §3.1).
+    #[must_use]
+    pub fn next_sync_among(&self, tables: &[TableId], t: SimTime) -> Option<(TableId, SimTime)> {
+        tables
+            .iter()
+            .filter_map(|&table| self.next_sync(table, t).map(|at| (table, at)))
+            .min_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+    }
+
+    /// The stalest replica timestamp among `tables` at time `t` — the
+    /// paper's observation that "synchronization latency is decided by the
+    /// earliest synchronized table".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotReplicatedError`] if any of `tables` has no replica.
+    pub fn stalest_version(
+        &self,
+        tables: &[TableId],
+        t: SimTime,
+    ) -> Result<Option<SimTime>, NotReplicatedError> {
+        let mut stalest: Option<SimTime> = None;
+        for &table in tables {
+            if !self.has_replica(table) {
+                return Err(NotReplicatedError { table });
+            }
+            // A replica that never synced is infinitely stale; represent
+            // its version as time zero's predecessor by treating None as
+            // SimTime::ZERO at the caller. Here we fold None as ZERO.
+            let version = self.last_sync(table, t).unwrap_or(SimTime::ZERO);
+            stalest = Some(match stalest {
+                None => version,
+                Some(cur) => cur.min(version),
+            });
+        }
+        Ok(stalest)
+    }
+}
+
+/// Live replica-version state maintained by a running simulation: each
+/// sync event bumps the table's version to the completion time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplicaVersions {
+    versions: BTreeMap<TableId, SimTime>,
+}
+
+impl ReplicaVersions {
+    /// Creates an empty version map (all replicas at version `t = 0`).
+    #[must_use]
+    pub fn new() -> Self {
+        ReplicaVersions::default()
+    }
+
+    /// Records a completed synchronization of `table` at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if versions would move backwards.
+    pub fn record_sync(&mut self, table: TableId, at: SimTime) {
+        let entry = self.versions.entry(table).or_insert(SimTime::ZERO);
+        assert!(at >= *entry, "replica version must be monotone");
+        *entry = at;
+    }
+
+    /// Current version of `table`'s replica ([`SimTime::ZERO`] if it never
+    /// synchronized).
+    #[must_use]
+    pub fn version(&self, table: TableId) -> SimTime {
+        self.versions.get(&table).copied().unwrap_or(SimTime::ZERO)
+    }
+
+    /// The stalest version among `tables`.
+    #[must_use]
+    pub fn stalest(&self, tables: &[TableId]) -> SimTime {
+        tables
+            .iter()
+            .map(|&t| self.version(t))
+            .min()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivdss_catalog::replica::ReplicaSpec;
+
+    fn plan() -> ReplicationPlan {
+        let mut p = ReplicationPlan::new();
+        p.add(TableId::new(0), ReplicaSpec::new(4.0));
+        p.add(TableId::new(1), ReplicaSpec::new(10.0));
+        p
+    }
+
+    #[test]
+    fn deterministic_timelines() {
+        let tl = SyncTimelines::from_plan(&plan(), SyncMode::Deterministic);
+        assert_eq!(tl.len(), 2);
+        assert!(tl.has_replica(TableId::new(0)));
+        assert!(!tl.has_replica(TableId::new(5)));
+        assert_eq!(
+            tl.last_sync(TableId::new(0), SimTime::new(9.0)),
+            Some(SimTime::new(8.0))
+        );
+        assert_eq!(
+            tl.next_sync(TableId::new(1), SimTime::new(9.0)),
+            Some(SimTime::new(10.0))
+        );
+        assert_eq!(tl.last_sync(TableId::new(5), SimTime::new(9.0)), None);
+    }
+
+    #[test]
+    fn stochastic_timelines_reproducible() {
+        let mode = SyncMode::Stochastic {
+            horizon: SimTime::new(100.0),
+            seed: 9,
+        };
+        let a = SyncTimelines::from_plan(&plan(), mode);
+        let b = SyncTimelines::from_plan(&plan(), mode);
+        assert_eq!(a, b);
+        // Different tables get different traces.
+        assert_ne!(a.schedule(TableId::new(0)), a.schedule(TableId::new(1)));
+    }
+
+    #[test]
+    fn next_sync_among_picks_earliest() {
+        let tl = SyncTimelines::from_plan(&plan(), SyncMode::Deterministic);
+        let next = tl.next_sync_among(&[TableId::new(0), TableId::new(1)], SimTime::new(9.0));
+        assert_eq!(next, Some((TableId::new(1), SimTime::new(10.0))));
+        let next2 = tl.next_sync_among(&[TableId::new(0), TableId::new(1)], SimTime::new(10.0));
+        assert_eq!(next2, Some((TableId::new(0), SimTime::new(12.0))));
+    }
+
+    #[test]
+    fn stalest_version_is_min() {
+        let tl = SyncTimelines::from_plan(&plan(), SyncMode::Deterministic);
+        let v = tl
+            .stalest_version(&[TableId::new(0), TableId::new(1)], SimTime::new(11.0))
+            .unwrap();
+        // T0 synced at 8, T1 at 10 → stalest 8.
+        assert_eq!(v, Some(SimTime::new(8.0)));
+    }
+
+    #[test]
+    fn stalest_version_rejects_unreplicated() {
+        let tl = SyncTimelines::from_plan(&plan(), SyncMode::Deterministic);
+        let err = tl
+            .stalest_version(&[TableId::new(9)], SimTime::new(1.0))
+            .unwrap_err();
+        assert_eq!(err.table(), TableId::new(9));
+        assert!(err.to_string().contains("T9"));
+    }
+
+    #[test]
+    fn replica_versions_track_syncs() {
+        let mut v = ReplicaVersions::new();
+        assert_eq!(v.version(TableId::new(0)), SimTime::ZERO);
+        v.record_sync(TableId::new(0), SimTime::new(5.0));
+        v.record_sync(TableId::new(1), SimTime::new(3.0));
+        assert_eq!(v.version(TableId::new(0)), SimTime::new(5.0));
+        assert_eq!(v.stalest(&[TableId::new(0), TableId::new(1)]), SimTime::new(3.0));
+        assert_eq!(v.stalest(&[]), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn versions_cannot_regress() {
+        let mut v = ReplicaVersions::new();
+        v.record_sync(TableId::new(0), SimTime::new(5.0));
+        v.record_sync(TableId::new(0), SimTime::new(4.0));
+    }
+
+    #[test]
+    fn insert_and_iter() {
+        let mut tl = SyncTimelines::new();
+        assert!(tl.is_empty());
+        tl.insert(TableId::new(2), Schedule::periodic(1.0, 0.0));
+        tl.insert(TableId::new(1), Schedule::periodic(2.0, 0.0));
+        let order: Vec<TableId> = tl.iter().map(|(t, _)| t).collect();
+        assert_eq!(order, vec![TableId::new(1), TableId::new(2)]);
+    }
+}

@@ -1,0 +1,436 @@
+//! Server facilities: FIFO queueing abstractions.
+//!
+//! The paper's computational latency is "query queuing time + query
+//! processing time + query result transmission time". [`Facility`] models a
+//! single FIFO server (a remote database server or the local federation
+//! server): work arriving while the server is busy queues behind the busy
+//! period. [`MultiFacility`] generalizes to `c` identical servers.
+//!
+//! Facilities are *analytic*: they answer "if a job of length `d` arrives at
+//! `t`, when does it start and finish?" and can also answer hypothetically
+//! (without committing the job), which is exactly what plan selection needs
+//! when it weighs candidate execution times.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Start and finish times assigned to one job by a facility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ServiceWindow {
+    /// When the job begins service (arrival + queuing delay).
+    pub start: SimTime,
+    /// When the job completes service.
+    pub finish: SimTime,
+}
+
+impl ServiceWindow {
+    /// Queuing delay experienced by a job that arrived at `arrival`.
+    #[must_use]
+    pub fn queue_delay(&self, arrival: SimTime) -> SimDuration {
+        (self.start - arrival).clamp_non_negative()
+    }
+}
+
+/// A single FIFO server.
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_simkernel::facility::Facility;
+/// use ivdss_simkernel::time::{SimDuration, SimTime};
+///
+/// let mut server = Facility::new();
+/// let w1 = server.submit(SimTime::new(0.0), SimDuration::new(5.0));
+/// assert_eq!(w1.finish, SimTime::new(5.0));
+/// // Arrives while busy: queues until t=5.
+/// let w2 = server.submit(SimTime::new(2.0), SimDuration::new(1.0));
+/// assert_eq!(w2.start, SimTime::new(5.0));
+/// assert_eq!(w2.finish, SimTime::new(6.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Facility {
+    busy_until: SimTime,
+    jobs: u64,
+    busy_time: SimDuration,
+}
+
+impl Facility {
+    /// Creates an idle facility.
+    #[must_use]
+    pub fn new() -> Self {
+        Facility::default()
+    }
+
+    /// The time at which the server becomes idle.
+    #[must_use]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Number of jobs served so far.
+    #[must_use]
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total busy (service) time accumulated.
+    #[must_use]
+    pub fn total_busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Answers when a job of length `service` arriving at `arrival` would be
+    /// served, *without* committing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` is negative.
+    #[must_use]
+    pub fn probe(&self, arrival: SimTime, service: SimDuration) -> ServiceWindow {
+        assert!(!service.is_negative(), "service time must be non-negative");
+        let start = arrival.max(self.busy_until);
+        ServiceWindow {
+            start,
+            finish: start + service,
+        }
+    }
+
+    /// Commits a job of length `service` arriving at `arrival` and returns
+    /// its service window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` is negative.
+    pub fn submit(&mut self, arrival: SimTime, service: SimDuration) -> ServiceWindow {
+        let window = self.probe(arrival, service);
+        self.busy_until = window.finish;
+        self.jobs += 1;
+        self.busy_time += service;
+        window
+    }
+
+    /// Utilization over `[SimTime::ZERO, now]` (busy time / elapsed time).
+    #[must_use]
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.value();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            (self.busy_time.value() / elapsed).min(1.0)
+        }
+    }
+}
+
+/// `c` identical FIFO servers fed by a single queue; each job is assigned
+/// to the server that frees up first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiFacility {
+    servers: Vec<Facility>,
+}
+
+impl MultiFacility {
+    /// Creates a facility with `servers` identical servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    #[must_use]
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "need at least one server");
+        MultiFacility {
+            servers: vec![Facility::new(); servers],
+        }
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    fn earliest_free(&self) -> usize {
+        self.servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.busy_until())
+            .map(|(i, _)| i)
+            .expect("at least one server")
+    }
+
+    /// Answers when a job of length `service` arriving at `arrival` would be
+    /// served, without committing it.
+    #[must_use]
+    pub fn probe(&self, arrival: SimTime, service: SimDuration) -> ServiceWindow {
+        self.servers[self.earliest_free()].probe(arrival, service)
+    }
+
+    /// Commits a job and returns its service window.
+    pub fn submit(&mut self, arrival: SimTime, service: SimDuration) -> ServiceWindow {
+        let idx = self.earliest_free();
+        self.servers[idx].submit(arrival, service)
+    }
+
+    /// Total jobs served across all servers.
+    #[must_use]
+    pub fn jobs_served(&self) -> u64 {
+        self.servers.iter().map(Facility::jobs_served).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut f = Facility::new();
+        let w = f.submit(SimTime::new(3.0), SimDuration::new(2.0));
+        assert_eq!(w.start, SimTime::new(3.0));
+        assert_eq!(w.finish, SimTime::new(5.0));
+        assert_eq!(w.queue_delay(SimTime::new(3.0)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut f = Facility::new();
+        f.submit(SimTime::ZERO, SimDuration::new(10.0));
+        let w = f.submit(SimTime::new(1.0), SimDuration::new(2.0));
+        assert_eq!(w.start, SimTime::new(10.0));
+        assert_eq!(w.queue_delay(SimTime::new(1.0)), SimDuration::new(9.0));
+        let w2 = f.submit(SimTime::new(1.5), SimDuration::new(1.0));
+        assert_eq!(w2.start, SimTime::new(12.0));
+    }
+
+    #[test]
+    fn probe_does_not_commit() {
+        let f = {
+            let mut f = Facility::new();
+            f.submit(SimTime::ZERO, SimDuration::new(4.0));
+            f
+        };
+        let p1 = f.probe(SimTime::new(1.0), SimDuration::new(3.0));
+        let p2 = f.probe(SimTime::new(1.0), SimDuration::new(3.0));
+        assert_eq!(p1, p2);
+        assert_eq!(f.jobs_served(), 1);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let mut f = Facility::new();
+        f.submit(SimTime::ZERO, SimDuration::new(5.0));
+        assert!((f.utilization(SimTime::new(10.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(f.utilization(SimTime::ZERO), 0.0);
+        assert_eq!(f.total_busy_time(), SimDuration::new(5.0));
+    }
+
+    #[test]
+    fn multi_facility_parallelism() {
+        let mut m = MultiFacility::new(2);
+        let w1 = m.submit(SimTime::ZERO, SimDuration::new(10.0));
+        let w2 = m.submit(SimTime::ZERO, SimDuration::new(10.0));
+        // Two servers: both start at t=0.
+        assert_eq!(w1.start, SimTime::ZERO);
+        assert_eq!(w2.start, SimTime::ZERO);
+        // Third job waits for the earliest finisher.
+        let w3 = m.submit(SimTime::new(1.0), SimDuration::new(1.0));
+        assert_eq!(w3.start, SimTime::new(10.0));
+        assert_eq!(m.jobs_served(), 3);
+        assert_eq!(m.server_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_service_rejected() {
+        let mut f = Facility::new();
+        let _ = f.submit(SimTime::ZERO, SimDuration::new(-1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = MultiFacility::new(0);
+    }
+}
+
+/// A single server with an *interval calendar*: bookings occupy
+/// `[start, start + duration)` windows and later arrivals may backfill
+/// idle gaps before existing reservations.
+///
+/// [`Facility`] models a FIFO server whose queue never reorders; a
+/// `Calendar` models a reservation-based server — the right abstraction
+/// when plans may be *released in the future* (delayed execution, paper
+/// Fig. 2): a reservation at a future time must not block the server for
+/// the idle gap before it.
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_simkernel::facility::Calendar;
+/// use ivdss_simkernel::time::{SimDuration, SimTime};
+///
+/// let mut cal = Calendar::new();
+/// // Reserve [20, 25) for a delayed plan…
+/// cal.book(SimTime::new(20.0), SimDuration::new(5.0));
+/// // …a short job arriving at t=2 backfills the gap before it.
+/// let w = cal.book(SimTime::new(2.0), SimDuration::new(3.0));
+/// assert_eq!(w.start, SimTime::new(2.0));
+/// // A long job arriving at t=18 cannot fit before the reservation.
+/// let w = cal.book(SimTime::new(18.0), SimDuration::new(4.0));
+/// assert_eq!(w.start, SimTime::new(25.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Calendar {
+    /// Sorted, non-overlapping busy intervals.
+    bookings: Vec<(SimTime, SimTime)>,
+    jobs: u64,
+    busy_time: SimDuration,
+}
+
+impl Calendar {
+    /// Creates an empty calendar.
+    #[must_use]
+    pub fn new() -> Self {
+        Calendar::default()
+    }
+
+    /// Earliest start `≥ arrival` at which a job of length `service`
+    /// fits, without committing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` is negative.
+    #[must_use]
+    pub fn probe(&self, arrival: SimTime, service: SimDuration) -> ServiceWindow {
+        assert!(!service.is_negative(), "service time must be non-negative");
+        let mut cursor = arrival;
+        for &(start, end) in &self.bookings {
+            if end <= cursor {
+                continue;
+            }
+            if start >= cursor + service {
+                break; // the gap before this booking fits
+            }
+            cursor = cursor.max(end);
+        }
+        ServiceWindow {
+            start: cursor,
+            finish: cursor + service,
+        }
+    }
+
+    /// Commits a job of length `service` at the earliest fit `≥ arrival`
+    /// and returns its window.
+    pub fn book(&mut self, arrival: SimTime, service: SimDuration) -> ServiceWindow {
+        let window = self.probe(arrival, service);
+        if service.value() > 0.0 {
+            let idx = self
+                .bookings
+                .partition_point(|&(start, _)| start < window.start);
+            self.bookings.insert(idx, (window.start, window.finish));
+            self.coalesce(idx);
+        }
+        self.jobs += 1;
+        self.busy_time += service;
+        window
+    }
+
+    fn coalesce(&mut self, around: usize) {
+        // Merge adjacent touching intervals to keep the calendar compact.
+        let mut i = around.saturating_sub(1);
+        while i + 1 < self.bookings.len() {
+            if self.bookings[i].1 >= self.bookings[i + 1].0 {
+                let merged_end = self.bookings[i].1.max(self.bookings[i + 1].1);
+                self.bookings[i].1 = merged_end;
+                self.bookings.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Number of jobs booked.
+    #[must_use]
+    pub fn jobs_booked(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total booked (busy) time.
+    #[must_use]
+    pub fn total_busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// The latest booked finish time, or [`SimTime::ZERO`] if empty.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.bookings.last().map_or(SimTime::ZERO, |&(_, end)| end)
+    }
+}
+
+#[cfg(test)]
+mod calendar_tests {
+    use super::*;
+
+    #[test]
+    fn empty_calendar_starts_immediately() {
+        let mut c = Calendar::new();
+        let w = c.book(SimTime::new(3.0), SimDuration::new(2.0));
+        assert_eq!(w.start, SimTime::new(3.0));
+        assert_eq!(w.finish, SimTime::new(5.0));
+        assert_eq!(c.jobs_booked(), 1);
+        assert_eq!(c.total_busy_time(), SimDuration::new(2.0));
+    }
+
+    #[test]
+    fn backfills_gap_before_reservation() {
+        let mut c = Calendar::new();
+        c.book(SimTime::new(10.0), SimDuration::new(5.0));
+        let w = c.book(SimTime::new(0.0), SimDuration::new(10.0));
+        assert_eq!(w.start, SimTime::new(0.0), "exact-fit backfill");
+        let w2 = c.book(SimTime::new(0.0), SimDuration::new(1.0));
+        assert_eq!(w2.start, SimTime::new(15.0), "no gap left");
+    }
+
+    #[test]
+    fn skips_too_small_gaps() {
+        let mut c = Calendar::new();
+        c.book(SimTime::new(2.0), SimDuration::new(2.0)); // [2,4)
+        c.book(SimTime::new(6.0), SimDuration::new(2.0)); // [6,8)
+        // 3-long job at t=0: gap [0,2) too small, [4,6) too small → t=8.
+        let w = c.book(SimTime::new(0.0), SimDuration::new(3.0));
+        assert_eq!(w.start, SimTime::new(8.0));
+        // 2-long job at t=0 fits the first gap exactly.
+        let w2 = c.book(SimTime::new(0.0), SimDuration::new(2.0));
+        assert_eq!(w2.start, SimTime::new(0.0));
+    }
+
+    #[test]
+    fn probe_does_not_commit() {
+        let mut c = Calendar::new();
+        c.book(SimTime::ZERO, SimDuration::new(4.0));
+        let p1 = c.probe(SimTime::new(1.0), SimDuration::new(2.0));
+        let p2 = c.probe(SimTime::new(1.0), SimDuration::new(2.0));
+        assert_eq!(p1, p2);
+        assert_eq!(c.jobs_booked(), 1);
+    }
+
+    #[test]
+    fn zero_length_jobs_do_not_block() {
+        let mut c = Calendar::new();
+        let w = c.book(SimTime::new(1.0), SimDuration::ZERO);
+        assert_eq!(w.start, w.finish);
+        let w2 = c.book(SimTime::new(1.0), SimDuration::new(2.0));
+        assert_eq!(w2.start, SimTime::new(1.0));
+    }
+
+    #[test]
+    fn coalesces_touching_intervals() {
+        let mut c = Calendar::new();
+        c.book(SimTime::new(0.0), SimDuration::new(2.0));
+        c.book(SimTime::new(2.0), SimDuration::new(2.0));
+        c.book(SimTime::new(4.0), SimDuration::new(2.0));
+        assert_eq!(c.horizon(), SimTime::new(6.0));
+        // Everything is one block: a job at 0 starts at 6.
+        let w = c.book(SimTime::new(0.0), SimDuration::new(1.0));
+        assert_eq!(w.start, SimTime::new(6.0));
+    }
+}

@@ -1,0 +1,307 @@
+//! Synthetic query generators.
+//!
+//! Two generators from the paper's §4:
+//!
+//! * [`random_queries`] — "A set of 120 random queries are generated and
+//!   the number of tables a query accesses is randomly generated from
+//!   [1, 10]. Which tables the query may involve are randomly selected."
+//!   (Fig. 8);
+//! * [`overlapping_queries`] — workloads with a controlled footprint
+//!   overlap rate, the x-axis of Fig. 9(a).
+
+use ivdss_costmodel::query::{QueryId, QuerySpec};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the random query generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomQueryConfig {
+    /// Number of queries (paper: 120).
+    pub queries: usize,
+    /// Number of catalog tables to draw from.
+    pub tables: usize,
+    /// Upper bound on tables per query (paper: 10).
+    pub max_tables_per_query: usize,
+    /// Weight range, drawn uniformly.
+    pub weight_range: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomQueryConfig {
+    /// The paper's synthetic setup: 120 queries over 100 tables, 1–10
+    /// tables each.
+    fn default() -> Self {
+        RandomQueryConfig {
+            queries: 120,
+            tables: 100,
+            max_tables_per_query: 10,
+            weight_range: (0.8, 2.5),
+            seed: 0x51,
+        }
+    }
+}
+
+/// Generates random queries per `config`.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero queries/tables, a
+/// per-query bound of zero or exceeding the table count, or an invalid
+/// weight range).
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_workloads::synthetic::{random_queries, RandomQueryConfig};
+///
+/// let queries = random_queries(&RandomQueryConfig::default());
+/// assert_eq!(queries.len(), 120);
+/// assert!(queries.iter().all(|q| (1..=10).contains(&q.table_count())));
+/// ```
+#[must_use]
+pub fn random_queries(config: &RandomQueryConfig) -> Vec<QuerySpec> {
+    assert!(config.queries > 0, "need at least one query");
+    assert!(config.tables > 0, "need at least one table");
+    assert!(
+        (1..=config.tables).contains(&config.max_tables_per_query),
+        "max tables per query must be within 1..=tables"
+    );
+    let (wlo, whi) = config.weight_range;
+    assert!(
+        wlo.is_finite() && whi.is_finite() && 0.0 < wlo && wlo < whi,
+        "weight range must satisfy 0 < lo < hi"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let all: Vec<u32> = (0..config.tables as u32).collect();
+    (0..config.queries)
+        .map(|i| {
+            let k = rng.random_range(1..=config.max_tables_per_query);
+            let mut pool = all.clone();
+            pool.shuffle(&mut rng);
+            let tables = pool[..k]
+                .iter()
+                .map(|&t| ivdss_catalog::ids::TableId::new(t))
+                .collect();
+            let weight = rng.random_range(wlo..whi);
+            QuerySpec::with_profile(QueryId::new(i as u64), tables, weight, 0.01)
+        })
+        .collect()
+}
+
+/// Configuration of the overlap-controlled generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapConfig {
+    /// Number of queries in the workload.
+    pub queries: usize,
+    /// Number of catalog tables available.
+    pub tables: usize,
+    /// Tables per query.
+    pub tables_per_query: usize,
+    /// Target pairwise footprint-overlap rate in `[0, 1]`.
+    pub target_overlap: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        OverlapConfig {
+            queries: 10,
+            tables: 100,
+            tables_per_query: 4,
+            target_overlap: 0.3,
+            seed: 0x0e,
+        }
+    }
+}
+
+/// Generates a workload whose expected pairwise footprint-overlap rate is
+/// `target_overlap`.
+///
+/// Construction: a fraction `√target` of the queries ("hot" queries) draw
+/// their tables from one small shared pool, so any two of them share
+/// tables almost surely; the rest receive pairwise-disjoint table slices.
+/// Pairwise overlap is then ≈ `(√target)² = target`. Use
+/// [`measured_overlap`] for the exact realized rate.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero queries, a per-query
+/// size of zero, a target outside `[0, 1]`, or too few tables to give
+/// every cold query a disjoint slice).
+#[must_use]
+pub fn overlapping_queries(config: &OverlapConfig) -> Vec<QuerySpec> {
+    assert!(config.queries > 0, "need at least one query");
+    assert!(config.tables_per_query > 0, "queries need tables");
+    assert!(
+        (0.0..=1.0).contains(&config.target_overlap),
+        "target overlap must be within [0, 1]"
+    );
+    let hot_count =
+        ((config.queries as f64) * config.target_overlap.sqrt()).round() as usize;
+    let hot_count = hot_count.min(config.queries);
+    let cold_count = config.queries - hot_count;
+    // Hot pool: just larger than one footprint so hot queries collide.
+    let hot_pool_size = (config.tables_per_query + 2).min(config.tables);
+    let cold_tables_needed = cold_count * config.tables_per_query;
+    assert!(
+        hot_pool_size + cold_tables_needed <= config.tables,
+        "need at least {} tables for this configuration, have {}",
+        hot_pool_size + cold_tables_needed,
+        config.tables
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut ids: Vec<u32> = (0..config.tables as u32).collect();
+    ids.shuffle(&mut rng);
+    let hot_pool: Vec<u32> = ids[..hot_pool_size].to_vec();
+    let mut cold_cursor = hot_pool_size;
+
+    let mut hot_flags = vec![true; hot_count];
+    hot_flags.extend(std::iter::repeat_n(false, cold_count));
+    hot_flags.shuffle(&mut rng);
+
+    hot_flags
+        .iter()
+        .enumerate()
+        .map(|(i, &hot)| {
+            let tables: Vec<ivdss_catalog::ids::TableId> = if hot {
+                let mut pool = hot_pool.clone();
+                pool.shuffle(&mut rng);
+                pool[..config.tables_per_query]
+                    .iter()
+                    .map(|&t| ivdss_catalog::ids::TableId::new(t))
+                    .collect()
+            } else {
+                let slice = &ids[cold_cursor..cold_cursor + config.tables_per_query];
+                cold_cursor += config.tables_per_query;
+                slice
+                    .iter()
+                    .map(|&t| ivdss_catalog::ids::TableId::new(t))
+                    .collect()
+            };
+            let weight = rng.random_range(0.8..2.0);
+            QuerySpec::with_profile(QueryId::new(i as u64), tables, weight, 0.01)
+        })
+        .collect()
+}
+
+/// The realized pairwise footprint-overlap rate of a workload.
+#[must_use]
+pub fn measured_overlap(queries: &[QuerySpec]) -> f64 {
+    let n = queries.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs += 1;
+            if queries[i].overlaps(&queries[j]) {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_queries_respect_bounds() {
+        let qs = random_queries(&RandomQueryConfig::default());
+        assert_eq!(qs.len(), 120);
+        for q in &qs {
+            assert!((1..=10).contains(&q.table_count()));
+            for t in q.tables() {
+                assert!(t.index() < 100);
+            }
+            assert!(q.weight() >= 0.8 && q.weight() < 2.5);
+        }
+    }
+
+    #[test]
+    fn random_queries_deterministic() {
+        let a = random_queries(&RandomQueryConfig::default());
+        let b = random_queries(&RandomQueryConfig::default());
+        assert_eq!(a, b);
+        let c = random_queries(&RandomQueryConfig {
+            seed: 1,
+            ..RandomQueryConfig::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn overlap_targets_are_approximately_met() {
+        for target in [0.1, 0.3, 0.5] {
+            let cfg = OverlapConfig {
+                queries: 14,
+                tables: 100,
+                tables_per_query: 4,
+                target_overlap: target,
+                seed: 42,
+            };
+            let qs = overlapping_queries(&cfg);
+            let measured = measured_overlap(&qs);
+            assert!(
+                (measured - target).abs() < 0.25,
+                "target {target}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_overlap_yields_disjoint_footprints() {
+        let cfg = OverlapConfig {
+            queries: 8,
+            tables: 100,
+            tables_per_query: 3,
+            target_overlap: 0.0,
+            seed: 7,
+        };
+        let qs = overlapping_queries(&cfg);
+        assert_eq!(measured_overlap(&qs), 0.0);
+    }
+
+    #[test]
+    fn full_overlap_yields_shared_footprints() {
+        let cfg = OverlapConfig {
+            queries: 6,
+            tables: 50,
+            tables_per_query: 4,
+            target_overlap: 1.0,
+            seed: 7,
+        };
+        let qs = overlapping_queries(&cfg);
+        // Footprints of size 4 from a pool of 6 must pairwise intersect.
+        assert_eq!(measured_overlap(&qs), 1.0);
+    }
+
+    #[test]
+    fn measured_overlap_small_inputs() {
+        assert_eq!(measured_overlap(&[]), 0.0);
+        let one = random_queries(&RandomQueryConfig {
+            queries: 1,
+            ..RandomQueryConfig::default()
+        });
+        assert_eq!(measured_overlap(&one), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_tables_rejected() {
+        let _ = overlapping_queries(&OverlapConfig {
+            queries: 50,
+            tables: 20,
+            tables_per_query: 5,
+            target_overlap: 0.0,
+            seed: 1,
+        });
+    }
+}

@@ -1,0 +1,163 @@
+//! The 22 TPC-H queries as footprints over the paper's 12-table catalog.
+//!
+//! The paper evaluates on "TPC-H benchmark data set: 6GB data and 22
+//! queries" (§4.1) with LineItem split into five partitions. Reproducing
+//! the figures requires only each query's *footprint* (which tables it
+//! reads — a query over LineItem scans all five partitions) and a relative
+//! cost profile; both are derived from the TPC-H specification below.
+
+use ivdss_catalog::tpch::TpchTable;
+use ivdss_costmodel::query::{QueryId, QuerySpec};
+
+/// The logical footprint and cost profile of one TPC-H query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchQuery {
+    /// TPC-H query number, 1–22.
+    pub number: u8,
+    /// Logical tables referenced.
+    pub tables: &'static [TpchTable],
+    /// Relative processing weight (joins, aggregation, subqueries).
+    pub weight: f64,
+    /// Result selectivity (fraction of scanned remote bytes shipped).
+    pub selectivity: f64,
+}
+
+use TpchTable::{Customer, LineItem, Nation, Orders, Part, PartSupp, Region, Supplier};
+
+/// The 22 TPC-H queries: footprints per the TPC-H specification, weights
+/// reflecting each query's plan complexity (aggregation-only scans ≈ 1,
+/// multi-way join + subquery pipelines up to ≈ 3).
+pub const TPCH_QUERIES: [TpchQuery; 22] = [
+    TpchQuery { number: 1, tables: &[LineItem], weight: 1.2, selectivity: 0.001 },
+    TpchQuery { number: 2, tables: &[Part, Supplier, PartSupp, Nation, Region], weight: 2.0, selectivity: 0.005 },
+    TpchQuery { number: 3, tables: &[Customer, Orders, LineItem], weight: 1.8, selectivity: 0.002 },
+    TpchQuery { number: 4, tables: &[Orders, LineItem], weight: 1.4, selectivity: 0.001 },
+    TpchQuery { number: 5, tables: &[Customer, Orders, LineItem, Supplier, Nation, Region], weight: 2.4, selectivity: 0.002 },
+    TpchQuery { number: 6, tables: &[LineItem], weight: 1.0, selectivity: 0.001 },
+    TpchQuery { number: 7, tables: &[Supplier, LineItem, Orders, Customer, Nation], weight: 2.3, selectivity: 0.002 },
+    TpchQuery { number: 8, tables: &[Part, Supplier, LineItem, Orders, Customer, Nation, Region], weight: 2.6, selectivity: 0.002 },
+    TpchQuery { number: 9, tables: &[Part, Supplier, LineItem, PartSupp, Orders, Nation], weight: 3.0, selectivity: 0.005 },
+    TpchQuery { number: 10, tables: &[Customer, Orders, LineItem, Nation], weight: 1.9, selectivity: 0.003 },
+    TpchQuery { number: 11, tables: &[PartSupp, Supplier, Nation], weight: 1.3, selectivity: 0.01 },
+    TpchQuery { number: 12, tables: &[Orders, LineItem], weight: 1.4, selectivity: 0.001 },
+    TpchQuery { number: 13, tables: &[Customer, Orders], weight: 1.5, selectivity: 0.005 },
+    TpchQuery { number: 14, tables: &[LineItem, Part], weight: 1.3, selectivity: 0.001 },
+    TpchQuery { number: 15, tables: &[Supplier, LineItem], weight: 1.6, selectivity: 0.002 },
+    TpchQuery { number: 16, tables: &[PartSupp, Part, Supplier], weight: 1.4, selectivity: 0.01 },
+    TpchQuery { number: 17, tables: &[LineItem, Part], weight: 2.2, selectivity: 0.001 },
+    TpchQuery { number: 18, tables: &[Customer, Orders, LineItem], weight: 2.5, selectivity: 0.002 },
+    TpchQuery { number: 19, tables: &[LineItem, Part], weight: 1.7, selectivity: 0.001 },
+    TpchQuery { number: 20, tables: &[Supplier, Nation, PartSupp, Part, LineItem], weight: 2.4, selectivity: 0.003 },
+    TpchQuery { number: 21, tables: &[Supplier, LineItem, Orders, Nation], weight: 2.8, selectivity: 0.002 },
+    TpchQuery { number: 22, tables: &[Customer, Orders], weight: 1.6, selectivity: 0.005 },
+];
+
+impl TpchQuery {
+    /// Expands the logical footprint into physical [`QuerySpec`] table ids
+    /// (LineItem → its five partitions).
+    #[must_use]
+    pub fn to_spec(&self) -> QuerySpec {
+        let tables = self
+            .tables
+            .iter()
+            .flat_map(|t| t.table_ids())
+            .collect();
+        QuerySpec::with_profile(
+            QueryId::new(u64::from(self.number)),
+            tables,
+            self.weight,
+            self.selectivity,
+        )
+    }
+}
+
+/// All 22 queries as physical [`QuerySpec`]s (ids 1–22).
+#[must_use]
+pub fn tpch_query_specs() -> Vec<QuerySpec> {
+    TPCH_QUERIES.iter().map(TpchQuery::to_spec).collect()
+}
+
+/// The paper's Fig. 6/7 selection: "15 queries which are neither too cheap
+/// nor too expensive" — we drop the cheapest four and most expensive three
+/// by `weight × footprint size`.
+#[must_use]
+pub fn mid_cost_query_specs() -> Vec<QuerySpec> {
+    let mut ranked: Vec<&TpchQuery> = TPCH_QUERIES.iter().collect();
+    ranked.sort_by(|a, b| {
+        let ka = a.weight * a.tables.len() as f64;
+        let kb = b.weight * b.tables.len() as f64;
+        ka.partial_cmp(&kb)
+            .expect("weights are finite")
+            .then_with(|| a.number.cmp(&b.number))
+    });
+    let mut mid: Vec<&TpchQuery> = ranked[4..ranked.len() - 3].to_vec();
+    mid.sort_by_key(|q| q.number);
+    mid.iter().map(|q| q.to_spec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivdss_catalog::tpch::LINEITEM_PARTITIONS;
+
+    #[test]
+    fn twenty_two_queries_with_valid_numbers() {
+        assert_eq!(TPCH_QUERIES.len(), 22);
+        for (i, q) in TPCH_QUERIES.iter().enumerate() {
+            assert_eq!(usize::from(q.number), i + 1);
+            assert!(!q.tables.is_empty());
+            assert!(q.weight > 0.0);
+            assert!(q.selectivity > 0.0 && q.selectivity <= 1.0);
+        }
+    }
+
+    #[test]
+    fn lineitem_expands_to_partitions() {
+        // Q1 reads only LineItem → 5 physical tables.
+        let q1 = TPCH_QUERIES[0].to_spec();
+        assert_eq!(q1.table_count(), LINEITEM_PARTITIONS);
+        // Q13 reads customer+orders → 2 physical tables.
+        let q13 = TPCH_QUERIES[12].to_spec();
+        assert_eq!(q13.table_count(), 2);
+    }
+
+    #[test]
+    fn specs_reference_only_catalog_tables() {
+        for spec in tpch_query_specs() {
+            for t in spec.tables() {
+                assert!(t.index() < 12, "table {t} outside the 12-table catalog");
+            }
+        }
+    }
+
+    #[test]
+    fn query_ids_match_numbers() {
+        let specs = tpch_query_specs();
+        assert_eq!(specs.len(), 22);
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.id().raw(), (i + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn mid_cost_selection_has_15_queries() {
+        let mid = mid_cost_query_specs();
+        assert_eq!(mid.len(), 15);
+        // The cheapest (Q6: single table, weight 1.0) must be excluded.
+        assert!(mid.iter().all(|q| q.id().raw() != 6));
+        // The most complex (Q9) must be excluded.
+        assert!(mid.iter().all(|q| q.id().raw() != 9));
+        // Sorted by query number.
+        for w in mid.windows(2) {
+            assert!(w[0].id() < w[1].id());
+        }
+    }
+
+    #[test]
+    fn footprints_match_tpch_spec_examples() {
+        // Spot checks against the TPC-H specification.
+        assert_eq!(TPCH_QUERIES[4].tables.len(), 6); // Q5: 6-way join
+        assert!(TPCH_QUERIES[20].tables.contains(&Supplier)); // Q21
+        assert!(!TPCH_QUERIES[0].tables.contains(&Orders)); // Q1 is LineItem-only
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: select the information value-optimal plan for one query.
+//!
+//! Builds the paper's TPC-H deployment (12 tables over 3 remote sites,
+//! every table replicated at the DSS so that all three planners face the
+//! *same* infrastructure), submits a 4-table query a while after the last
+//! synchronization, and compares the plan the IVQP framework selects
+//! against the Federation and Data Warehouse baselines under several user
+//! preferences (discount-rate pairs). On equal infrastructure IVQP's plan
+//! space contains both baselines, so its information value dominates.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ivdss::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // TPC-H at scale factor 6, LineItem split into five partitions, and —
+    // for this single-query comparison — every table replicated locally
+    // with a 10-minute refresh cycle.
+    let hybrid = tpch_catalog(&TpchConfig::default())?;
+    let catalog = hybrid.with_replication(ReplicationPlan::full(hybrid.table_ids(), 10.0))?;
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let model = AnalyticCostModel::paper_scale();
+
+    // A complex report over customer, orders and two LineItem partitions,
+    // submitted 8 minutes after the last refresh (2 minutes before the
+    // next one at t = 20).
+    let query = QuerySpec::with_profile(
+        QueryId::new(1),
+        vec![TableId::new(3), TableId::new(6), TableId::new(7), TableId::new(8)],
+        2.0,
+        0.005,
+    );
+    let request = QueryRequest::new(query, SimTime::new(18.0));
+
+    println!("query {} submitted at t = 18.0 (minutes); replicas refreshed at 10, 20, …", request.query);
+    println!();
+    println!(
+        "{:<28} {:>10} {:>8} {:>8} {:>9} {:>8}",
+        "user preference", "planner", "CL", "SL", "IV", "delayed"
+    );
+
+    for (label, rates) in [
+        ("latency-sensitive (λcl=.05)", DiscountRates::new(0.05, 0.01)),
+        ("staleness-sensitive (λsl=.10)", DiscountRates::new(0.01, 0.10)),
+        ("balanced (λ=.01)", DiscountRates::new(0.01, 0.01)),
+    ] {
+        let ctx = PlanContext {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates,
+            queues: &NoQueues,
+        };
+        let ivqp = IvqpPlanner::new().select_plan(&ctx, &request)?;
+        let fed = FederationPlanner::new().select_plan(&ctx, &request)?;
+        let dw = WarehousePlanner::new().select_plan(&ctx, &request)?;
+        assert!(
+            ivqp.information_value.value()
+                >= fed.information_value.value().max(dw.information_value.value()) - 1e-12,
+            "on equal infrastructure IVQP dominates both baselines"
+        );
+        for (name, plan) in [("IVQP", &ivqp), ("Federation", &fed), ("Warehouse", &dw)] {
+            println!(
+                "{:<28} {:>10} {:>8.2} {:>8.2} {:>9.4} {:>8}",
+                label,
+                name,
+                plan.latencies.computational.value(),
+                plan.latencies.synchronization.value(),
+                plan.information_value.value(),
+                if plan.is_delayed(request.submitted_at) {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+        }
+        println!();
+    }
+
+    println!("IVQP adapts the plan to the user's discount rates instead of");
+    println!("always minimizing response time — the paper's core claim.");
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Starvation under pure value-maximizing dispatch, and the §3.3 cure.
+//!
+//! The paper warns that maximizing information value alone "favors
+//! immediate execution … if a query is queued for a longer period, it is
+//! more likely the query continues to be queued", starving low-value
+//! reports under load. The fix adapts the formula "by adding a function
+//! of time values" that grows faster than the CL/SL discount shrinks.
+//!
+//! This example drives an overloaded federation server with a mix of
+//! high- and low-value queries under both policies and reports the
+//! waiting-time distribution of each.
+//!
+//! Run with: `cargo run --release --example starvation`
+
+use ivdss::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = synthetic_catalog(&SyntheticConfig {
+        tables: 12,
+        sites: 2,
+        replicated_tables: 12,
+        mean_sync_period: 5.0,
+        rows_range: (1_000, 200_000),
+        seed: 5,
+        ..SyntheticConfig::default()
+    })?;
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let model = StylizedCostModel::paper_fig4();
+    let rates = DiscountRates::new(0.02, 0.02);
+    let env = Environment {
+        catalog: &catalog,
+        timelines: &timelines,
+        model: &model,
+        rates,
+        loading: None,
+    };
+
+    // Heavy load: arrivals every 0.8 time units, service ≈ 2; every fourth
+    // query is a low-value housekeeping report the greedy scheduler keeps
+    // skipping.
+    let requests: Vec<QueryRequest> = (0..60)
+        .map(|i| {
+            let value = if i % 4 == 0 { 0.2 } else { 1.0 };
+            QueryRequest::new(
+                QuerySpec::new(
+                    QueryId::new(i as u64),
+                    vec![TableId::new((i % 12) as u32)],
+                ),
+                SimTime::new(1.0 + 0.8 * i as f64),
+            )
+            .with_business_value(BusinessValue::new(value))
+        })
+        .collect();
+
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10}",
+        "policy", "mean wait", "max wait", "p90 wait", "total IV"
+    );
+    for (label, aging) in [
+        ("pure value-maximizing", AgingPolicy::DISABLED),
+        ("aging (paper §3.3)", AgingPolicy::outpacing(rates, 0.05)),
+    ] {
+        let metrics = run_prioritized(&env, &IvqpPlanner::new(), &requests, aging)?;
+        let waits = metrics.waiting_stats();
+        let mut samples = ivdss::simkernel::SampleSet::new();
+        for o in metrics.outcomes() {
+            samples.record(o.waiting_time().value());
+        }
+        println!(
+            "{:<26} {:>10.2} {:>10.2} {:>10.2} {:>10.3}",
+            label,
+            waits.mean(),
+            waits.max().unwrap_or(0.0),
+            samples.quantile(0.9).unwrap_or(0.0),
+            metrics.total_information_value(),
+        );
+    }
+
+    println!();
+    println!("Aging bounds the worst-case waiting time of unlucky queries at a");
+    println!("modest cost in total information value — the paper: starvation");
+    println!("\"does not have impact on achieving overall optimal information");
+    println!("value but it may results in many unhappy end users\" (§3.3).");
+    Ok(())
+}

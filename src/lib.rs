@@ -1,0 +1,100 @@
+//! # ivdss — Information Value-Driven Near Real-Time Decision Support
+//!
+//! A full Rust reproduction of *Information Value-driven Near Real-Time
+//! Decision Support Systems* (Ying Yan, Wen-Syan Li, Jian Xu — ICDCS
+//! 2009): a federated decision-support system that routes and schedules
+//! queries to maximize the **information value** of each report,
+//!
+//! ```text
+//! IV = BusinessValue × (1 − λ_CL)^CL × (1 − λ_SL)^SL
+//! ```
+//!
+//! where `CL` is the computational latency and `SL` the synchronization
+//! latency of the data the plan read.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`simkernel`] | Discrete-event simulation kernel (clock, events, random streams, statistics, FIFO facilities) |
+//! | [`catalog`] | Tables, sites, placement, replication plans; TPC-H and synthetic schemas |
+//! | [`costmodel`] | Query footprints, per-combination plan-cost compilation, stylized and analytic cost models |
+//! | [`replication`] | Synchronization schedules/timelines, replica versions, QoS replication |
+//! | [`core`] | **The paper's contribution**: the IV model, plan evaluation, the scatter-and-gather optimal plan search, IVQP/Federation/Warehouse planners, starvation aging |
+//! | [`ga`] | Genetic algorithm with permutation genomes and order crossover |
+//! | [`mqo`] | Workload formation and GA-driven multi-query (order) optimization |
+//! | [`workloads`] | The 22 TPC-H query footprints, synthetic query generators, arrival streams |
+//! | [`dsim`] | End-to-end DSS simulator and the per-figure experiment drivers |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ivdss::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's TPC-H setup: 12 tables over 3 sites, 5 replicated.
+//! let catalog = tpch_catalog(&TpchConfig::default())?;
+//! let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+//! let model = AnalyticCostModel::paper_scale();
+//!
+//! let ctx = PlanContext {
+//!     catalog: &catalog,
+//!     timelines: &timelines,
+//!     model: &model,
+//!     rates: DiscountRates::new(0.01, 0.05),
+//!     queues: &NoQueues,
+//! };
+//! let query = QuerySpec::new(QueryId::new(1), catalog.table_ids()[..4].to_vec());
+//! let request = QueryRequest::new(query, SimTime::new(11.0));
+//!
+//! let plan = IvqpPlanner::new().select_plan(&ctx, &request)?;
+//! println!("IV = {}, {}", plan.information_value, plan.latencies);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ivdss_catalog as catalog;
+pub use ivdss_core as core;
+pub use ivdss_costmodel as costmodel;
+pub use ivdss_dsim as dsim;
+pub use ivdss_ga as ga;
+pub use ivdss_mqo as mqo;
+pub use ivdss_replication as replication;
+pub use ivdss_simkernel as simkernel;
+pub use ivdss_workloads as workloads;
+
+/// The most commonly used items, importable with one `use`.
+pub mod prelude {
+    pub use ivdss_catalog::{
+        synthetic_catalog, tpch_catalog, Catalog, PlacementStrategy, ReplicaSpec,
+        ReplicationPlan, SiteId, SyntheticConfig, TableId, TableMeta, TpchConfig,
+    };
+    pub use ivdss_core::{
+        evaluate_plan, exhaustive_search, AgingPolicy, BusinessValue, DiscountRate,
+        DiscountRates, FacilityQueues, FederationPlanner, InformationValue, IvqpPlanner,
+        Latencies, NoQueues, PlacementAdvisor, PlanContext, PlanError, PlanEvaluation,
+        Planner, QueryRequest, ScatterGatherSearch, WarehousePlanner,
+    };
+    pub use ivdss_costmodel::{
+        AnalyticCostModel, CompiledQuery, CostModel, PlanCost, QueryId, QuerySpec,
+        StylizedCostModel,
+    };
+    pub use ivdss_dsim::{
+        run_arrival_driven, run_prioritized, Environment, ReplicaLoading, RunMetrics,
+    };
+    pub use ivdss_ga::{optimize_permutation, GaConfig, Permutation};
+    pub use ivdss_mqo::{
+        form_workloads, FifoScheduler, MqoScheduler, WorkloadEvaluator, WorkloadScheduler,
+    };
+    pub use ivdss_replication::{Schedule, SyncMode, SyncTimelines};
+    pub use ivdss_simkernel::{
+        Engine, ExponentialStream, OnlineStats, SeedFactory, SimDuration, SimTime, Stream,
+    };
+    pub use ivdss_workloads::{
+        mid_cost_query_specs, overlapping_queries, random_queries, tpch_query_specs,
+        ArrivalStream, FrequencyRatio, OverlapConfig, RandomQueryConfig,
+    };
+}

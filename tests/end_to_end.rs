@@ -1,0 +1,180 @@
+//! End-to-end integration tests: the full pipeline — catalog →
+//! replication timelines → cost model → planner → simulator → metrics —
+//! across crate boundaries.
+
+use ivdss::prelude::*;
+
+fn tpch_env() -> (
+    ivdss::catalog::Catalog,
+    ivdss::replication::SyncTimelines,
+    AnalyticCostModel,
+) {
+    let catalog = tpch_catalog(&TpchConfig::default()).unwrap();
+    let timelines = SyncTimelines::from_plan(
+        catalog.replication(),
+        SyncMode::Stochastic {
+            horizon: SimTime::new(10_000.0),
+            seed: 42,
+        },
+    );
+    (catalog, timelines, AnalyticCostModel::paper_scale())
+}
+
+#[test]
+fn tpch_stream_completes_with_positive_iv() {
+    let (catalog, timelines, model) = tpch_env();
+    let env = Environment {
+        catalog: &catalog,
+        timelines: &timelines,
+        model: &model,
+        rates: DiscountRates::new(0.01, 0.01),
+        loading: Some(ReplicaLoading::paper_scale()),
+    };
+    let requests = ArrivalStream::new(tpch_query_specs(), 20.0, 7).take_requests(66);
+    let metrics = run_arrival_driven(&env, &IvqpPlanner::new(), &requests).unwrap();
+    assert_eq!(metrics.len(), 66);
+    assert!(metrics.mean_information_value() > 0.0);
+    assert!(metrics.mean_computational_latency() > 0.0);
+    // Near-real-time regime: minutes, not hours.
+    assert!(
+        metrics.mean_computational_latency() < 60.0,
+        "mean CL {} should stay within the hour",
+        metrics.mean_computational_latency()
+    );
+}
+
+#[test]
+fn simulation_is_deterministic_end_to_end() {
+    let (catalog, timelines, model) = tpch_env();
+    let run = || {
+        let env = Environment {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::new(0.05, 0.01),
+            loading: Some(ReplicaLoading::paper_scale()),
+        };
+        let requests = ArrivalStream::new(tpch_query_specs(), 20.0, 9).take_requests(44);
+        run_arrival_driven(&env, &IvqpPlanner::new(), &requests).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical seeds must reproduce identical runs");
+}
+
+#[test]
+fn ivqp_dominates_baselines_on_shared_infrastructure() {
+    // On the SAME catalog (here: everything replicated), IVQP's plan
+    // space contains both baselines, so per query it must never deliver
+    // less information value.
+    let catalog = tpch_catalog(&TpchConfig::default()).unwrap();
+    let full = catalog
+        .with_replication(ReplicationPlan::full(catalog.table_ids(), 2.0))
+        .unwrap();
+    let timelines = SyncTimelines::from_plan(
+        full.replication(),
+        SyncMode::Stochastic {
+            horizon: SimTime::new(10_000.0),
+            seed: 5,
+        },
+    );
+    let model = AnalyticCostModel::paper_scale();
+    let rates = DiscountRates::new(0.02, 0.03);
+    let ctx = PlanContext {
+        catalog: &full,
+        timelines: &timelines,
+        model: &model,
+        rates,
+        queues: &NoQueues,
+    };
+    for (i, spec) in tpch_query_specs().into_iter().enumerate() {
+        let request = QueryRequest::new(spec, SimTime::new(10.0 + 3.0 * i as f64));
+        let ivqp = IvqpPlanner::new().select_plan(&ctx, &request).unwrap();
+        let fed = FederationPlanner::new().select_plan(&ctx, &request).unwrap();
+        let dw = WarehousePlanner::new().select_plan(&ctx, &request).unwrap();
+        let best = fed
+            .information_value
+            .value()
+            .max(dw.information_value.value());
+        assert!(
+            ivqp.information_value.value() >= best - 1e-12,
+            "query {}: IVQP {} < best baseline {}",
+            request.query,
+            ivqp.information_value,
+            best
+        );
+    }
+}
+
+#[test]
+fn mqo_improves_contended_tpch_burst() {
+    let (catalog, timelines, model) = tpch_env();
+    let rates = DiscountRates::new(0.15, 0.15);
+    // A burst of 6 TPC-H reports within three minutes.
+    let requests: Vec<QueryRequest> = tpch_query_specs()
+        .into_iter()
+        .take(6)
+        .enumerate()
+        .map(|(i, spec)| QueryRequest::new(spec, SimTime::new(50.0 + 0.5 * i as f64)))
+        .collect();
+    let evaluator = WorkloadEvaluator::new(&catalog, &timelines, &model, rates, &requests);
+    let mqo = MqoScheduler::new().schedule(&evaluator).unwrap();
+    let fifo = FifoScheduler::new().schedule(&evaluator).unwrap();
+    assert!(mqo.total_information_value >= fifo.total_information_value - 1e-9);
+}
+
+#[test]
+fn workload_formation_pipeline() {
+    let (catalog, timelines, model) = tpch_env();
+    let ctx = PlanContext {
+        catalog: &catalog,
+        timelines: &timelines,
+        model: &model,
+        rates: DiscountRates::new(0.05, 0.05),
+        queues: &NoQueues,
+    };
+    // Two bursts far apart: expect at least two workload groups.
+    let mut requests: Vec<QueryRequest> = tpch_query_specs()
+        .into_iter()
+        .take(3)
+        .enumerate()
+        .map(|(i, s)| QueryRequest::new(s, SimTime::new(10.0 + 0.5 * i as f64)))
+        .collect();
+    requests.extend(
+        tpch_query_specs()
+            .into_iter()
+            .skip(3)
+            .take(3)
+            .enumerate()
+            .map(|(i, s)| QueryRequest::new(s, SimTime::new(5_000.0 + 0.5 * i as f64))),
+    );
+    let ranges = ivdss::mqo::execution_ranges(&ctx, &requests).unwrap();
+    let groups = form_workloads(&ranges);
+    assert!(groups.len() >= 2, "distant bursts must form separate workloads");
+    let total: usize = groups.iter().map(Vec::len).sum();
+    assert_eq!(total, 6);
+}
+
+#[test]
+fn prioritized_discipline_serves_everyone() {
+    let (catalog, timelines, model) = tpch_env();
+    let rates = DiscountRates::new(0.02, 0.02);
+    let env = Environment {
+        catalog: &catalog,
+        timelines: &timelines,
+        model: &model,
+        rates,
+        loading: None,
+    };
+    let requests = ArrivalStream::new(tpch_query_specs(), 6.0, 3).take_requests(30);
+    let aging = AgingPolicy::outpacing(rates, 0.02);
+    let plain = run_prioritized(&env, &IvqpPlanner::new(), &requests, AgingPolicy::DISABLED)
+        .unwrap();
+    let aged = run_prioritized(&env, &IvqpPlanner::new(), &requests, aging).unwrap();
+    assert_eq!(plain.len(), 30);
+    assert_eq!(aged.len(), 30);
+    // Aging must not worsen the maximum waiting time.
+    assert!(
+        aged.waiting_stats().max().unwrap() <= plain.waiting_stats().max().unwrap() + 1e-9
+    );
+}
