@@ -40,7 +40,10 @@ fn requests(n: usize) -> Vec<QueryRequest> {
             QueryRequest::new(
                 QuerySpec::new(
                     QueryId::new(i as u64),
-                    vec![TableId::new((i % 3) as u32), TableId::new(((i + 1) % 3) as u32)],
+                    vec![
+                        TableId::new((i % 3) as u32),
+                        TableId::new(((i + 1) % 3) as u32),
+                    ],
                 ),
                 SimTime::new(10.0 + 0.2 * i as f64),
             )
@@ -71,9 +74,7 @@ fn bench_mqo(c: &mut Criterion) {
         });
         if n <= 6 {
             group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
-                b.iter(|| {
-                    black_box(ExhaustiveScheduler::default().schedule(&evaluator).unwrap())
-                });
+                b.iter(|| black_box(ExhaustiveScheduler::default().schedule(&evaluator).unwrap()));
             });
         }
     }

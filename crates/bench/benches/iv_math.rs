@@ -2,14 +2,14 @@
 //! itself, its boundary inversion, and full plan evaluation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ivdss_catalog::ids::TableId;
+use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
 use ivdss_core::latency::Latencies;
 use ivdss_core::plan::{evaluate_plan, NoQueues, PlanContext, QueryRequest};
 use ivdss_core::value::{BusinessValue, DiscountRate, DiscountRates, InformationValue};
 use ivdss_costmodel::model::StylizedCostModel;
 use ivdss_costmodel::query::{QueryId, QuerySpec};
-use ivdss_catalog::ids::TableId;
-use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
-use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
 use ivdss_replication::timelines::{SyncMode, SyncTimelines};
 use ivdss_simkernel::time::{SimDuration, SimTime};
 use std::collections::BTreeSet;

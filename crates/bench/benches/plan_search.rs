@@ -73,9 +73,7 @@ fn bench_search(c: &mut Criterion) {
             &replicated,
             |b, _| {
                 b.iter(|| {
-                    black_box(
-                        exhaustive_search(black_box(&ctx), black_box(&request), 64).unwrap(),
-                    )
+                    black_box(exhaustive_search(black_box(&ctx), black_box(&request), 64).unwrap())
                 });
             },
         );

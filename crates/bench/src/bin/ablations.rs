@@ -107,7 +107,10 @@ fn ablate_schedulers() {
         })
         .collect();
     let evaluator = WorkloadEvaluator::new(&catalog, &timelines, &model, rates, &requests);
-    println!("{:<14} {:>12} {:>14}", "scheduler", "total IV", "vs optimal %");
+    println!(
+        "{:<14} {:>12} {:>14}",
+        "scheduler", "total IV", "vs optimal %"
+    );
     let optimal = ExhaustiveScheduler::default()
         .schedule(&evaluator)
         .expect("exhaustive feasible")
@@ -200,8 +203,8 @@ fn ablate_aging() {
         ("no aging", AgingPolicy::DISABLED),
         ("outpacing(+0.05)", AgingPolicy::outpacing(rates, 0.05)),
     ] {
-        let metrics = run_prioritized(&env, &IvqpPlanner::new(), &requests, aging)
-            .expect("run completes");
+        let metrics =
+            run_prioritized(&env, &IvqpPlanner::new(), &requests, aging).expect("run completes");
         let waits = metrics.waiting_stats();
         println!(
             "{:<22} {:>10.2} {:>10.2} {:>10.3}",

@@ -7,20 +7,29 @@ use ivdss_ga::engine::GaConfig;
 
 fn main() {
     let quick = quick_mode();
-    println!("IVDSS — regenerating all figures{}", if quick { " (quick)" } else { "" });
+    println!(
+        "IVDSS — regenerating all figures{}",
+        if quick { " (quick)" } else { "" }
+    );
     println!();
     print!("{}", fig4::run_fig4().to_table());
     println!();
 
     let f5 = if quick {
-        fig5::Fig5Config { arrivals: 40, ..Default::default() }
+        fig5::Fig5Config {
+            arrivals: 40,
+            ..Default::default()
+        }
     } else {
         fig5::Fig5Config::default()
     };
     print!("{}", fig5::run_fig5(&f5).to_table());
 
     let f67 = if quick {
-        fig67::Fig67Config { arrivals: 60, ..Default::default() }
+        fig67::Fig67Config {
+            arrivals: 60,
+            ..Default::default()
+        }
     } else {
         fig67::Fig67Config::default()
     };
@@ -29,7 +38,10 @@ fn main() {
     print!("{}", fig67::run_fig7(&f67).to_table());
 
     let f8 = if quick {
-        fig8::Fig8Config { arrivals: 40, ..Default::default() }
+        fig8::Fig8Config {
+            arrivals: 40,
+            ..Default::default()
+        }
     } else {
         fig8::Fig8Config::default()
     };

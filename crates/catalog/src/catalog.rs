@@ -49,13 +49,19 @@ impl fmt::Display for CatalogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CatalogError::NonDenseTableId { position, found } => {
-                write!(f, "table at position {position} has id {found}, expected T{position}")
+                write!(
+                    f,
+                    "table at position {position} has id {found}, expected T{position}"
+                )
             }
             CatalogError::PlacementLengthMismatch { tables, placement } => {
                 write!(f, "{tables} tables but {placement} placement entries")
             }
             CatalogError::UnknownSite { table, site, sites } => {
-                write!(f, "table {table} placed at {site} but only {sites} sites exist")
+                write!(
+                    f,
+                    "table {table} placed at {site} but only {sites} sites exist"
+                )
             }
             CatalogError::UnknownReplicatedTable { table } => {
                 write!(f, "replication plan references unknown table {table}")
@@ -275,7 +281,10 @@ mod tests {
         assert_eq!(cat.table_count(), 4);
         assert_eq!(cat.site_count(), 2);
         assert_eq!(cat.site_of(TableId::new(3)), SiteId::new(1));
-        assert_eq!(cat.tables_at(SiteId::new(0)), vec![TableId::new(0), TableId::new(2)]);
+        assert_eq!(
+            cat.tables_at(SiteId::new(0)),
+            vec![TableId::new(0), TableId::new(2)]
+        );
         assert_eq!(cat.table(TableId::new(1)).name(), "t1");
         assert_eq!(cat.table_ids().len(), 4);
     }
@@ -300,7 +309,12 @@ mod tests {
             Err(CatalogError::Empty)
         );
         assert_eq!(
-            Catalog::new(tables(1), 0, uniform_placement(1, 1), ReplicationPlan::new()),
+            Catalog::new(
+                tables(1),
+                0,
+                uniform_placement(1, 1),
+                ReplicationPlan::new()
+            ),
             Err(CatalogError::Empty)
         );
     }
@@ -309,14 +323,23 @@ mod tests {
     fn non_dense_ids_rejected() {
         let bad = vec![TableMeta::new(TableId::new(1), "x", 1, 1)];
         let err = Catalog::new(bad, 1, vec![SiteId::new(0)], ReplicationPlan::new()).unwrap_err();
-        assert!(matches!(err, CatalogError::NonDenseTableId { position: 0, .. }));
+        assert!(matches!(
+            err,
+            CatalogError::NonDenseTableId { position: 0, .. }
+        ));
     }
 
     #[test]
     fn placement_length_checked() {
-        let err = Catalog::new(tables(3), 1, vec![SiteId::new(0)], ReplicationPlan::new())
-            .unwrap_err();
-        assert!(matches!(err, CatalogError::PlacementLengthMismatch { tables: 3, placement: 1 }));
+        let err =
+            Catalog::new(tables(3), 1, vec![SiteId::new(0)], ReplicationPlan::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            CatalogError::PlacementLengthMismatch {
+                tables: 3,
+                placement: 1
+            }
+        ));
     }
 
     #[test]

@@ -7,7 +7,6 @@ use std::fmt;
 
 /// Identifier of a base table (and of its replica, if one exists).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TableId(u32);
 
 impl TableId {
@@ -40,7 +39,6 @@ impl From<u32> for TableId {
 /// DSS itself) is *not* a `SiteId`; it is addressed separately so that a
 /// query plan can never accidentally treat the DSS as a remote source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SiteId(u32);
 
 impl SiteId {

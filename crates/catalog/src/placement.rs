@@ -13,7 +13,6 @@ use crate::ids::{SiteId, TableId};
 
 /// How base tables are distributed over remote sites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PlacementStrategy {
     /// Tables are spread evenly (round-robin over a random permutation).
     #[default]

@@ -22,7 +22,6 @@ use crate::ids::TableId;
 /// paper's experiments), while deterministic schedules use it directly as
 /// the period. `phase` offsets the first synchronization.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReplicaSpec {
     mean_period: f64,
     phase: f64,
@@ -87,7 +86,6 @@ impl ReplicaSpec {
 /// assert_eq!(plan.len(), 1);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReplicationPlan {
     replicas: BTreeMap<TableId, ReplicaSpec>,
 }
@@ -164,12 +162,7 @@ impl ReplicationPlan {
     ///
     /// Panics if `count` exceeds the number of tables offered.
     #[must_use]
-    pub fn random_subset(
-        tables: &[TableId],
-        count: usize,
-        mean_period: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn random_subset(tables: &[TableId], count: usize, mean_period: f64, seed: u64) -> Self {
         assert!(
             count <= tables.len(),
             "cannot replicate {count} of {} tables",
@@ -213,11 +206,15 @@ mod tests {
         let mut plan = ReplicationPlan::new();
         assert!(plan.is_empty());
         assert_eq!(plan.add(TableId::new(1), ReplicaSpec::new(5.0)), None);
-        assert!(plan
-            .add(TableId::new(1), ReplicaSpec::new(7.0))
-            .is_some());
-        assert_eq!(plan.spec(TableId::new(1)).map(ReplicaSpec::mean_period), Some(7.0));
-        assert_eq!(plan.remove(TableId::new(1)).map(|s| s.mean_period()), Some(7.0));
+        assert!(plan.add(TableId::new(1), ReplicaSpec::new(7.0)).is_some());
+        assert_eq!(
+            plan.spec(TableId::new(1)).map(ReplicaSpec::mean_period),
+            Some(7.0)
+        );
+        assert_eq!(
+            plan.remove(TableId::new(1)).map(|s| s.mean_period()),
+            Some(7.0)
+        );
         assert!(plan.is_empty());
     }
 

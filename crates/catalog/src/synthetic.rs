@@ -88,7 +88,12 @@ pub fn synthetic_catalog(config: &SyntheticConfig) -> Result<Catalog, CatalogErr
         .map(|i| {
             let rows = rng.random_range(log_lo..log_hi).exp() as u64;
             let row_bytes = rng.random_range(64..256u32);
-            TableMeta::new(TableId::new(i as u32), format!("syn{i}"), rows.max(lo), row_bytes)
+            TableMeta::new(
+                TableId::new(i as u32),
+                format!("syn{i}"),
+                rows.max(lo),
+                row_bytes,
+            )
         })
         .collect();
     let placement = place_tables(

@@ -21,7 +21,6 @@ use crate::ids::TableId;
 /// assert_eq!(t.name(), "orders");
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TableMeta {
     id: TableId,
     name: String,

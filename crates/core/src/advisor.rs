@@ -183,11 +183,12 @@ impl PlacementAdvisor {
         workload: &[QueryRequest],
         plan: &ReplicationPlan,
     ) -> Result<f64, PlanError> {
-        let catalog = catalog
-            .with_replication(plan.clone())
-            .map_err(|_| PlanError::NoFeasiblePlan {
-                query: workload[0].id(),
-            })?;
+        let catalog =
+            catalog
+                .with_replication(plan.clone())
+                .map_err(|_| PlanError::NoFeasiblePlan {
+                    query: workload[0].id(),
+                })?;
         let timelines = SyncTimelines::from_plan(plan, SyncMode::Deterministic);
         let ctx = PlanContext {
             catalog: &catalog,

@@ -92,11 +92,7 @@ mod tests {
     #[test]
     fn from_timing_computes_both() {
         // Submitted at 11, received at 21, stalest data from 8.
-        let l = Latencies::from_timing(
-            SimTime::new(11.0),
-            SimTime::new(21.0),
-            SimTime::new(8.0),
-        );
+        let l = Latencies::from_timing(SimTime::new(11.0), SimTime::new(21.0), SimTime::new(8.0));
         assert_eq!(l.computational, SimDuration::new(10.0));
         assert_eq!(l.synchronization, SimDuration::new(13.0));
     }
@@ -112,11 +108,7 @@ mod tests {
 
     #[test]
     fn future_version_clamps_sl_to_zero() {
-        let l = Latencies::from_timing(
-            SimTime::new(0.0),
-            SimTime::new(1.0),
-            SimTime::new(2.0),
-        );
+        let l = Latencies::from_timing(SimTime::new(0.0), SimTime::new(1.0), SimTime::new(2.0));
         assert_eq!(l.synchronization, SimDuration::ZERO);
     }
 

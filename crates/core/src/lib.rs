@@ -84,10 +84,13 @@ pub mod value;
 pub use advisor::{AdvisorStep, PlacementAdvisor, Recommendation};
 pub use latency::Latencies;
 pub use plan::{
-    evaluate_plan, FacilityQueues, NoQueues, PlanContext, PlanError, PlanEvaluation,
-    QueryRequest, QueueEstimator,
+    evaluate_plan, FacilityQueues, NoQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest,
+    QueueEstimator,
 };
 pub use planner::{FederationPlanner, IvqpPlanner, Planner, WarehousePlanner};
-pub use search::{exhaustive_search, ScatterGatherSearch, SearchOutcome};
+pub use search::{
+    exhaustive_search, is_better, local_subsets, replicated_footprint, ScatterGatherSearch,
+    SearchOutcome,
+};
 pub use starvation::AgingPolicy;
 pub use value::{BusinessValue, DiscountRate, DiscountRates, InformationValue};

@@ -153,7 +153,9 @@ impl QueueEstimator for FacilityQueues {
     }
 
     fn remote_delay(&self, site: SiteId, at: SimTime, service: SimDuration) -> SimDuration {
-        self.remotes[site.index()].probe(at, service).queue_delay(at)
+        self.remotes[site.index()]
+            .probe(at, service)
+            .queue_delay(at)
     }
 }
 
@@ -338,8 +340,11 @@ pub fn evaluate_plan(
     if !remote.is_empty() {
         let remote_vec: Vec<TableId> = remote.iter().copied().collect();
         for site in ctx.catalog.sites_spanned(&remote_vec) {
-            queue_delay =
-                queue_delay.max(ctx.queues.remote_delay(site, execute_at, cost.remote_processing));
+            queue_delay = queue_delay.max(ctx.queues.remote_delay(
+                site,
+                execute_at,
+                cost.remote_processing,
+            ));
         }
     }
     let service_start = execute_at + queue_delay;
@@ -361,8 +366,7 @@ pub fn evaluate_plan(
     }
 
     let latencies = Latencies::from_timing(request.submitted_at, finish, data_version);
-    let information_value =
-        InformationValue::compute(request.business_value, ctx.rates, latencies);
+    let information_value = InformationValue::compute(request.business_value, ctx.rates, latencies);
 
     Ok(PlanEvaluation {
         query: request.id(),

@@ -182,7 +182,9 @@ impl Planner for WarehousePlanner {
         let local: BTreeSet<_> = request.query.tables().iter().copied().collect();
         for &t in &local {
             if !ctx.timelines.has_replica(t) {
-                return Err(PlanError::NoFeasiblePlan { query: request.id() });
+                return Err(PlanError::NoFeasiblePlan {
+                    query: request.id(),
+                });
             }
         }
         let release = request.submitted_at.max(not_before);

@@ -176,8 +176,7 @@ impl ScatterGatherSearch {
         request: &QueryRequest,
         best: &PlanEvaluation,
     ) -> SimTime {
-        let threshold =
-            (best.information_value.value() / request.business_value.value()).min(1.0);
+        let threshold = (best.information_value.value() / request.business_value.value()).min(1.0);
         if threshold <= 0.0 {
             return SimTime::MAX;
         }
@@ -239,7 +238,12 @@ pub fn exhaustive_search(
 }
 
 /// The footprint tables that have replicas (the combination dimension).
-fn replicated_footprint(ctx: &PlanContext<'_>, request: &QueryRequest) -> Vec<TableId> {
+///
+/// Public so schedulers and caches built on top of the search (e.g. the
+/// serving engine's plan cache) can reason about the same candidate space
+/// without re-deriving it.
+#[must_use]
+pub fn replicated_footprint(ctx: &PlanContext<'_>, request: &QueryRequest) -> Vec<TableId> {
     request
         .query
         .tables()
@@ -251,7 +255,12 @@ fn replicated_footprint(ctx: &PlanContext<'_>, request: &QueryRequest) -> Vec<Ta
 
 /// All subsets of the replicated footprint, smallest mask first (the empty
 /// set — the all-remote plan — comes first).
-fn local_subsets(replicated: &[TableId]) -> Vec<BTreeSet<TableId>> {
+///
+/// # Panics
+///
+/// Panics if the replicated footprint has `usize::BITS` or more tables.
+#[must_use]
+pub fn local_subsets(replicated: &[TableId]) -> Vec<BTreeSet<TableId>> {
     let n = replicated.len();
     assert!(n < usize::BITS as usize, "too many replicated tables");
     (0..(1usize << n))
@@ -267,8 +276,12 @@ fn local_subsets(replicated: &[TableId]) -> Vec<BTreeSet<TableId>> {
 }
 
 /// Strict improvement with deterministic tie-breaking: higher IV wins;
-/// ties prefer earlier finish, then fewer remote reads.
-fn is_better(candidate: &PlanEvaluation, incumbent: Option<&PlanEvaluation>) -> bool {
+/// ties prefer earlier finish, then fewer remote reads. Exposed so
+/// downstream re-evaluators (the serving engine's plan cache re-scores
+/// cached champions at the live submission time) rank candidates exactly
+/// as the search itself would.
+#[must_use]
+pub fn is_better(candidate: &PlanEvaluation, incumbent: Option<&PlanEvaluation>) -> bool {
     let Some(inc) = incumbent else { return true };
     let c = candidate.information_value.value();
     let i = inc.information_value.value();
@@ -445,10 +458,7 @@ mod tests {
         let (catalog, timelines) = fixture(&[(0, 1.0)]);
         let model = StylizedCostModel::paper_fig4();
         let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(0.0, 0.1));
-        let req = QueryRequest::new(
-            QuerySpec::new(QueryId::new(0), vec![t(0)]),
-            SimTime::ZERO,
-        );
+        let req = QueryRequest::new(QuerySpec::new(QueryId::new(0), vec![t(0)]), SimTime::ZERO);
         let search = ScatterGatherSearch::with_max_sync_points(5);
         let sg = search.search(&ctx, &req).unwrap();
         assert!(sg.sync_points_visited <= 5);

@@ -315,10 +315,7 @@ mod tests {
         // The zero rate never bounds.
         assert_eq!(DiscountRate::ZERO.max_latency_for_factor(0.5), None);
         // threshold 1.0 → zero latency allowed.
-        assert_eq!(
-            rate.max_latency_for_factor(1.0),
-            Some(SimDuration::ZERO)
-        );
+        assert_eq!(rate.max_latency_for_factor(1.0), Some(SimDuration::ZERO));
     }
 
     #[test]

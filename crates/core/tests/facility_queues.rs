@@ -1,0 +1,77 @@
+//! Regression tests for calendar-backed queue estimation at exact
+//! reservation boundaries: a plan released exactly when another
+//! reservation ends must see zero delay, and exact-fit backfill must
+//! not disturb existing reservations.
+
+use ivdss_catalog::ids::SiteId;
+use ivdss_core::plan::{FacilityQueues, NoQueues, QueueEstimator};
+use ivdss_simkernel::time::{SimDuration, SimTime};
+
+#[test]
+fn local_release_at_exact_busy_end_sees_zero_delay() {
+    let mut queues = FacilityQueues::new(2);
+    // Busy [0,4). Released exactly at the end boundary: half-open
+    // intervals mean no overlap and therefore no queueing delay.
+    queues
+        .local_mut()
+        .book(SimTime::new(0.0), SimDuration::new(4.0));
+    let delay = queues.local_delay(SimTime::new(4.0), SimDuration::new(2.0));
+    assert_eq!(delay, SimDuration::ZERO);
+    // One instant earlier the work still collides with the busy window.
+    let delay = queues.local_delay(SimTime::new(3.999), SimDuration::new(2.0));
+    assert!(delay.value() > 0.0);
+}
+
+#[test]
+fn remote_exact_fit_backfill_leaves_future_reservation_intact() {
+    let site = SiteId::new(1);
+    let mut queues = FacilityQueues::new(2);
+    // A delayed plan reserved [10, 14) on the remote site.
+    queues
+        .remote_mut(site)
+        .book(SimTime::new(10.0), SimDuration::new(4.0));
+    // An immediate subquery of exactly the gap length backfills [6, 10)
+    // with zero estimated delay…
+    assert_eq!(
+        queues.remote_delay(site, SimTime::new(6.0), SimDuration::new(4.0)),
+        SimDuration::ZERO
+    );
+    let window = queues
+        .remote_mut(site)
+        .book(SimTime::new(6.0), SimDuration::new(4.0));
+    assert_eq!(window.start, SimTime::new(6.0));
+    assert_eq!(window.finish, SimTime::new(10.0));
+    // …and the original reservation is untouched: work released at 10
+    // now waits for the merged block [6, 14) to clear, not for some
+    // shifted copy of the old booking.
+    assert_eq!(
+        queues.remote_delay(site, SimTime::new(14.0), SimDuration::new(1.0)),
+        SimDuration::ZERO
+    );
+    assert_eq!(
+        queues.remote_delay(site, SimTime::new(10.0), SimDuration::new(1.0)),
+        SimDuration::new(4.0)
+    );
+}
+
+#[test]
+fn back_to_back_bookings_accumulate_without_overlap() {
+    // Booking through the estimator in sequence at exact end boundaries
+    // keeps delays additive — the signature of no double-booking.
+    let mut queues = FacilityQueues::new(1);
+    let service = SimDuration::new(3.0);
+    let mut expected_start = SimTime::new(0.0);
+    for _ in 0..5 {
+        let delay = queues.local_delay(SimTime::ZERO, service);
+        assert_eq!(delay, (expected_start - SimTime::ZERO).clamp_non_negative());
+        let w = queues.local_mut().book(SimTime::ZERO, service);
+        assert_eq!(w.start, expected_start);
+        expected_start = w.finish;
+    }
+    assert_eq!(queues.local().total_busy_time(), SimDuration::new(15.0));
+    // Sanity: the empty estimator still reports zero everywhere.
+    assert_eq!(
+        NoQueues.local_delay(SimTime::new(9.0), service),
+        SimDuration::ZERO
+    );
+}

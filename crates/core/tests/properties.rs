@@ -42,6 +42,26 @@ fn fixture(n: usize, periods: &[f64]) -> (Catalog, SyncTimelines) {
     (catalog, timelines)
 }
 
+/// Pinned from a proptest-recorded failure that shipped with the seed
+/// (`properties.proptest-regressions`): extreme discount rates drive the
+/// retention product below `f64::MIN_POSITIVE` and the IV underflows to
+/// exactly zero. The bound assertions in `iv_bounded_by_business_value`
+/// deliberately accept that, so the recorded case now passes; it is kept
+/// here as a deterministic unit test and the regressions file was removed.
+#[test]
+fn iv_underflows_to_zero_at_extreme_discounts() {
+    let iv = InformationValue::compute(
+        BusinessValue::new(0.001),
+        DiscountRates::new(0.961_616_578_874_064_9, 0.957_541_571_393_890_8),
+        Latencies::new(
+            SimDuration::new(154.396_473_433_162_64),
+            SimDuration::new(162.752_146_478_074_48),
+        ),
+    );
+    assert_eq!(iv.value(), 0.0);
+    assert!(iv.value() <= 0.001 + 1e-12);
+}
+
 proptest! {
     /// IV never exceeds the business value and is always positive.
     #[test]

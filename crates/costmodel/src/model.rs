@@ -84,8 +84,12 @@ pub trait CostModel {
     ///
     /// Implementations may panic if `remote` is not a subset of the
     /// query's footprint.
-    fn plan_cost(&self, catalog: &Catalog, query: &QuerySpec, remote: &BTreeSet<TableId>)
-        -> PlanCost;
+    fn plan_cost(
+        &self,
+        catalog: &Catalog,
+        query: &QuerySpec,
+        remote: &BTreeSet<TableId>,
+    ) -> PlanCost;
 }
 
 /// The paper's stylized cost function: `base + per_remote × |remote|`,

@@ -95,7 +95,10 @@ impl QuerySpec {
         weight: f64,
         selectivity: f64,
     ) -> Self {
-        assert!(!tables.is_empty(), "query must reference at least one table");
+        assert!(
+            !tables.is_empty(),
+            "query must reference at least one table"
+        );
         assert!(
             weight.is_finite() && weight > 0.0,
             "weight must be positive and finite"

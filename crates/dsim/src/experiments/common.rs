@@ -233,11 +233,7 @@ mod tests {
 
     #[test]
     fn table_formatting() {
-        let s = format_method_table(
-            "Fig X",
-            "config",
-            &[("a".to_string(), [1.0, 2.0, 3.0])],
-        );
+        let s = format_method_table("Fig X", "config", &[("a".to_string(), [1.0, 2.0, 3.0])]);
         assert!(s.contains("Fig X"));
         assert!(s.contains("IVQP"));
         assert!(s.contains("1.0000"));

@@ -70,10 +70,7 @@ pub fn fig4_setup() -> Fig4Setup {
     timelines.insert(TableId::new(3), Schedule::periodic(12.0, 2.0)); // R4: 2, 14, 26…
 
     let request = QueryRequest::new(
-        QuerySpec::new(
-            QueryId::new(0),
-            (0..4).map(TableId::new).collect(),
-        ),
+        QuerySpec::new(QueryId::new(0), (0..4).map(TableId::new).collect()),
         SimTime::new(11.0),
     );
     Fig4Setup {
@@ -186,10 +183,7 @@ mod tests {
     fn scatter_plan_matches_paper_numbers() {
         let r = run_fig4();
         // "synchronization latency and computational latency are both 10".
-        assert_eq!(
-            r.all_remote.latencies.computational,
-            SimDuration::new(10.0)
-        );
+        assert_eq!(r.all_remote.latencies.computational, SimDuration::new(10.0));
         assert_eq!(
             r.all_remote.latencies.synchronization,
             SimDuration::new(10.0)
@@ -223,9 +217,7 @@ mod tests {
         // Replicas are cheap (cost 2 vs 10) and reasonably fresh; some
         // combination must beat the all-base plan.
         let r = run_fig4();
-        assert!(
-            r.search.best.information_value.value() > r.all_remote.information_value.value()
-        );
+        assert!(r.search.best.information_value.value() > r.all_remote.information_value.value());
     }
 
     #[test]
@@ -233,17 +225,12 @@ mod tests {
         // Last syncs at t=11 must order R4 < R1 < R2 < R3.
         let s = fig4_setup();
         let at = SimTime::new(11.0);
-        let last = |i: u32| {
-            s.timelines
-                .last_sync(TableId::new(i), at)
-                .unwrap()
-                .value()
-        };
+        let last = |i: u32| s.timelines.last_sync(TableId::new(i), at).unwrap().value();
         assert_eq!(last(3), 2.0); // R4
         assert_eq!(last(0), 4.0); // R1
         assert_eq!(last(1), 6.0); // R2
         assert_eq!(last(2), 8.0); // R3
-        // The very next sync is R4's at 14.
+                                  // The very next sync is R4's at 14.
         let next = s
             .timelines
             .next_sync_among(&(0..4).map(TableId::new).collect::<Vec<_>>(), at)

@@ -54,7 +54,10 @@ impl Fig6Results {
     pub fn to_table(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "== Fig. 6 — Computational Latency (λ=.01, Fq:Fs=1:10) ==");
+        let _ = writeln!(
+            out,
+            "== Fig. 6 — Computational Latency (λ=.01, Fq:Fs=1:10) =="
+        );
         let _ = writeln!(
             out,
             "{:<8} {:>12} {:>12} {:>14}",
@@ -89,7 +92,10 @@ impl Fig7Results {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (label, series) in &self.per_ratio {
-            let _ = writeln!(out, "== Fig. 7 — Synchronization Latency, Fq:Fs = {label} ==");
+            let _ = writeln!(
+                out,
+                "== Fig. 7 — Synchronization Latency, Fq:Fs = {label} =="
+            );
             let _ = writeln!(out, "{:<8} {:>12} {:>14}", "query", "IVQP", "DataWarehouse");
             for (i, row) in series.iter().enumerate() {
                 let _ = writeln!(out, "{:<8} {:>12.3} {:>14.3}", i + 1, row[0], row[1]);
@@ -199,10 +205,14 @@ mod tests {
         // Warehouse is the cheapest method in aggregate: pure local
         // execution, no fan-out. (Per-query inversions can occur because
         // each method's queue state evolves differently.)
-        let mean = |m: usize| {
-            r.per_query.iter().map(|row| row[m]).sum::<f64>() / r.per_query.len() as f64
-        };
-        assert!(mean(2) <= mean(1), "DW mean CL {} vs Fed {}", mean(2), mean(1));
+        let mean =
+            |m: usize| r.per_query.iter().map(|row| row[m]).sum::<f64>() / r.per_query.len() as f64;
+        assert!(
+            mean(2) <= mean(1),
+            "DW mean CL {} vs Fed {}",
+            mean(2),
+            mean(1)
+        );
     }
 
     #[test]

@@ -90,7 +90,11 @@ impl Fig9Results {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "== Fig. 9a — MQO vs overlap rate (λ=.15) ==");
-        let _ = writeln!(out, "{:<14} {:>10} {:>12} {:>10}", "overlap %", "MQO", "without", "gain %");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>12} {:>10}",
+            "overlap %", "MQO", "without", "gain %"
+        );
         for p in &self.by_overlap {
             let _ = writeln!(
                 out,
@@ -102,7 +106,11 @@ impl Fig9Results {
             );
         }
         let _ = writeln!(out, "\n== Fig. 9b — MQO vs number of queries (λ=.15) ==");
-        let _ = writeln!(out, "{:<14} {:>10} {:>12} {:>10}", "queries", "MQO", "without", "gain %");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>12} {:>10}",
+            "queries", "MQO", "without", "gain %"
+        );
         for p in &self.by_count {
             let _ = writeln!(
                 out,
@@ -164,10 +172,7 @@ fn run_workload_point(
     let fifo = FifoScheduler::new()
         .schedule(&evaluator)
         .expect("workload evaluation is feasible");
-    (
-        mqo.mean_information_value(),
-        fifo.mean_information_value(),
-    )
+    (mqo.mean_information_value(), fifo.mean_information_value())
 }
 
 /// Workload repetitions averaged per swept point (each with a different
@@ -190,10 +195,7 @@ fn averaged_point(
         mqo_sum += mqo;
         fifo_sum += fifo;
     }
-    (
-        mqo_sum / REPETITIONS as f64,
-        fifo_sum / REPETITIONS as f64,
-    )
+    (mqo_sum / REPETITIONS as f64, fifo_sum / REPETITIONS as f64)
 }
 
 /// Runs the Fig. 9 experiment (both sweeps).

@@ -82,19 +82,21 @@ impl RunMetrics {
     /// Mean computational latency.
     #[must_use]
     pub fn mean_computational_latency(&self) -> f64 {
-        mean(self
-            .outcomes
-            .iter()
-            .map(|o| o.plan.latencies.computational.value()))
+        mean(
+            self.outcomes
+                .iter()
+                .map(|o| o.plan.latencies.computational.value()),
+        )
     }
 
     /// Mean synchronization latency.
     #[must_use]
     pub fn mean_synchronization_latency(&self) -> f64 {
-        mean(self
-            .outcomes
-            .iter()
-            .map(|o| o.plan.latencies.synchronization.value()))
+        mean(
+            self.outcomes
+                .iter()
+                .map(|o| o.plan.latencies.synchronization.value()),
+        )
     }
 
     /// Waiting-time statistics (time from submission to processing start) —

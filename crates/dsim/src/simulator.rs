@@ -19,9 +19,7 @@
 
 use ivdss_catalog::catalog::Catalog;
 use ivdss_catalog::ids::TableId;
-use ivdss_core::plan::{
-    FacilityQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest,
-};
+use ivdss_core::plan::{FacilityQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest};
 use ivdss_core::planner::Planner;
 use ivdss_core::starvation::AgingPolicy;
 use ivdss_core::value::DiscountRates;
@@ -448,10 +446,9 @@ mod tests {
             loading: None,
         };
         // Back-to-back arrivals pile up on the same servers.
-        let slow = run_arrival_driven(&env, &WarehousePlanner::new(), &requests(10, 0.01))
-            .unwrap();
-        let relaxed = run_arrival_driven(&env, &WarehousePlanner::new(), &requests(10, 50.0))
-            .unwrap();
+        let slow = run_arrival_driven(&env, &WarehousePlanner::new(), &requests(10, 0.01)).unwrap();
+        let relaxed =
+            run_arrival_driven(&env, &WarehousePlanner::new(), &requests(10, 50.0)).unwrap();
         assert!(
             slow.mean_computational_latency() > relaxed.mean_computational_latency(),
             "contended {} vs relaxed {}",

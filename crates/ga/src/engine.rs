@@ -60,10 +60,7 @@ impl GaConfig {
             (0.0..=1.0).contains(&self.mutation_rate),
             "mutation rate must be within [0, 1]"
         );
-        assert!(
-            self.elites <= self.parents,
-            "elites cannot exceed parents"
-        );
+        assert!(self.elites <= self.parents, "elites cannot exceed parents");
     }
 }
 
@@ -149,11 +146,8 @@ where
             .map(|(p, _)| p.clone())
             .collect();
 
-        let mut next: Vec<(Permutation, f64)> = population
-            .iter()
-            .take(config.elites)
-            .cloned()
-            .collect();
+        let mut next: Vec<(Permutation, f64)> =
+            population.iter().take(config.elites).cloned().collect();
 
         while next.len() < config.population {
             let i = rng.random_range(0..parents.len());
@@ -197,10 +191,7 @@ mod tests {
     /// Fitness rewarding ascending order (count of adjacent ascending
     /// pairs) — unique optimum is the identity.
     fn ascending_fitness(p: &Permutation) -> f64 {
-        p.as_slice()
-            .windows(2)
-            .filter(|w| w[0] < w[1])
-            .count() as f64
+        p.as_slice().windows(2).filter(|w| w[0] < w[1]).count() as f64
     }
 
     #[test]
@@ -244,7 +235,7 @@ mod tests {
                 .sum::<f64>()
                 + ascending_fitness(p)
         };
-        let ga = optimize_permutation(12, &GaConfig::paper(), &rugged);
+        let ga = optimize_permutation(12, &GaConfig::paper(), rugged);
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(99);

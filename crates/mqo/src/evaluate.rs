@@ -14,9 +14,7 @@
 
 use ivdss_catalog::catalog::Catalog;
 use ivdss_catalog::ids::TableId;
-use ivdss_core::plan::{
-    FacilityQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest,
-};
+use ivdss_core::plan::{FacilityQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest};
 use ivdss_core::planner::IvqpPlanner;
 use ivdss_core::value::DiscountRates;
 use ivdss_costmodel::model::CostModel;
@@ -291,10 +289,7 @@ mod tests {
         // queue contention shifts (equality would mean zero contention).
         assert!(fifo.total_information_value > 0.0);
         assert!(rev.total_information_value > 0.0);
-        assert_ne!(
-            fifo.plans[0].request_index,
-            rev.plans[0].request_index
-        );
+        assert_ne!(fifo.plans[0].request_index, rev.plans[0].request_index);
     }
 
     #[test]
@@ -325,9 +320,7 @@ mod tests {
         // The second query's plan cannot start processing before the first
         // finishes occupying the local server.
         assert!(second.service_start >= first.service_start);
-        assert!(
-            second.information_value.value() <= first.information_value.value() + 1e-12
-        );
+        assert!(second.information_value.value() <= first.information_value.value() + 1e-12);
     }
 
     #[test]

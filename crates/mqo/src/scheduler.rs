@@ -147,17 +147,18 @@ impl WorkloadScheduler for ExhaustiveScheduler {
         let mut best: Option<ScheduleOutcome> = None;
         // Heap's algorithm, iterative.
         let mut c = vec![0usize; n];
-        let consider = |order: &[usize], best: &mut Option<ScheduleOutcome>| -> Result<(), PlanError> {
-            let outcome = evaluator.evaluate_order(order)?;
-            let better = match best {
-                None => true,
-                Some(b) => outcome.total_information_value > b.total_information_value,
+        let consider =
+            |order: &[usize], best: &mut Option<ScheduleOutcome>| -> Result<(), PlanError> {
+                let outcome = evaluator.evaluate_order(order)?;
+                let better = match best {
+                    None => true,
+                    Some(b) => outcome.total_information_value > b.total_information_value,
+                };
+                if better {
+                    *best = Some(outcome);
+                }
+                Ok(())
             };
-            if better {
-                *best = Some(outcome);
-            }
-            Ok(())
-        };
         consider(&order, &mut best)?;
         let mut i = 0;
         while i < n {
@@ -320,7 +321,10 @@ mod tests {
             DiscountRates::new(0.15, 0.15),
             &reqs,
         );
-        for sched in [&MqoScheduler::new() as &dyn WorkloadScheduler, &FifoScheduler] {
+        for sched in [
+            &MqoScheduler::new() as &dyn WorkloadScheduler,
+            &FifoScheduler,
+        ] {
             let s = sched.schedule(&eval).unwrap();
             assert_eq!(s.order, vec![0]);
         }
@@ -332,8 +336,14 @@ mod tests {
         let model = StylizedCostModel::paper_fig4();
         // Reverse submission times.
         let reqs = vec![
-            QueryRequest::new(QuerySpec::new(QueryId::new(0), vec![t(0)]), SimTime::new(20.0)),
-            QueryRequest::new(QuerySpec::new(QueryId::new(1), vec![t(1)]), SimTime::new(10.0)),
+            QueryRequest::new(
+                QuerySpec::new(QueryId::new(0), vec![t(0)]),
+                SimTime::new(20.0),
+            ),
+            QueryRequest::new(
+                QuerySpec::new(QueryId::new(1), vec![t(1)]),
+                SimTime::new(10.0),
+            ),
         ];
         let eval = WorkloadEvaluator::new(
             &catalog,

@@ -11,7 +11,7 @@ use ivdss_costmodel::query::{QueryId, QuerySpec};
 use ivdss_ga::engine::GaConfig;
 use ivdss_mqo::evaluate::WorkloadEvaluator;
 use ivdss_mqo::scheduler::{FifoScheduler, MqoScheduler, WorkloadScheduler};
-use ivdss_mqo::workload::{form_workloads, ExecutionRange};
+use ivdss_mqo::workload::{execution_ranges, form_workloads, live_batch_windows, ExecutionRange};
 use ivdss_replication::timelines::{SyncMode, SyncTimelines};
 use ivdss_simkernel::time::SimTime;
 use proptest::prelude::*;
@@ -115,6 +115,50 @@ proptest! {
             prop_assert!(p.plan.execute_at >= req.submitted_at);
             prop_assert!(p.plan.finish >= p.plan.service_start);
         }
+    }
+
+    /// Live batch windows partition the pending queue, and with the
+    /// clock at zero (before every submission) they agree exactly with
+    /// offline workload formation over the unclamped execution ranges.
+    #[test]
+    fn live_batch_windows_partition_pending_queue(
+        n in 1usize..8,
+        spacing in 0.1..6.0f64,
+        now in 0.0..40.0f64
+    ) {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ivdss_core::plan::PlanContext {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::new(0.1, 0.1),
+            queues: &ivdss_core::plan::NoQueues,
+        };
+        let pending: Vec<QueryRequest> = (0..n)
+            .map(|i| {
+                QueryRequest::new(
+                    QuerySpec::new(
+                        QueryId::new(i as u64),
+                        vec![TableId::new((i % 4) as u32), TableId::new(4)],
+                    ),
+                    SimTime::new(spacing * i as f64),
+                )
+            })
+            .collect();
+
+        let windows = live_batch_windows(&ctx, &pending, SimTime::new(now)).unwrap();
+        let mut seen: Vec<u64> = windows
+            .iter()
+            .flatten()
+            .map(|q| q.raw())
+            .collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n as u64).collect::<Vec<_>>());
+
+        let offline = live_batch_windows(&ctx, &pending, SimTime::ZERO).unwrap();
+        let ranges = execution_ranges(&ctx, &pending).unwrap();
+        prop_assert_eq!(offline, form_workloads(&ranges));
     }
 
 }

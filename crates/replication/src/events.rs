@@ -1,0 +1,176 @@
+//! Synchronization-completion events for online consumers.
+//!
+//! The timelines in this crate are *queryable* ("when was table T last
+//! synced?"); an online serving engine instead needs them *pushed* — each
+//! completed refresh invalidates cached plans whose staleness assumptions
+//! it changes. [`SyncEventCursor`] bridges the two views: it walks a
+//! [`SyncTimelines`] forward in time and materializes every completion in
+//! the interval it is advanced across, in chronological order.
+//!
+//! The cursor deliberately iterates each table's [`Schedule`] via
+//! [`Schedule::completions_in`] rather than repeatedly asking for the
+//! global next sync: two tables syncing at the same instant are two
+//! distinct events, and a strictly-after "next sync" walk would skip one
+//! of them.
+//!
+//! [`Schedule`]: crate::schedule::Schedule
+//! [`Schedule::completions_in`]: crate::schedule::Schedule::completions_in
+
+use ivdss_catalog::ids::TableId;
+use ivdss_simkernel::time::SimTime;
+
+use crate::timelines::SyncTimelines;
+
+/// One completed replica refresh: `table`'s local copy now carries the
+/// base-table state as of `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SyncEvent {
+    /// When the synchronization completed.
+    pub at: SimTime,
+    /// The refreshed table.
+    pub table: TableId,
+}
+
+/// A monotone cursor over the completions of every schedule in a
+/// [`SyncTimelines`].
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_catalog::ids::TableId;
+/// use ivdss_replication::events::SyncEventCursor;
+/// use ivdss_replication::schedule::Schedule;
+/// use ivdss_replication::timelines::SyncTimelines;
+/// use ivdss_simkernel::time::SimTime;
+///
+/// let mut tl = SyncTimelines::new();
+/// tl.insert(TableId::new(0), Schedule::periodic(4.0, 0.0));
+/// tl.insert(TableId::new(1), Schedule::periodic(6.0, 0.0));
+///
+/// let mut cursor = SyncEventCursor::new(SimTime::ZERO);
+/// let events = cursor.advance_to(&tl, SimTime::new(12.0));
+/// // t=4, t=6, t=8, and the simultaneous pair at t=12.
+/// let times: Vec<f64> = events.iter().map(|e| e.at.value()).collect();
+/// assert_eq!(times, vec![4.0, 6.0, 8.0, 12.0, 12.0]);
+/// // The cursor is monotone: the same interval is never re-delivered.
+/// assert!(cursor.advance_to(&tl, SimTime::new(12.0)).is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SyncEventCursor {
+    position: SimTime,
+}
+
+impl SyncEventCursor {
+    /// Creates a cursor that has consumed everything at or before `start`.
+    #[must_use]
+    pub fn new(start: SimTime) -> Self {
+        SyncEventCursor { position: start }
+    }
+
+    /// The time up to which events have been delivered (inclusive).
+    #[must_use]
+    pub fn position(&self) -> SimTime {
+        self.position
+    }
+
+    /// Returns every completion in `(position, now]` across all tables,
+    /// sorted by time (ties broken by table id), and moves the cursor to
+    /// `now`. Calling with `now <= position` is a no-op returning no
+    /// events, so the cursor tolerates repeated polling at the same
+    /// instant.
+    pub fn advance_to(&mut self, timelines: &SyncTimelines, now: SimTime) -> Vec<SyncEvent> {
+        if now <= self.position {
+            return Vec::new();
+        }
+        let mut events: Vec<SyncEvent> = Vec::new();
+        for (table, schedule) in timelines.iter() {
+            events.extend(
+                schedule
+                    .completions_in(self.position, now)
+                    .into_iter()
+                    .map(|at| SyncEvent { at, table }),
+            );
+        }
+        events.sort();
+        self.position = now;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+
+    fn t(i: u32) -> TableId {
+        TableId::new(i)
+    }
+
+    fn timelines() -> SyncTimelines {
+        let mut tl = SyncTimelines::new();
+        tl.insert(t(0), Schedule::periodic(5.0, 0.0));
+        tl.insert(t(1), Schedule::periodic(10.0, 0.0));
+        tl
+    }
+
+    #[test]
+    fn interval_is_half_open() {
+        let tl = timelines();
+        // Position at an exact completion instant: that event was already
+        // delivered and must not repeat.
+        let mut cursor = SyncEventCursor::new(SimTime::new(5.0));
+        let events = cursor.advance_to(&tl, SimTime::new(10.0));
+        assert_eq!(
+            events,
+            vec![
+                SyncEvent {
+                    at: SimTime::new(10.0),
+                    table: t(0)
+                },
+                SyncEvent {
+                    at: SimTime::new(10.0),
+                    table: t(1)
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn simultaneous_syncs_of_distinct_tables_both_delivered() {
+        let tl = timelines();
+        let mut cursor = SyncEventCursor::new(SimTime::ZERO);
+        let events = cursor.advance_to(&tl, SimTime::new(10.0));
+        let at_ten: Vec<TableId> = events
+            .iter()
+            .filter(|e| e.at == SimTime::new(10.0))
+            .map(|e| e.table)
+            .collect();
+        assert_eq!(at_ten, vec![t(0), t(1)]);
+    }
+
+    #[test]
+    fn backwards_or_equal_advance_is_noop() {
+        let tl = timelines();
+        let mut cursor = SyncEventCursor::new(SimTime::new(7.0));
+        assert!(cursor.advance_to(&tl, SimTime::new(7.0)).is_empty());
+        assert!(cursor.advance_to(&tl, SimTime::new(3.0)).is_empty());
+        assert_eq!(cursor.position(), SimTime::new(7.0));
+    }
+
+    #[test]
+    fn events_sorted_by_time_then_table() {
+        let mut tl = SyncTimelines::new();
+        tl.insert(
+            t(2),
+            Schedule::trace(vec![SimTime::new(1.0), SimTime::new(4.0)]),
+        );
+        tl.insert(t(0), Schedule::trace(vec![SimTime::new(4.0)]));
+        let mut cursor = SyncEventCursor::new(SimTime::ZERO);
+        let events = cursor.advance_to(&tl, SimTime::new(5.0));
+        let pairs: Vec<(f64, usize)> = events
+            .iter()
+            .map(|e| (e.at.value(), e.table.index()))
+            .collect();
+        assert_eq!(pairs, vec![(1.0, 2), (4.0, 0), (4.0, 2)]);
+    }
+}

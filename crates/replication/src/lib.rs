@@ -11,6 +11,8 @@
 //! * [`timelines::SyncTimelines`] — per-table schedules derived from a
 //!   [`ivdss_catalog::replica::ReplicationPlan`];
 //! * [`timelines::ReplicaVersions`] — live version state during simulation;
+//! * [`events::SyncEventCursor`] — push-style delivery of completed syncs
+//!   to online consumers (plan-cache invalidation in `ivdss-serve`);
 //! * [`qos::QosReplicationManager`] — staleness-bounded replication, the
 //!   paper's "QoS aware replication manager".
 //!
@@ -37,10 +39,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod qos;
 pub mod schedule;
 pub mod timelines;
 
+pub use events::{SyncEvent, SyncEventCursor};
 pub use qos::QosReplicationManager;
 pub use schedule::Schedule;
 pub use timelines::{NotReplicatedError, ReplicaVersions, SyncMode, SyncTimelines};

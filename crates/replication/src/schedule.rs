@@ -181,18 +181,36 @@ mod tests {
         let s = Schedule::periodic(8.0, 0.0);
         assert_eq!(s.last_completion_at(SimTime::ZERO), Some(SimTime::ZERO));
         assert_eq!(s.last_completion_at(SimTime::new(7.9)), Some(SimTime::ZERO));
-        assert_eq!(s.last_completion_at(SimTime::new(8.0)), Some(SimTime::new(8.0)));
-        assert_eq!(s.next_completion_after(SimTime::new(8.0)), Some(SimTime::new(16.0)));
-        assert_eq!(s.next_completion_after(SimTime::ZERO), Some(SimTime::new(8.0)));
+        assert_eq!(
+            s.last_completion_at(SimTime::new(8.0)),
+            Some(SimTime::new(8.0))
+        );
+        assert_eq!(
+            s.next_completion_after(SimTime::new(8.0)),
+            Some(SimTime::new(16.0))
+        );
+        assert_eq!(
+            s.next_completion_after(SimTime::ZERO),
+            Some(SimTime::new(8.0))
+        );
     }
 
     #[test]
     fn periodic_with_phase() {
         let s = Schedule::periodic(10.0, 3.0);
         assert_eq!(s.last_completion_at(SimTime::new(2.9)), None);
-        assert_eq!(s.last_completion_at(SimTime::new(3.0)), Some(SimTime::new(3.0)));
-        assert_eq!(s.next_completion_after(SimTime::new(1.0)), Some(SimTime::new(3.0)));
-        assert_eq!(s.next_completion_after(SimTime::new(3.0)), Some(SimTime::new(13.0)));
+        assert_eq!(
+            s.last_completion_at(SimTime::new(3.0)),
+            Some(SimTime::new(3.0))
+        );
+        assert_eq!(
+            s.next_completion_after(SimTime::new(1.0)),
+            Some(SimTime::new(3.0))
+        );
+        assert_eq!(
+            s.next_completion_after(SimTime::new(3.0)),
+            Some(SimTime::new(13.0))
+        );
     }
 
     #[test]
@@ -203,9 +221,18 @@ mod tests {
             SimTime::new(9.0),
         ]);
         assert_eq!(s.last_completion_at(SimTime::new(0.5)), None);
-        assert_eq!(s.last_completion_at(SimTime::new(1.0)), Some(SimTime::new(1.0)));
-        assert_eq!(s.last_completion_at(SimTime::new(6.0)), Some(SimTime::new(5.0)));
-        assert_eq!(s.next_completion_after(SimTime::new(5.0)), Some(SimTime::new(9.0)));
+        assert_eq!(
+            s.last_completion_at(SimTime::new(1.0)),
+            Some(SimTime::new(1.0))
+        );
+        assert_eq!(
+            s.last_completion_at(SimTime::new(6.0)),
+            Some(SimTime::new(5.0))
+        );
+        assert_eq!(
+            s.next_completion_after(SimTime::new(5.0)),
+            Some(SimTime::new(9.0))
+        );
         assert_eq!(s.next_completion_after(SimTime::new(9.0)), None);
     }
 

@@ -89,8 +89,7 @@ impl SyncTimelines {
             let schedule = match mode {
                 SyncMode::Deterministic => Schedule::periodic(spec.mean_period(), spec.phase()),
                 SyncMode::Stochastic { horizon, seed } => {
-                    let table_seed =
-                        SeedFactory::new(seed).seed_for_indexed("sync", table.index());
+                    let table_seed = SeedFactory::new(seed).seed_for_indexed("sync", table.index());
                     Schedule::exponential_trace(spec.mean_period(), horizon, table_seed)
                 }
             };
@@ -309,7 +308,10 @@ mod tests {
         v.record_sync(TableId::new(0), SimTime::new(5.0));
         v.record_sync(TableId::new(1), SimTime::new(3.0));
         assert_eq!(v.version(TableId::new(0)), SimTime::new(5.0));
-        assert_eq!(v.stalest(&[TableId::new(0), TableId::new(1)]), SimTime::new(3.0));
+        assert_eq!(
+            v.stalest(&[TableId::new(0), TableId::new(1)]),
+            SimTime::new(3.0)
+        );
         assert_eq!(v.stalest(&[]), SimTime::ZERO);
     }
 

@@ -1,0 +1,375 @@
+//! Sync-phase plan cache.
+//!
+//! Plan search is the expensive step of serving: a scatter-and-gather
+//! search evaluates every local subset at every candidate release time.
+//! But under a [`NoQueues`] planning context the search's verdict depends
+//! on the query only through its footprint and cost profile, and on time
+//! only through *where the submit instant falls between synchronizations*.
+//! Within one inter-sync window each candidate's information value, as a
+//! function of the submit time `s`, is `K · r^s` with exactly three
+//! possible growth classes:
+//!
+//! * **immediate, some local replicas** — CL is constant, SL grows with
+//!   `s` (the replicas age): `r = 1 − λ_SL`;
+//! * **immediate, all-remote** — CL and SL are both constant:  `r = 1`;
+//! * **delayed to a future sync `τ`** — SL is constant, CL shrinks as the
+//!   submit instant approaches `τ`: `r = (1 − λ_CL)⁻¹`.
+//!
+//! Ordering *within* a class is therefore submit-invariant across the
+//! window, so caching the per-class champion (at most three candidates)
+//! and re-evaluating those champions at the live submit time reproduces
+//! the full search's optimum **exactly** — this is verified against
+//! [`ScatterGatherSearch`] by a property test. The champion enumeration
+//! must only be careful to consider every sync point that could win for
+//! *any* submit instant in the window: a delayed candidate at `τ` beats
+//! the always-available all-remote fallback `F` only if
+//! `(1 − λ_CL)^(τ − s) > F/BV`, and `s < τ₁` throughout the window, so
+//! sync points up to `τ₁ + maxCL(F/BV)` suffice (bounded by a fixed cap
+//! when `λ_CL = 0`).
+//!
+//! The cache key captures everything else the verdict depends on: the
+//! footprint, the cost profile, the discount rates and the per-table
+//! last-sync times (which *define* the window — any completed sync
+//! changes the key, so entries for old windows can never be hit again).
+//! Invalidation driven by [`SyncEvent`]s is thus garbage collection, not
+//! correctness: it evicts entries whose window has closed.
+//!
+//! The cache assumes a fixed catalog and cost model; do not share one
+//! cache across differently configured engines. Business value is
+//! deliberately *not* in the key — it scales every candidate's IV
+//! equally and never changes the argmax.
+//!
+//! [`NoQueues`]: ivdss_core::plan::NoQueues
+//! [`ScatterGatherSearch`]: ivdss_core::search::ScatterGatherSearch
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use ivdss_catalog::ids::TableId;
+use ivdss_core::plan::{evaluate_plan, PlanContext, PlanError, PlanEvaluation, QueryRequest};
+use ivdss_core::search::{is_better, local_subsets, replicated_footprint, DEFAULT_MAX_SYNC_POINTS};
+use ivdss_replication::events::SyncEvent;
+use ivdss_simkernel::time::SimTime;
+
+/// Sentinel for "this replica has never completed a sync".
+const NEVER_SYNCED: u64 = u64::MAX;
+
+/// Everything a cached planning verdict depends on (except business
+/// value, which cannot change the argmax).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanCacheKey {
+    /// Sorted query footprint.
+    footprint: Vec<TableId>,
+    /// `(weight, selectivity)` bit patterns of the cost profile.
+    profile: (u64, u64),
+    /// `(λ_CL, λ_SL)` bit patterns.
+    rates: (u64, u64),
+    /// Bit pattern of each replicated footprint table's last sync time
+    /// at submission (sorted by table), identifying the inter-sync
+    /// window.
+    sync_phase: Vec<u64>,
+}
+
+impl PlanCacheKey {
+    /// Builds the key for `request` under `ctx` at its submission time.
+    #[must_use]
+    pub fn for_request(ctx: &PlanContext<'_>, request: &QueryRequest) -> Self {
+        let mut footprint: Vec<TableId> = request.query.tables().to_vec();
+        footprint.sort_unstable();
+        footprint.dedup();
+        let sync_phase = footprint
+            .iter()
+            .filter(|&&t| ctx.timelines.has_replica(t))
+            .map(|&t| {
+                ctx.timelines
+                    .last_sync(t, request.submitted_at)
+                    .map_or(NEVER_SYNCED, |at| at.value().to_bits())
+            })
+            .collect();
+        PlanCacheKey {
+            footprint,
+            profile: (
+                request.query.weight().to_bits(),
+                request.query.selectivity().to_bits(),
+            ),
+            rates: (ctx.rates.cl.rate().to_bits(), ctx.rates.sl.rate().to_bits()),
+            sync_phase,
+        }
+    }
+}
+
+/// Whether a lookup was answered from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Champions were re-evaluated at the live submit time.
+    Hit,
+    /// The entry was populated by a fresh champion enumeration.
+    Miss,
+}
+
+/// One cached candidate: a release policy plus the local replica set.
+#[derive(Debug, Clone, PartialEq)]
+struct Candidate {
+    /// `None` = release immediately at the submit time; `Some(τ)` =
+    /// delayed to the absolute sync point `τ` (valid for every submit
+    /// instant in the entry's window, which `τ` strictly follows).
+    release: Option<SimTime>,
+    local: BTreeSet<TableId>,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// Replicated footprint tables, aligned with `last_syncs`.
+    replicated: Vec<TableId>,
+    /// Last sync time per replicated table when the entry was built.
+    last_syncs: Vec<Option<SimTime>>,
+    /// Per-growth-class champions (1–3 candidates).
+    candidates: Vec<Candidate>,
+}
+
+/// A bounded plan cache keyed by (footprint, cost profile, discount
+/// rates, per-table sync phase), with FIFO eviction at capacity and
+/// sync-event-driven garbage collection.
+#[derive(Debug, Clone)]
+pub struct PlanCache {
+    entries: HashMap<PlanCacheKey, CacheEntry>,
+    insertion_order: VecDeque<PlanCacheKey>,
+    capacity: usize,
+    max_sync_points: usize,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        PlanCache {
+            entries: HashMap::new(),
+            insertion_order: VecDeque::new(),
+            capacity,
+            max_sync_points: DEFAULT_MAX_SYNC_POINTS,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups answered from cached champions.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a fresh enumeration.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted by synchronization events.
+    #[must_use]
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Selects the IV-optimal plan for `request`, from cached champions
+    /// when the (footprint, sync-phase) entry exists, populating it
+    /// otherwise.
+    ///
+    /// The planning context must use [`NoQueues`] (or any queue
+    /// estimator whose answer is state-independent); the cacheability
+    /// argument in the module docs does not hold for live queues.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    ///
+    /// [`NoQueues`]: ivdss_core::plan::NoQueues
+    pub fn plan(
+        &mut self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+    ) -> Result<(PlanEvaluation, CacheOutcome), PlanError> {
+        let key = PlanCacheKey::for_request(ctx, request);
+        if let Some(entry) = self.entries.get(&key) {
+            let mut best: Option<PlanEvaluation> = None;
+            for candidate in &entry.candidates {
+                let execute_at = candidate
+                    .release
+                    .map_or(request.submitted_at, |at| at.max(request.submitted_at));
+                let eval = evaluate_plan(ctx, request, execute_at, &candidate.local)?;
+                if is_better(&eval, best.as_ref()) {
+                    best = Some(eval);
+                }
+            }
+            if let Some(best) = best {
+                self.hits += 1;
+                return Ok((best, CacheOutcome::Hit));
+            }
+        }
+
+        let (best, entry) = Self::populate(ctx, request, self.max_sync_points)?;
+        self.misses += 1;
+        if !self.entries.contains_key(&key) {
+            while self.entries.len() >= self.capacity {
+                match self.insertion_order.pop_front() {
+                    Some(oldest) => {
+                        self.entries.remove(&oldest);
+                    }
+                    None => break,
+                }
+            }
+            self.insertion_order.push_back(key.clone());
+        }
+        self.entries.insert(key, entry);
+        Ok((best, CacheOutcome::Miss))
+    }
+
+    /// Enumerates the per-class champions for `request` and returns the
+    /// overall best plus the cache entry.
+    fn populate(
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        max_sync_points: usize,
+    ) -> Result<(PlanEvaluation, CacheEntry), PlanError> {
+        let submit = request.submitted_at;
+        let replicated = replicated_footprint(ctx, request);
+        let subsets = local_subsets(&replicated);
+
+        // Class "immediate all-remote": always feasible, constant IV
+        // across the window; also the fallback that bounds how far
+        // delaying can pay off.
+        let all_remote = evaluate_plan(ctx, request, submit, &subsets[0])?;
+
+        // Class "immediate with local replicas".
+        let mut immediate_local: Option<PlanEvaluation> = None;
+        for local in &subsets[1..] {
+            let eval = evaluate_plan(ctx, request, submit, local)?;
+            if is_better(&eval, immediate_local.as_ref()) {
+                immediate_local = Some(eval);
+            }
+        }
+
+        // Class "delayed to a future sync": enumerate sync points far
+        // enough that no candidate which could win for *any* submit
+        // instant in the window is missed (see module docs).
+        let mut delayed: Option<PlanEvaluation> = None;
+        if !replicated.is_empty() {
+            let fallback_ratio =
+                all_remote.information_value.value() / request.business_value.value();
+            let mut horizon: Option<SimTime> = None;
+            let mut cursor = submit;
+            let mut visited = 0usize;
+            while let Some((_, sync_at)) = ctx.timelines.next_sync_among(&replicated, cursor) {
+                if visited == 0 && fallback_ratio > 0.0 {
+                    horizon = ctx
+                        .rates
+                        .cl
+                        .max_latency_for_factor(fallback_ratio.min(1.0))
+                        .map(|slack| sync_at + slack);
+                }
+                if let Some(h) = horizon {
+                    if sync_at > h {
+                        break;
+                    }
+                }
+                visited += 1;
+                if visited > max_sync_points {
+                    break;
+                }
+                for local in &subsets[1..] {
+                    let eval = evaluate_plan(ctx, request, sync_at, local)?;
+                    if is_better(&eval, delayed.as_ref()) {
+                        delayed = Some(eval);
+                    }
+                }
+                cursor = sync_at;
+            }
+        }
+
+        let last_syncs = replicated
+            .iter()
+            .map(|&t| ctx.timelines.last_sync(t, submit))
+            .collect();
+        let mut candidates = vec![Candidate {
+            release: None,
+            local: BTreeSet::new(),
+        }];
+        let mut best = all_remote;
+        if let Some(eval) = immediate_local {
+            candidates.push(Candidate {
+                release: None,
+                local: eval.local_tables.clone(),
+            });
+            if is_better(&eval, Some(&best)) {
+                best = eval;
+            }
+        }
+        if let Some(eval) = delayed {
+            candidates.push(Candidate {
+                release: Some(eval.execute_at),
+                local: eval.local_tables.clone(),
+            });
+            if is_better(&eval, Some(&best)) {
+                best = eval;
+            }
+        }
+        Ok((
+            best,
+            CacheEntry {
+                replicated,
+                last_syncs,
+                candidates,
+            },
+        ))
+    }
+
+    /// Evicts every entry invalidated by the given synchronization
+    /// events (an entry is stale once any table of its replicated
+    /// footprint completed a sync after the entry's recorded phase) and
+    /// returns how many entries were dropped.
+    pub fn apply_sync_events(&mut self, events: &[SyncEvent]) -> usize {
+        if events.is_empty() || self.entries.is_empty() {
+            return 0;
+        }
+        let stale: Vec<PlanCacheKey> = self
+            .entries
+            .iter()
+            .filter(|(_, entry)| {
+                events.iter().any(|event| {
+                    entry
+                        .replicated
+                        .iter()
+                        .position(|&t| t == event.table)
+                        .is_some_and(|idx| entry.last_syncs[idx].is_none_or(|seen| seen < event.at))
+                })
+            })
+            .map(|(key, _)| key.clone())
+            .collect();
+        for key in &stale {
+            self.entries.remove(key);
+        }
+        self.insertion_order
+            .retain(|key| self.entries.contains_key(key));
+        self.invalidations += stale.len() as u64;
+        stale.len()
+    }
+}

@@ -1,0 +1,354 @@
+//! The online serving engine.
+//!
+//! [`ServeEngine`] accepts a continuous stream of [`QueryRequest`]s and,
+//! per query: (1) drains completed synchronization events from the
+//! replication timelines into the plan cache's invalidator, (2) runs
+//! IV-aware admission ([`AdmissionQueue`]), (3) selects a plan — from
+//! the sync-phase [`PlanCache`] or by a fresh [`IvqpPlanner`] search —
+//! under a [`NoQueues`] planning context, and (4) dispatches the plan
+//! through reservation-calendar facilities ([`FacilityQueues`]),
+//! re-evaluating the chosen candidate against live calendar state so the
+//! *delivered* information value reflects actual queuing.
+//!
+//! Planning and dispatch are deliberately split across two queue
+//! estimators. Plans are *chosen* under [`NoQueues`], which is what
+//! makes the cache sound (its key needs no queue state); they are then
+//! *booked* and re-costed against the live calendars, which is what
+//! makes the delivered IV honest. The same split mirrors the paper's
+//! structure: §3.1 selects plans analytically, the evaluation replays
+//! them against contended servers.
+//!
+//! Dispatch is gated by a backlog bound: a query leaves the admission
+//! queue only while the local federation server's backlog (time until
+//! its calendar has an idle instant) is below
+//! [`ServeConfig::dispatch_backlog`]. Under overload the queue fills and
+//! the IV-aware shedding policy starts choosing victims.
+
+use ivdss_catalog::catalog::Catalog;
+use ivdss_catalog::ids::TableId;
+use ivdss_core::plan::{
+    evaluate_plan, FacilityQueues, NoQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest,
+};
+use ivdss_core::planner::{IvqpPlanner, Planner};
+use ivdss_core::starvation::AgingPolicy;
+use ivdss_core::value::DiscountRates;
+use ivdss_costmodel::model::CostModel;
+use ivdss_costmodel::query::QueryId;
+use ivdss_mqo::workload::live_batch_windows;
+use ivdss_replication::events::SyncEventCursor;
+use ivdss_replication::timelines::SyncTimelines;
+use ivdss_simkernel::time::{SimDuration, SimTime};
+
+use crate::admission::{AdmissionQueue, AdmitOutcome, QueuedQuery};
+use crate::cache::{CacheOutcome, PlanCache};
+use crate::clock::Clock;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+
+/// Tuning knobs of a [`ServeEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Discount rates applied to every query.
+    pub rates: DiscountRates,
+    /// Admission-queue bound; arrivals beyond it trigger IV-aware
+    /// shedding.
+    pub queue_capacity: usize,
+    /// Plan-cache entry bound (FIFO eviction beyond it).
+    pub cache_capacity: usize,
+    /// Aging applied to queued queries' marginal IV (§3.3); disabled by
+    /// default.
+    pub aging: AgingPolicy,
+    /// `false` runs a fresh plan search per query (the cache-off
+    /// baseline of the throughput bench).
+    pub use_cache: bool,
+    /// Maximum local-server backlog tolerated before dispatch defers
+    /// and queries wait in the admission queue.
+    pub dispatch_backlog: SimDuration,
+}
+
+impl ServeConfig {
+    /// A permissive default configuration for the given rates: deep
+    /// queue, caching on, no aging, effectively unbounded dispatch.
+    #[must_use]
+    pub fn new(rates: DiscountRates) -> Self {
+        ServeConfig {
+            rates,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            aging: AgingPolicy::DISABLED,
+            use_cache: true,
+            dispatch_backlog: SimDuration::new(f64::INFINITY),
+        }
+    }
+}
+
+/// A delivered query: its full evaluation against live calendar state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The completed query.
+    pub query: QueryId,
+    /// The delivered plan evaluation (latencies and IV include actual
+    /// calendar queuing).
+    pub evaluation: PlanEvaluation,
+    /// How long the query sat in the admission queue before dispatch.
+    pub waited: SimDuration,
+}
+
+/// What one [`ServeEngine::submit`] call did.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SubmitReport {
+    /// Query shed by admission control, if any (possibly the submitted
+    /// one).
+    pub shed: Option<QueryId>,
+    /// Queries dispatched and delivered during this step, in dispatch
+    /// order.
+    pub completed: Vec<Completion>,
+}
+
+/// The online query-serving engine. See the module docs for the
+/// pipeline.
+pub struct ServeEngine<'a, C: Clock> {
+    catalog: &'a Catalog,
+    timelines: &'a SyncTimelines,
+    model: &'a dyn CostModel,
+    config: ServeConfig,
+    clock: C,
+    queue: AdmissionQueue,
+    cache: PlanCache,
+    facilities: FacilityQueues,
+    cursor: SyncEventCursor,
+    metrics: ServeMetrics,
+}
+
+impl<'a, C: Clock> ServeEngine<'a, C> {
+    /// Creates an engine over the given catalog, timelines and cost
+    /// model, starting at the clock's current time.
+    #[must_use]
+    pub fn new(
+        catalog: &'a Catalog,
+        timelines: &'a SyncTimelines,
+        model: &'a dyn CostModel,
+        config: ServeConfig,
+        clock: C,
+    ) -> Self {
+        let start = clock.now();
+        ServeEngine {
+            catalog,
+            timelines,
+            model,
+            queue: AdmissionQueue::new(config.queue_capacity, config.aging),
+            cache: PlanCache::new(config.cache_capacity),
+            facilities: FacilityQueues::new(catalog.site_count()),
+            cursor: SyncEventCursor::new(start),
+            metrics: ServeMetrics::new(start),
+            config,
+            clock,
+        }
+    }
+
+    /// The engine's current time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Queries waiting in the admission queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The plan cache.
+    #[must_use]
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Freezes the metrics at the current time.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.clock.now())
+    }
+
+    /// The planning context: [`NoQueues`], as the cache requires.
+    fn planning_ctx(&self) -> PlanContext<'a> {
+        PlanContext {
+            catalog: self.catalog,
+            timelines: self.timelines,
+            model: self.model,
+            rates: self.config.rates,
+            queues: &NoQueues,
+        }
+    }
+
+    /// Delivers pending sync events to the cache's invalidator.
+    fn sync_tick(&mut self, now: SimTime) {
+        let events = self.cursor.advance_to(self.timelines, now);
+        if !events.is_empty() {
+            let evicted = self.cache.apply_sync_events(&events);
+            self.metrics.record_cache_invalidations(evicted as u64);
+            self.metrics.set_cache_size(self.cache.len());
+        }
+    }
+
+    /// Moves the engine's clock to `to` (if in the future), delivering
+    /// sync events and dispatching whatever the backlog bound now
+    /// admits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from planning a dispatched query.
+    pub fn advance_to(&mut self, to: SimTime) -> Result<Vec<Completion>, PlanError> {
+        self.clock.advance_to(to);
+        let now = self.clock.now();
+        self.sync_tick(now);
+        self.pump(now, false)
+    }
+
+    /// Submits a query: admission, planning, dispatch. The clock is
+    /// advanced to the request's submission time first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from planning a dispatched query.
+    pub fn submit(&mut self, request: QueryRequest) -> Result<SubmitReport, PlanError> {
+        self.clock.advance_to(request.submitted_at);
+        let now = self.clock.now();
+        self.sync_tick(now);
+        self.metrics.record_submitted();
+
+        let ctx = self.planning_ctx();
+        let submitted_id = request.id();
+        let shed = match self.queue.offer(&ctx, request, now) {
+            AdmitOutcome::Admitted => {
+                self.metrics.record_admitted();
+                None
+            }
+            AdmitOutcome::AdmittedAfterShedding { shed, .. } => {
+                self.metrics.record_admitted();
+                self.metrics.record_shed();
+                Some(shed)
+            }
+            AdmitOutcome::Rejected { .. } => {
+                // The arrival itself was the lowest-value query.
+                self.metrics.record_shed();
+                Some(submitted_id)
+            }
+        };
+        let completed = self.pump(now, false)?;
+        Ok(SubmitReport { shed, completed })
+    }
+
+    /// Dispatches queued queries while the backlog bound admits them
+    /// (or unconditionally when `force` is set).
+    fn pump(&mut self, now: SimTime, force: bool) -> Result<Vec<Completion>, PlanError> {
+        let mut completed = Vec::new();
+        while self.queue.peek().is_some() {
+            if !force && self.local_backlog(now) > self.config.dispatch_backlog {
+                break;
+            }
+            let queued = self.queue.pop_front().expect("peeked entry exists");
+            completed.push(self.dispatch(queued, now)?);
+        }
+        self.metrics.set_queue_depth(now, self.queue.len());
+        Ok(completed)
+    }
+
+    /// Time until the local federation server's calendar has an idle
+    /// instant at or after `now`.
+    fn local_backlog(&self, now: SimTime) -> SimDuration {
+        (self.facilities.local().probe(now, SimDuration::ZERO).start - now).clamp_non_negative()
+    }
+
+    /// Plans and dispatches one query against the live calendars.
+    fn dispatch(&mut self, queued: QueuedQuery, now: SimTime) -> Result<Completion, PlanError> {
+        let request = queued.request;
+        let ctx = self.planning_ctx();
+        let planned = if self.config.use_cache {
+            let (eval, outcome) = self.cache.plan(&ctx, &request)?;
+            match outcome {
+                CacheOutcome::Hit => self.metrics.record_cache_hit(),
+                CacheOutcome::Miss => self.metrics.record_cache_miss(),
+            }
+            self.metrics.set_cache_size(self.cache.len());
+            eval
+        } else {
+            IvqpPlanner::new().select_plan(&ctx, &request)?
+        };
+
+        // Re-evaluate the chosen candidate against live calendar state:
+        // the delivered IV must pay for real queuing, not the planner's
+        // empty-queue assumption.
+        let release = planned.execute_at.max(now);
+        let live_ctx = PlanContext {
+            catalog: self.catalog,
+            timelines: self.timelines,
+            model: self.model,
+            rates: self.config.rates,
+            queues: &self.facilities,
+        };
+        let delivered = evaluate_plan(&live_ctx, &request, release, &planned.local_tables)?;
+
+        // Commit the reservations the estimator just probed, mirroring
+        // evaluate_plan's participation rule: the local server always
+        // serves the plan's local work and result reception; each site a
+        // remote table lives on serves the remote processing.
+        let cost = delivered.cost;
+        self.facilities
+            .local_mut()
+            .book(release, cost.local_service());
+        let remote: Vec<TableId> = request
+            .query
+            .tables()
+            .iter()
+            .copied()
+            .filter(|t| !planned.local_tables.contains(t))
+            .collect();
+        if !remote.is_empty() {
+            for site in self.catalog.sites_spanned(&remote) {
+                self.facilities
+                    .remote_mut(site)
+                    .book(release, cost.remote_processing);
+            }
+        }
+
+        self.metrics.record_completion(
+            delivered.latencies.computational,
+            delivered.latencies.synchronization,
+            delivered.information_value.value(),
+        );
+        Ok(Completion {
+            query: request.id(),
+            evaluation: delivered,
+            waited: (now - queued.enqueued_at).clamp_non_negative(),
+        })
+    }
+
+    /// Dispatches everything still queued, ignoring the backlog bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from planning a dispatched query.
+    pub fn drain(&mut self) -> Result<Vec<Completion>, PlanError> {
+        let now = self.clock.now();
+        self.sync_tick(now);
+        self.pump(now, true)
+    }
+
+    /// Groups the currently queued queries into §3.2 batch windows
+    /// (connected components of overlapping execution ranges), the seam
+    /// to multi-query optimization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from the per-query range search.
+    pub fn batch_windows(&self) -> Result<Vec<Vec<QueryId>>, PlanError> {
+        let pending: Vec<QueryRequest> = self.queue.iter().map(|q| q.request.clone()).collect();
+        live_batch_windows(&self.planning_ctx(), &pending, self.clock.now())
+    }
+}

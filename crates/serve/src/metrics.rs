@@ -1,0 +1,374 @@
+//! Serving-engine metrics: counters, gauges and fixed-boundary
+//! histograms, with point-in-time snapshots and a text-format dump.
+//!
+//! The registry reuses the collectors of [`ivdss_simkernel::stats`]:
+//! latency and information-value distributions are [`Histogram`]s with
+//! *fixed* bucket boundaries (so dumps from different runs are directly
+//! comparable bucket-by-bucket), queue depth is a [`TimeWeighted`] gauge
+//! (its mean weights each depth by how long the queue sat at it, the
+//! standard DES occupancy statistic), and delivered IV keeps streaming
+//! moments in an [`OnlineStats`].
+//!
+//! [`ServeMetrics::snapshot`] freezes everything into plain-data
+//! [`MetricsSnapshot`] / [`HistogramSnapshot`] structs;
+//! [`MetricsSnapshot::to_text`] renders the snapshot in a
+//! Prometheus-flavoured exposition format (counters end in `_total`,
+//! histogram buckets are cumulative with `le` upper bounds).
+
+use ivdss_simkernel::stats::{Histogram, OnlineStats, TimeWeighted};
+use ivdss_simkernel::time::{SimDuration, SimTime};
+
+/// Upper bound (minutes) of the computational/synchronization latency
+/// histograms; 24 ten-minute buckets span `[0, 240)`.
+pub const LATENCY_HIST_MAX: f64 = 240.0;
+/// Bucket count of the latency histograms.
+pub const LATENCY_HIST_BINS: usize = 24;
+/// Upper bound of the delivered-IV histogram: 20 buckets over `[0, 1)`,
+/// sized for unit business value. Queries with larger business values
+/// land in the overflow count, which the dump reports explicitly.
+pub const IV_HIST_MAX: f64 = 1.0;
+/// Bucket count of the delivered-IV histogram.
+pub const IV_HIST_BINS: usize = 20;
+
+/// The serving engine's metrics registry.
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    queries_submitted: u64,
+    queries_admitted: u64,
+    queries_shed: u64,
+    queries_completed: u64,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+    plan_cache_invalidations: u64,
+    plan_cache_size: u64,
+    queue_depth: TimeWeighted,
+    cl: Histogram,
+    sl: Histogram,
+    iv: Histogram,
+    iv_stats: OnlineStats,
+}
+
+impl ServeMetrics {
+    /// Creates an empty registry whose queue-depth gauge starts ticking
+    /// at `start`.
+    #[must_use]
+    pub fn new(start: SimTime) -> Self {
+        ServeMetrics {
+            queries_submitted: 0,
+            queries_admitted: 0,
+            queries_shed: 0,
+            queries_completed: 0,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            plan_cache_invalidations: 0,
+            plan_cache_size: 0,
+            queue_depth: TimeWeighted::new(start, 0.0),
+            cl: Histogram::new(0.0, LATENCY_HIST_MAX, LATENCY_HIST_BINS),
+            sl: Histogram::new(0.0, LATENCY_HIST_MAX, LATENCY_HIST_BINS),
+            iv: Histogram::new(0.0, IV_HIST_MAX, IV_HIST_BINS),
+            iv_stats: OnlineStats::new(),
+        }
+    }
+
+    /// Counts one submission.
+    pub fn record_submitted(&mut self) {
+        self.queries_submitted += 1;
+    }
+
+    /// Counts one admission into the queue.
+    pub fn record_admitted(&mut self) {
+        self.queries_admitted += 1;
+    }
+
+    /// Counts one IV-aware shed.
+    pub fn record_shed(&mut self) {
+        self.queries_shed += 1;
+    }
+
+    /// Counts one completed query and records its latencies and
+    /// delivered information value.
+    pub fn record_completion(&mut self, cl: SimDuration, sl: SimDuration, iv: f64) {
+        self.queries_completed += 1;
+        self.cl.record(cl.value());
+        self.sl.record(sl.value());
+        self.iv.record(iv);
+        self.iv_stats.record(iv);
+    }
+
+    /// Counts one plan-cache hit.
+    pub fn record_cache_hit(&mut self) {
+        self.plan_cache_hits += 1;
+    }
+
+    /// Counts one plan-cache miss.
+    pub fn record_cache_miss(&mut self) {
+        self.plan_cache_misses += 1;
+    }
+
+    /// Counts `evicted` entries invalidated by synchronization events.
+    pub fn record_cache_invalidations(&mut self, evicted: u64) {
+        self.plan_cache_invalidations += evicted;
+    }
+
+    /// Sets the plan-cache size gauge.
+    pub fn set_cache_size(&mut self, size: usize) {
+        self.plan_cache_size = size as u64;
+    }
+
+    /// Sets the queue-depth gauge at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an earlier update (time-weighted gauges
+    /// require monotone time).
+    pub fn set_queue_depth(&mut self, now: SimTime, depth: usize) {
+        self.queue_depth.set(now, depth as f64);
+    }
+
+    /// Total delivered information value so far.
+    #[must_use]
+    pub fn total_delivered_iv(&self) -> f64 {
+        self.iv_stats.sum()
+    }
+
+    /// Freezes the registry into a snapshot; `now` closes the
+    /// time-weighted queue-depth window.
+    #[must_use]
+    pub fn snapshot(&self, now: SimTime) -> MetricsSnapshot {
+        MetricsSnapshot {
+            at: now,
+            queries_submitted: self.queries_submitted,
+            queries_admitted: self.queries_admitted,
+            queries_shed: self.queries_shed,
+            queries_completed: self.queries_completed,
+            plan_cache_hits: self.plan_cache_hits,
+            plan_cache_misses: self.plan_cache_misses,
+            plan_cache_invalidations: self.plan_cache_invalidations,
+            plan_cache_size: self.plan_cache_size,
+            queue_depth: self.queue_depth.current(),
+            queue_depth_peak: self.queue_depth.peak(),
+            queue_depth_mean: self.queue_depth.mean_until(now),
+            total_delivered_iv: self.iv_stats.sum(),
+            mean_delivered_iv: self.iv_stats.mean(),
+            cl: HistogramSnapshot::from_histogram(&self.cl),
+            sl: HistogramSnapshot::from_histogram(&self.sl),
+            iv: HistogramSnapshot::from_histogram(&self.iv),
+        }
+    }
+}
+
+/// Frozen histogram state: fixed bounds, per-bin counts and the
+/// out-of-range tallies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Inclusive lower bound of the first bin.
+    pub low: f64,
+    /// Exclusive upper bound of the last bin.
+    pub high: f64,
+    /// Per-bin counts.
+    pub bins: Vec<u64>,
+    /// Samples below `low`.
+    pub underflow: u64,
+    /// Samples at or above `high`.
+    pub overflow: u64,
+}
+
+impl HistogramSnapshot {
+    fn from_histogram(h: &Histogram) -> Self {
+        let bins = h.bins().to_vec();
+        let (low, _) = h.bin_bounds(0);
+        let (_, high) = h.bin_bounds(bins.len() - 1);
+        HistogramSnapshot {
+            low,
+            high,
+            bins,
+            underflow: h.underflow(),
+            overflow: h.overflow(),
+        }
+    }
+
+    /// Total samples recorded, including out-of-range ones.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.underflow + self.overflow + self.bins.iter().sum::<u64>()
+    }
+
+    /// Upper bound of bin `idx`.
+    #[must_use]
+    pub fn upper_bound(&self, idx: usize) -> f64 {
+        let width = (self.high - self.low) / self.bins.len() as f64;
+        self.low + width * (idx as f64 + 1.0)
+    }
+
+    fn dump(&self, name: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        let mut cumulative = self.underflow;
+        for (idx, &count) in self.bins.iter().enumerate() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{bound}\"}} {cumulative}",
+                bound = self.upper_bound(idx)
+            );
+        }
+        cumulative += self.overflow;
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_count {cumulative}");
+    }
+}
+
+/// A point-in-time copy of every metric in a [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// When the snapshot was taken.
+    pub at: SimTime,
+    /// Queries offered to the engine.
+    pub queries_submitted: u64,
+    /// Queries accepted into the admission queue.
+    pub queries_admitted: u64,
+    /// Queries dropped by IV-aware load shedding.
+    pub queries_shed: u64,
+    /// Queries planned, dispatched and delivered.
+    pub queries_completed: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (each populates an entry).
+    pub plan_cache_misses: u64,
+    /// Cache entries evicted by synchronization events.
+    pub plan_cache_invalidations: u64,
+    /// Live cache entries at snapshot time.
+    pub plan_cache_size: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: f64,
+    /// Highest queue depth observed.
+    pub queue_depth_peak: f64,
+    /// Time-weighted mean queue depth over the run.
+    pub queue_depth_mean: f64,
+    /// Sum of delivered information value.
+    pub total_delivered_iv: f64,
+    /// Mean delivered information value per completed query.
+    pub mean_delivered_iv: f64,
+    /// Computational-latency distribution (minutes).
+    pub cl: HistogramSnapshot,
+    /// Synchronization-latency distribution (minutes).
+    pub sl: HistogramSnapshot,
+    /// Delivered-IV distribution.
+    pub iv: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate in `[0, 1]`; zero when no lookups happened.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.plan_cache_hits + self.plan_cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Renders the snapshot in a Prometheus-flavoured text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# ivdss-serve metrics at t={}", self.at.value());
+        let _ = writeln!(
+            out,
+            "serve_queries_submitted_total {}",
+            self.queries_submitted
+        );
+        let _ = writeln!(
+            out,
+            "serve_queries_admitted_total {}",
+            self.queries_admitted
+        );
+        let _ = writeln!(out, "serve_queries_shed_total {}", self.queries_shed);
+        let _ = writeln!(
+            out,
+            "serve_queries_completed_total {}",
+            self.queries_completed
+        );
+        let _ = writeln!(out, "serve_plan_cache_hits_total {}", self.plan_cache_hits);
+        let _ = writeln!(
+            out,
+            "serve_plan_cache_misses_total {}",
+            self.plan_cache_misses
+        );
+        let _ = writeln!(
+            out,
+            "serve_plan_cache_invalidations_total {}",
+            self.plan_cache_invalidations
+        );
+        let _ = writeln!(out, "serve_plan_cache_size {}", self.plan_cache_size);
+        let _ = writeln!(out, "serve_queue_depth {}", self.queue_depth);
+        let _ = writeln!(out, "serve_queue_depth_peak {}", self.queue_depth_peak);
+        let _ = writeln!(out, "serve_queue_depth_mean {}", self.queue_depth_mean);
+        let _ = writeln!(out, "serve_delivered_iv_total {}", self.total_delivered_iv);
+        let _ = writeln!(out, "serve_delivered_iv_mean {}", self.mean_delivered_iv);
+        self.cl.dump("serve_cl_minutes", &mut out);
+        self.sl.dump("serve_sl_minutes", &mut out);
+        self.iv.dump("serve_delivered_iv", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let mut m = ServeMetrics::new(SimTime::ZERO);
+        m.record_submitted();
+        m.record_admitted();
+        m.record_completion(SimDuration::new(15.0), SimDuration::new(45.0), 0.62);
+        m.record_completion(SimDuration::new(500.0), SimDuration::new(5.0), 1.7);
+        let snap = m.snapshot(SimTime::new(10.0));
+        assert_eq!(snap.queries_completed, 2);
+        assert_eq!(snap.cl.count(), 2);
+        assert_eq!(snap.cl.overflow, 1, "500 min exceeds the fixed range");
+        assert_eq!(snap.iv.overflow, 1, "IV above unit BV overflows");
+        assert!((snap.total_delivered_iv - 2.32).abs() < 1e-12);
+        assert!((snap.mean_delivered_iv - 1.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_depth_gauge_is_time_weighted() {
+        let mut m = ServeMetrics::new(SimTime::ZERO);
+        m.set_queue_depth(SimTime::new(0.0), 4);
+        m.set_queue_depth(SimTime::new(5.0), 0);
+        let snap = m.snapshot(SimTime::new(10.0));
+        // Depth 4 for half the window, 0 for the other half.
+        assert!((snap.queue_depth_mean - 2.0).abs() < 1e-12);
+        assert_eq!(snap.queue_depth_peak, 4.0);
+        assert_eq!(snap.queue_depth, 0.0);
+    }
+
+    #[test]
+    fn text_dump_has_cumulative_buckets() {
+        let mut m = ServeMetrics::new(SimTime::ZERO);
+        m.record_completion(SimDuration::new(5.0), SimDuration::new(5.0), 0.5);
+        m.record_completion(SimDuration::new(15.0), SimDuration::new(15.0), 0.9);
+        let text = m.snapshot(SimTime::new(1.0)).to_text();
+        assert!(text.contains("serve_queries_completed_total 2"));
+        assert!(text.contains("serve_cl_minutes_bucket{le=\"10\"} 1"));
+        assert!(text.contains("serve_cl_minutes_bucket{le=\"20\"} 2"));
+        assert!(text.contains("serve_cl_minutes_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("serve_cl_minutes_count 2"));
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_zero_lookups() {
+        let m = ServeMetrics::new(SimTime::ZERO);
+        let snap = m.snapshot(SimTime::ZERO);
+        assert_eq!(snap.cache_hit_rate(), 0.0);
+        let mut m = ServeMetrics::new(SimTime::ZERO);
+        m.record_cache_hit();
+        m.record_cache_hit();
+        m.record_cache_miss();
+        let snap = m.snapshot(SimTime::ZERO);
+        assert!((snap.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

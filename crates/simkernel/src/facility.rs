@@ -395,7 +395,7 @@ mod calendar_tests {
         let mut c = Calendar::new();
         c.book(SimTime::new(2.0), SimDuration::new(2.0)); // [2,4)
         c.book(SimTime::new(6.0), SimDuration::new(2.0)); // [6,8)
-        // 3-long job at t=0: gap [0,2) too small, [4,6) too small → t=8.
+                                                          // 3-long job at t=0: gap [0,2) too small, [4,6) too small → t=8.
         let w = c.book(SimTime::new(0.0), SimDuration::new(3.0));
         assert_eq!(w.start, SimTime::new(8.0));
         // 2-long job at t=0 fits the first gap exactly.
@@ -420,6 +420,43 @@ mod calendar_tests {
         assert_eq!(w.start, w.finish);
         let w2 = c.book(SimTime::new(1.0), SimDuration::new(2.0));
         assert_eq!(w2.start, SimTime::new(1.0));
+    }
+
+    #[test]
+    fn booking_at_exact_end_boundary_does_not_double_book() {
+        // Regression: busy intervals are half-open [start, end), so a
+        // reservation starting exactly at another's end time shares the
+        // boundary instant without overlapping or being pushed.
+        let mut c = Calendar::new();
+        let first = c.book(SimTime::new(0.0), SimDuration::new(5.0)); // [0,5)
+        let second = c.book(SimTime::new(5.0), SimDuration::new(3.0)); // [5,8)
+        assert_eq!(first.finish, SimTime::new(5.0));
+        assert_eq!(second.start, SimTime::new(5.0), "no artificial delay");
+        assert_eq!(second.finish, SimTime::new(8.0));
+        assert_eq!(c.total_busy_time(), SimDuration::new(8.0));
+        // The two intervals coalesced into one busy block [0,8): new work
+        // arriving inside either original interval starts at 8, proving
+        // neither window was double-booked.
+        let third = c.book(SimTime::new(2.0), SimDuration::new(1.0));
+        assert_eq!(third.start, SimTime::new(8.0));
+    }
+
+    #[test]
+    fn exact_fit_backfill_touching_both_neighbors() {
+        // A gap [5,10) between [0,5) and [10,15): an exact-fit job whose
+        // start equals the left booking's end AND whose finish equals the
+        // right booking's start must claim the gap, not skip past it.
+        let mut c = Calendar::new();
+        c.book(SimTime::new(0.0), SimDuration::new(5.0));
+        c.book(SimTime::new(10.0), SimDuration::new(5.0));
+        let w = c.book(SimTime::new(5.0), SimDuration::new(5.0));
+        assert_eq!(w.start, SimTime::new(5.0), "exact-fit gap claimed");
+        assert_eq!(w.finish, SimTime::new(10.0));
+        // Everything merged to [0,15); the next job queues at 15 exactly
+        // once (a double-booked gap would report an earlier start).
+        let next = c.book(SimTime::new(0.0), SimDuration::new(1.0));
+        assert_eq!(next.start, SimTime::new(15.0));
+        assert_eq!(c.total_busy_time(), SimDuration::new(16.0));
     }
 
     #[test]

@@ -434,7 +434,7 @@ mod tests {
         let mut g = TimeWeighted::new(SimTime::ZERO, 0.0);
         g.set(SimTime::new(10.0), 2.0); // 0 for 10 units
         g.set(SimTime::new(20.0), 4.0); // 2 for 10 units
-        // 4 for 10 units until t=30
+                                        // 4 for 10 units until t=30
         let mean = g.mean_until(SimTime::new(30.0));
         assert!((mean - 2.0).abs() < 1e-12, "mean {mean}");
         assert_eq!(g.current(), 4.0);

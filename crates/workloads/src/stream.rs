@@ -175,8 +175,8 @@ mod tests {
 
     #[test]
     fn business_value_applies() {
-        let mut stream = ArrivalStream::new(templates(), 5.0, 1)
-            .with_business_value(BusinessValue::new(3.0));
+        let mut stream =
+            ArrivalStream::new(templates(), 5.0, 1).with_business_value(BusinessValue::new(3.0));
         assert_eq!(stream.next_request().business_value.value(), 3.0);
     }
 

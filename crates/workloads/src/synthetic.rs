@@ -139,8 +139,7 @@ pub fn overlapping_queries(config: &OverlapConfig) -> Vec<QuerySpec> {
         (0.0..=1.0).contains(&config.target_overlap),
         "target overlap must be within [0, 1]"
     );
-    let hot_count =
-        ((config.queries as f64) * config.target_overlap.sqrt()).round() as usize;
+    let hot_count = ((config.queries as f64) * config.target_overlap.sqrt()).round() as usize;
     let hot_count = hot_count.min(config.queries);
     let cold_count = config.queries - hot_count;
     // Hot pool: just larger than one footprint so hot queries collide.

@@ -28,28 +28,138 @@ use TpchTable::{Customer, LineItem, Nation, Orders, Part, PartSupp, Region, Supp
 /// reflecting each query's plan complexity (aggregation-only scans ≈ 1,
 /// multi-way join + subquery pipelines up to ≈ 3).
 pub const TPCH_QUERIES: [TpchQuery; 22] = [
-    TpchQuery { number: 1, tables: &[LineItem], weight: 1.2, selectivity: 0.001 },
-    TpchQuery { number: 2, tables: &[Part, Supplier, PartSupp, Nation, Region], weight: 2.0, selectivity: 0.005 },
-    TpchQuery { number: 3, tables: &[Customer, Orders, LineItem], weight: 1.8, selectivity: 0.002 },
-    TpchQuery { number: 4, tables: &[Orders, LineItem], weight: 1.4, selectivity: 0.001 },
-    TpchQuery { number: 5, tables: &[Customer, Orders, LineItem, Supplier, Nation, Region], weight: 2.4, selectivity: 0.002 },
-    TpchQuery { number: 6, tables: &[LineItem], weight: 1.0, selectivity: 0.001 },
-    TpchQuery { number: 7, tables: &[Supplier, LineItem, Orders, Customer, Nation], weight: 2.3, selectivity: 0.002 },
-    TpchQuery { number: 8, tables: &[Part, Supplier, LineItem, Orders, Customer, Nation, Region], weight: 2.6, selectivity: 0.002 },
-    TpchQuery { number: 9, tables: &[Part, Supplier, LineItem, PartSupp, Orders, Nation], weight: 3.0, selectivity: 0.005 },
-    TpchQuery { number: 10, tables: &[Customer, Orders, LineItem, Nation], weight: 1.9, selectivity: 0.003 },
-    TpchQuery { number: 11, tables: &[PartSupp, Supplier, Nation], weight: 1.3, selectivity: 0.01 },
-    TpchQuery { number: 12, tables: &[Orders, LineItem], weight: 1.4, selectivity: 0.001 },
-    TpchQuery { number: 13, tables: &[Customer, Orders], weight: 1.5, selectivity: 0.005 },
-    TpchQuery { number: 14, tables: &[LineItem, Part], weight: 1.3, selectivity: 0.001 },
-    TpchQuery { number: 15, tables: &[Supplier, LineItem], weight: 1.6, selectivity: 0.002 },
-    TpchQuery { number: 16, tables: &[PartSupp, Part, Supplier], weight: 1.4, selectivity: 0.01 },
-    TpchQuery { number: 17, tables: &[LineItem, Part], weight: 2.2, selectivity: 0.001 },
-    TpchQuery { number: 18, tables: &[Customer, Orders, LineItem], weight: 2.5, selectivity: 0.002 },
-    TpchQuery { number: 19, tables: &[LineItem, Part], weight: 1.7, selectivity: 0.001 },
-    TpchQuery { number: 20, tables: &[Supplier, Nation, PartSupp, Part, LineItem], weight: 2.4, selectivity: 0.003 },
-    TpchQuery { number: 21, tables: &[Supplier, LineItem, Orders, Nation], weight: 2.8, selectivity: 0.002 },
-    TpchQuery { number: 22, tables: &[Customer, Orders], weight: 1.6, selectivity: 0.005 },
+    TpchQuery {
+        number: 1,
+        tables: &[LineItem],
+        weight: 1.2,
+        selectivity: 0.001,
+    },
+    TpchQuery {
+        number: 2,
+        tables: &[Part, Supplier, PartSupp, Nation, Region],
+        weight: 2.0,
+        selectivity: 0.005,
+    },
+    TpchQuery {
+        number: 3,
+        tables: &[Customer, Orders, LineItem],
+        weight: 1.8,
+        selectivity: 0.002,
+    },
+    TpchQuery {
+        number: 4,
+        tables: &[Orders, LineItem],
+        weight: 1.4,
+        selectivity: 0.001,
+    },
+    TpchQuery {
+        number: 5,
+        tables: &[Customer, Orders, LineItem, Supplier, Nation, Region],
+        weight: 2.4,
+        selectivity: 0.002,
+    },
+    TpchQuery {
+        number: 6,
+        tables: &[LineItem],
+        weight: 1.0,
+        selectivity: 0.001,
+    },
+    TpchQuery {
+        number: 7,
+        tables: &[Supplier, LineItem, Orders, Customer, Nation],
+        weight: 2.3,
+        selectivity: 0.002,
+    },
+    TpchQuery {
+        number: 8,
+        tables: &[Part, Supplier, LineItem, Orders, Customer, Nation, Region],
+        weight: 2.6,
+        selectivity: 0.002,
+    },
+    TpchQuery {
+        number: 9,
+        tables: &[Part, Supplier, LineItem, PartSupp, Orders, Nation],
+        weight: 3.0,
+        selectivity: 0.005,
+    },
+    TpchQuery {
+        number: 10,
+        tables: &[Customer, Orders, LineItem, Nation],
+        weight: 1.9,
+        selectivity: 0.003,
+    },
+    TpchQuery {
+        number: 11,
+        tables: &[PartSupp, Supplier, Nation],
+        weight: 1.3,
+        selectivity: 0.01,
+    },
+    TpchQuery {
+        number: 12,
+        tables: &[Orders, LineItem],
+        weight: 1.4,
+        selectivity: 0.001,
+    },
+    TpchQuery {
+        number: 13,
+        tables: &[Customer, Orders],
+        weight: 1.5,
+        selectivity: 0.005,
+    },
+    TpchQuery {
+        number: 14,
+        tables: &[LineItem, Part],
+        weight: 1.3,
+        selectivity: 0.001,
+    },
+    TpchQuery {
+        number: 15,
+        tables: &[Supplier, LineItem],
+        weight: 1.6,
+        selectivity: 0.002,
+    },
+    TpchQuery {
+        number: 16,
+        tables: &[PartSupp, Part, Supplier],
+        weight: 1.4,
+        selectivity: 0.01,
+    },
+    TpchQuery {
+        number: 17,
+        tables: &[LineItem, Part],
+        weight: 2.2,
+        selectivity: 0.001,
+    },
+    TpchQuery {
+        number: 18,
+        tables: &[Customer, Orders, LineItem],
+        weight: 2.5,
+        selectivity: 0.002,
+    },
+    TpchQuery {
+        number: 19,
+        tables: &[LineItem, Part],
+        weight: 1.7,
+        selectivity: 0.001,
+    },
+    TpchQuery {
+        number: 20,
+        tables: &[Supplier, Nation, PartSupp, Part, LineItem],
+        weight: 2.4,
+        selectivity: 0.003,
+    },
+    TpchQuery {
+        number: 21,
+        tables: &[Supplier, LineItem, Orders, Nation],
+        weight: 2.8,
+        selectivity: 0.002,
+    },
+    TpchQuery {
+        number: 22,
+        tables: &[Customer, Orders],
+        weight: 1.6,
+        selectivity: 0.005,
+    },
 ];
 
 impl TpchQuery {
@@ -57,11 +167,7 @@ impl TpchQuery {
     /// (LineItem → its five partitions).
     #[must_use]
     pub fn to_spec(&self) -> QuerySpec {
-        let tables = self
-            .tables
-            .iter()
-            .flat_map(|t| t.table_ids())
-            .collect();
+        let tables = self.tables.iter().flat_map(|t| t.table_ids()).collect();
         QuerySpec::with_profile(
             QueryId::new(u64::from(self.number)),
             tables,

@@ -71,10 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "workload formation: {} overlapping group(s): {:?}",
         groups.len(),
-        groups
-            .iter()
-            .map(|g| g.len())
-            .collect::<Vec<_>>()
+        groups.iter().map(|g| g.len()).collect::<Vec<_>>()
     );
     println!();
 

@@ -26,13 +26,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // next one at t = 20).
     let query = QuerySpec::with_profile(
         QueryId::new(1),
-        vec![TableId::new(3), TableId::new(6), TableId::new(7), TableId::new(8)],
+        vec![
+            TableId::new(3),
+            TableId::new(6),
+            TableId::new(7),
+            TableId::new(8),
+        ],
         2.0,
         0.005,
     );
     let request = QueryRequest::new(query, SimTime::new(18.0));
 
-    println!("query {} submitted at t = 18.0 (minutes); replicas refreshed at 10, 20, …", request.query);
+    println!(
+        "query {} submitted at t = 18.0 (minutes); replicas refreshed at 10, 20, …",
+        request.query
+    );
     println!();
     println!(
         "{:<28} {:>10} {:>8} {:>8} {:>9} {:>8}",
@@ -40,8 +48,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for (label, rates) in [
-        ("latency-sensitive (λcl=.05)", DiscountRates::new(0.05, 0.01)),
-        ("staleness-sensitive (λsl=.10)", DiscountRates::new(0.01, 0.10)),
+        (
+            "latency-sensitive (λcl=.05)",
+            DiscountRates::new(0.05, 0.01),
+        ),
+        (
+            "staleness-sensitive (λsl=.10)",
+            DiscountRates::new(0.01, 0.10),
+        ),
         ("balanced (λ=.01)", DiscountRates::new(0.01, 0.01)),
     ] {
         let ctx = PlanContext {
@@ -56,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let dw = WarehousePlanner::new().select_plan(&ctx, &request)?;
         assert!(
             ivqp.information_value.value()
-                >= fed.information_value.value().max(dw.information_value.value()) - 1e-12,
+                >= fed
+                    .information_value
+                    .value()
+                    .max(dw.information_value.value())
+                    - 1e-12,
             "on equal infrastructure IVQP dominates both baselines"
         );
         for (name, plan) in [("IVQP", &ivqp), ("Federation", &fed), ("Warehouse", &dw)] {

@@ -42,10 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| {
             let value = if i % 4 == 0 { 0.2 } else { 1.0 };
             QueryRequest::new(
-                QuerySpec::new(
-                    QueryId::new(i as u64),
-                    vec![TableId::new((i % 12) as u32)],
-                ),
+                QuerySpec::new(QueryId::new(i as u64), vec![TableId::new((i % 12) as u32)]),
                 SimTime::new(1.0 + 0.8 * i as f64),
             )
             .with_business_value(BusinessValue::new(value))

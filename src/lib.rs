@@ -24,6 +24,7 @@
 //! | [`ga`] | Genetic algorithm with permutation genomes and order crossover |
 //! | [`mqo`] | Workload formation and GA-driven multi-query (order) optimization |
 //! | [`workloads`] | The 22 TPC-H query footprints, synthetic query generators, arrival streams |
+//! | [`serve`] | Online query-serving engine: IV-aware admission, sync-phase plan caching, calendar dispatch, metrics |
 //! | [`dsim`] | End-to-end DSS simulator and the per-figure experiment drivers |
 //!
 //! # Quickstart
@@ -63,20 +64,21 @@ pub use ivdss_dsim as dsim;
 pub use ivdss_ga as ga;
 pub use ivdss_mqo as mqo;
 pub use ivdss_replication as replication;
+pub use ivdss_serve as serve;
 pub use ivdss_simkernel as simkernel;
 pub use ivdss_workloads as workloads;
 
 /// The most commonly used items, importable with one `use`.
 pub mod prelude {
     pub use ivdss_catalog::{
-        synthetic_catalog, tpch_catalog, Catalog, PlacementStrategy, ReplicaSpec,
-        ReplicationPlan, SiteId, SyntheticConfig, TableId, TableMeta, TpchConfig,
+        synthetic_catalog, tpch_catalog, Catalog, PlacementStrategy, ReplicaSpec, ReplicationPlan,
+        SiteId, SyntheticConfig, TableId, TableMeta, TpchConfig,
     };
     pub use ivdss_core::{
-        evaluate_plan, exhaustive_search, AgingPolicy, BusinessValue, DiscountRate,
-        DiscountRates, FacilityQueues, FederationPlanner, InformationValue, IvqpPlanner,
-        Latencies, NoQueues, PlacementAdvisor, PlanContext, PlanError, PlanEvaluation,
-        Planner, QueryRequest, ScatterGatherSearch, WarehousePlanner,
+        evaluate_plan, exhaustive_search, AgingPolicy, BusinessValue, DiscountRate, DiscountRates,
+        FacilityQueues, FederationPlanner, InformationValue, IvqpPlanner, Latencies, NoQueues,
+        PlacementAdvisor, PlanContext, PlanError, PlanEvaluation, Planner, QueryRequest,
+        ScatterGatherSearch, WarehousePlanner,
     };
     pub use ivdss_costmodel::{
         AnalyticCostModel, CompiledQuery, CostModel, PlanCost, QueryId, QuerySpec,
@@ -89,12 +91,16 @@ pub mod prelude {
     pub use ivdss_mqo::{
         form_workloads, FifoScheduler, MqoScheduler, WorkloadEvaluator, WorkloadScheduler,
     };
-    pub use ivdss_replication::{Schedule, SyncMode, SyncTimelines};
+    pub use ivdss_replication::{Schedule, SyncEvent, SyncEventCursor, SyncMode, SyncTimelines};
+    pub use ivdss_serve::{
+        run_closed_loop, run_open_loop, AdmissionQueue, Clock, DesClock, MetricsSnapshot,
+        OpenLoopConfig, PlanCache, ServeConfig, ServeEngine, WallClock,
+    };
     pub use ivdss_simkernel::{
         Engine, ExponentialStream, OnlineStats, SeedFactory, SimDuration, SimTime, Stream,
     };
     pub use ivdss_workloads::{
-        mid_cost_query_specs, overlapping_queries, random_queries, tpch_query_specs,
-        ArrivalStream, FrequencyRatio, OverlapConfig, RandomQueryConfig,
+        mid_cost_query_specs, overlapping_queries, random_queries, tpch_query_specs, ArrivalStream,
+        FrequencyRatio, OverlapConfig, RandomQueryConfig,
     };
 }

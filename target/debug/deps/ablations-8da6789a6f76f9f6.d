@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-8da6789a6f76f9f6.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-8da6789a6f76f9f6: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

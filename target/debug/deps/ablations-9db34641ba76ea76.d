@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-9db34641ba76ea76.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-9db34641ba76ea76: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

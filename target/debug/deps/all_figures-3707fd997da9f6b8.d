@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-3707fd997da9f6b8.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-3707fd997da9f6b8: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-63ebcd840c3c7ca8.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-63ebcd840c3c7ca8: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

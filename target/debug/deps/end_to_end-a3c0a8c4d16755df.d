@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a3c0a8c4d16755df.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a3c0a8c4d16755df: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-effdce4ead9b11fe.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-effdce4ead9b11fe: tests/end_to_end.rs
+
+tests/end_to_end.rs:

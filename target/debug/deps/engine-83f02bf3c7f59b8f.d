@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-83f02bf3c7f59b8f.d: crates/serve/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-83f02bf3c7f59b8f: crates/serve/tests/engine.rs
+
+crates/serve/tests/engine.rs:

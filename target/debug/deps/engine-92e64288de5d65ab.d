@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-92e64288de5d65ab.d: crates/serve/tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-92e64288de5d65ab.rmeta: crates/serve/tests/engine.rs Cargo.toml
+
+crates/serve/tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/facility_queues-7b30176a83ee4c65.d: crates/core/tests/facility_queues.rs
+
+/root/repo/target/debug/deps/facility_queues-7b30176a83ee4c65: crates/core/tests/facility_queues.rs
+
+crates/core/tests/facility_queues.rs:

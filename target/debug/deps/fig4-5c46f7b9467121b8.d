@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-5c46f7b9467121b8.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-5c46f7b9467121b8: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-9168c07b59c34721.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-9168c07b59c34721: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

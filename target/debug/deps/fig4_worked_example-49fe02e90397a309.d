@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_worked_example-49fe02e90397a309.d: tests/fig4_worked_example.rs
+
+/root/repo/target/debug/deps/fig4_worked_example-49fe02e90397a309: tests/fig4_worked_example.rs
+
+tests/fig4_worked_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_worked_example-d3bb04105ef1d259.d: tests/fig4_worked_example.rs
+
+/root/repo/target/debug/deps/fig4_worked_example-d3bb04105ef1d259: tests/fig4_worked_example.rs
+
+tests/fig4_worked_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-4e433b68461f493a.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-4e433b68461f493a: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

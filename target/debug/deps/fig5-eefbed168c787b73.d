@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-eefbed168c787b73.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-eefbed168c787b73: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

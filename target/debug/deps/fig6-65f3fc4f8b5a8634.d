@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-65f3fc4f8b5a8634.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-65f3fc4f8b5a8634: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-c9dc4086e8b48a43.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-c9dc4086e8b48a43: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

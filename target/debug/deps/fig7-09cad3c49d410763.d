@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-09cad3c49d410763.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-09cad3c49d410763: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-21988121d17db30d.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-21988121d17db30d: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c480e21380ff348b.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c480e21380ff348b: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-cef7f0d6b47a9ebd.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-cef7f0d6b47a9ebd: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

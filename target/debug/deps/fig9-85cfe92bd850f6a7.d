@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-85cfe92bd850f6a7.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-85cfe92bd850f6a7: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

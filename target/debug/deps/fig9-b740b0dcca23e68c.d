@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-b740b0dcca23e68c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-b740b0dcca23e68c: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

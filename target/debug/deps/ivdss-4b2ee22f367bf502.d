@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss-4b2ee22f367bf502.d: src/lib.rs
+
+/root/repo/target/debug/deps/libivdss-4b2ee22f367bf502.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libivdss-4b2ee22f367bf502.rmeta: src/lib.rs
+
+src/lib.rs:

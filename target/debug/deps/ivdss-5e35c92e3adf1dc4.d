@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss-5e35c92e3adf1dc4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libivdss-5e35c92e3adf1dc4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libivdss-5e35c92e3adf1dc4.rmeta: src/lib.rs
+
+src/lib.rs:

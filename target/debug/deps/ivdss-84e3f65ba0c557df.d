@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss-84e3f65ba0c557df.d: src/lib.rs
+
+/root/repo/target/debug/deps/ivdss-84e3f65ba0c557df: src/lib.rs
+
+src/lib.rs:

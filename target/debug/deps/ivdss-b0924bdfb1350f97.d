@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss-b0924bdfb1350f97.d: src/lib.rs
+
+/root/repo/target/debug/deps/ivdss-b0924bdfb1350f97: src/lib.rs
+
+src/lib.rs:

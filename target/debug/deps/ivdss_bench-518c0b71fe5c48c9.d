@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss_bench-518c0b71fe5c48c9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ivdss_bench-518c0b71fe5c48c9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss_bench-5681b9e443f537a9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libivdss_bench-5681b9e443f537a9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libivdss_bench-5681b9e443f537a9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss_bench-80fca2569db904a2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ivdss_bench-80fca2569db904a2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

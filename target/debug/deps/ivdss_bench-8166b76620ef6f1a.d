@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss_bench-8166b76620ef6f1a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libivdss_bench-8166b76620ef6f1a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libivdss_bench-8166b76620ef6f1a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ivdss_catalog-e02af2fe42823651.d: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/ids.rs crates/catalog/src/placement.rs crates/catalog/src/replica.rs crates/catalog/src/synthetic.rs crates/catalog/src/table.rs crates/catalog/src/tpch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_catalog-e02af2fe42823651.rmeta: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/ids.rs crates/catalog/src/placement.rs crates/catalog/src/replica.rs crates/catalog/src/synthetic.rs crates/catalog/src/table.rs crates/catalog/src/tpch.rs Cargo.toml
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/catalog.rs:
+crates/catalog/src/ids.rs:
+crates/catalog/src/placement.rs:
+crates/catalog/src/replica.rs:
+crates/catalog/src/synthetic.rs:
+crates/catalog/src/table.rs:
+crates/catalog/src/tpch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

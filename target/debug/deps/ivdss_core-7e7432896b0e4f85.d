@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ivdss_core-7e7432896b0e4f85.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/latency.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/search.rs crates/core/src/starvation.rs crates/core/src/value.rs
+
+/root/repo/target/debug/deps/libivdss_core-7e7432896b0e4f85.rlib: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/latency.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/search.rs crates/core/src/starvation.rs crates/core/src/value.rs
+
+/root/repo/target/debug/deps/libivdss_core-7e7432896b0e4f85.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/latency.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/search.rs crates/core/src/starvation.rs crates/core/src/value.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/latency.rs:
+crates/core/src/plan.rs:
+crates/core/src/planner.rs:
+crates/core/src/search.rs:
+crates/core/src/starvation.rs:
+crates/core/src/value.rs:

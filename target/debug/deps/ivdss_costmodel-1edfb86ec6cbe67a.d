@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ivdss_costmodel-1edfb86ec6cbe67a.d: crates/costmodel/src/lib.rs crates/costmodel/src/compile.rs crates/costmodel/src/model.rs crates/costmodel/src/query.rs
+
+/root/repo/target/debug/deps/ivdss_costmodel-1edfb86ec6cbe67a: crates/costmodel/src/lib.rs crates/costmodel/src/compile.rs crates/costmodel/src/model.rs crates/costmodel/src/query.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/compile.rs:
+crates/costmodel/src/model.rs:
+crates/costmodel/src/query.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ivdss_costmodel-611871492e4e373d.d: crates/costmodel/src/lib.rs crates/costmodel/src/compile.rs crates/costmodel/src/model.rs crates/costmodel/src/query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_costmodel-611871492e4e373d.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/compile.rs crates/costmodel/src/model.rs crates/costmodel/src/query.rs Cargo.toml
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/compile.rs:
+crates/costmodel/src/model.rs:
+crates/costmodel/src/query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ivdss_costmodel-c8643cb5929c9319.d: crates/costmodel/src/lib.rs crates/costmodel/src/compile.rs crates/costmodel/src/model.rs crates/costmodel/src/query.rs
+
+/root/repo/target/debug/deps/libivdss_costmodel-c8643cb5929c9319.rlib: crates/costmodel/src/lib.rs crates/costmodel/src/compile.rs crates/costmodel/src/model.rs crates/costmodel/src/query.rs
+
+/root/repo/target/debug/deps/libivdss_costmodel-c8643cb5929c9319.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/compile.rs crates/costmodel/src/model.rs crates/costmodel/src/query.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/compile.rs:
+crates/costmodel/src/model.rs:
+crates/costmodel/src/query.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ivdss_ga-1281a42f2b216b63.d: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_ga-1281a42f2b216b63.rmeta: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs Cargo.toml
+
+crates/ga/src/lib.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/permutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

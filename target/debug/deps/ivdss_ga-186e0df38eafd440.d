@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss_ga-186e0df38eafd440.d: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs
+
+/root/repo/target/debug/deps/ivdss_ga-186e0df38eafd440: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/permutation.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ivdss_ga-451ad82c9e3c8626.d: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_ga-451ad82c9e3c8626.rmeta: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs Cargo.toml
+
+crates/ga/src/lib.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/permutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ivdss_ga-562cb777d4b6bd8a.d: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs
+
+/root/repo/target/debug/deps/libivdss_ga-562cb777d4b6bd8a.rlib: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs
+
+/root/repo/target/debug/deps/libivdss_ga-562cb777d4b6bd8a.rmeta: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/permutation.rs:

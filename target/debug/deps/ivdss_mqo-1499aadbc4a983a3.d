@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ivdss_mqo-1499aadbc4a983a3.d: crates/mqo/src/lib.rs crates/mqo/src/evaluate.rs crates/mqo/src/scheduler.rs crates/mqo/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_mqo-1499aadbc4a983a3.rmeta: crates/mqo/src/lib.rs crates/mqo/src/evaluate.rs crates/mqo/src/scheduler.rs crates/mqo/src/workload.rs Cargo.toml
+
+crates/mqo/src/lib.rs:
+crates/mqo/src/evaluate.rs:
+crates/mqo/src/scheduler.rs:
+crates/mqo/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

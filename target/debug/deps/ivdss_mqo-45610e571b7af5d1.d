@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ivdss_mqo-45610e571b7af5d1.d: crates/mqo/src/lib.rs crates/mqo/src/evaluate.rs crates/mqo/src/scheduler.rs crates/mqo/src/workload.rs
+
+/root/repo/target/debug/deps/libivdss_mqo-45610e571b7af5d1.rlib: crates/mqo/src/lib.rs crates/mqo/src/evaluate.rs crates/mqo/src/scheduler.rs crates/mqo/src/workload.rs
+
+/root/repo/target/debug/deps/libivdss_mqo-45610e571b7af5d1.rmeta: crates/mqo/src/lib.rs crates/mqo/src/evaluate.rs crates/mqo/src/scheduler.rs crates/mqo/src/workload.rs
+
+crates/mqo/src/lib.rs:
+crates/mqo/src/evaluate.rs:
+crates/mqo/src/scheduler.rs:
+crates/mqo/src/workload.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ivdss_mqo-b3bf4cde5a591cf9.d: crates/mqo/src/lib.rs crates/mqo/src/evaluate.rs crates/mqo/src/scheduler.rs crates/mqo/src/workload.rs
+
+/root/repo/target/debug/deps/ivdss_mqo-b3bf4cde5a591cf9: crates/mqo/src/lib.rs crates/mqo/src/evaluate.rs crates/mqo/src/scheduler.rs crates/mqo/src/workload.rs
+
+crates/mqo/src/lib.rs:
+crates/mqo/src/evaluate.rs:
+crates/mqo/src/scheduler.rs:
+crates/mqo/src/workload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ivdss_replication-97cba3902c96a6ba.d: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs
+
+/root/repo/target/debug/deps/libivdss_replication-97cba3902c96a6ba.rlib: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs
+
+/root/repo/target/debug/deps/libivdss_replication-97cba3902c96a6ba.rmeta: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs
+
+crates/replication/src/lib.rs:
+crates/replication/src/events.rs:
+crates/replication/src/qos.rs:
+crates/replication/src/schedule.rs:
+crates/replication/src/timelines.rs:

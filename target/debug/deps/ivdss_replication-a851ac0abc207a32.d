@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ivdss_replication-a851ac0abc207a32.d: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs
+
+/root/repo/target/debug/deps/ivdss_replication-a851ac0abc207a32: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs
+
+crates/replication/src/lib.rs:
+crates/replication/src/events.rs:
+crates/replication/src/qos.rs:
+crates/replication/src/schedule.rs:
+crates/replication/src/timelines.rs:

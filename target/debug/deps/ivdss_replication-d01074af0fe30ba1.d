@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ivdss_replication-d01074af0fe30ba1.d: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_replication-d01074af0fe30ba1.rmeta: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs Cargo.toml
+
+crates/replication/src/lib.rs:
+crates/replication/src/events.rs:
+crates/replication/src/qos.rs:
+crates/replication/src/schedule.rs:
+crates/replication/src/timelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss_serve-8451152949d91db5.d: crates/serve/src/lib.rs
+
+/root/repo/target/debug/deps/ivdss_serve-8451152949d91db5: crates/serve/src/lib.rs
+
+crates/serve/src/lib.rs:

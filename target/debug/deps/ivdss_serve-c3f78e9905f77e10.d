@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss_serve-c3f78e9905f77e10.d: crates/serve/src/lib.rs
+
+/root/repo/target/debug/deps/libivdss_serve-c3f78e9905f77e10.rlib: crates/serve/src/lib.rs
+
+/root/repo/target/debug/deps/libivdss_serve-c3f78e9905f77e10.rmeta: crates/serve/src/lib.rs
+
+crates/serve/src/lib.rs:

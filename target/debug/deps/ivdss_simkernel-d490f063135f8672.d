@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ivdss_simkernel-d490f063135f8672.d: crates/simkernel/src/lib.rs crates/simkernel/src/events.rs crates/simkernel/src/facility.rs crates/simkernel/src/rng.rs crates/simkernel/src/stats.rs crates/simkernel/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_simkernel-d490f063135f8672.rmeta: crates/simkernel/src/lib.rs crates/simkernel/src/events.rs crates/simkernel/src/facility.rs crates/simkernel/src/rng.rs crates/simkernel/src/stats.rs crates/simkernel/src/time.rs Cargo.toml
+
+crates/simkernel/src/lib.rs:
+crates/simkernel/src/events.rs:
+crates/simkernel/src/facility.rs:
+crates/simkernel/src/rng.rs:
+crates/simkernel/src/stats.rs:
+crates/simkernel/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ivdss_workloads-c060a2a1bccf13dd.d: crates/workloads/src/lib.rs crates/workloads/src/stream.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_workloads-c060a2a1bccf13dd.rmeta: crates/workloads/src/lib.rs crates/workloads/src/stream.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tpch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

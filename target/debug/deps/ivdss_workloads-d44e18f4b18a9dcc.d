@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ivdss_workloads-d44e18f4b18a9dcc.d: crates/workloads/src/lib.rs crates/workloads/src/stream.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libivdss_workloads-d44e18f4b18a9dcc.rlib: crates/workloads/src/lib.rs crates/workloads/src/stream.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libivdss_workloads-d44e18f4b18a9dcc.rmeta: crates/workloads/src/lib.rs crates/workloads/src/stream.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tpch.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ivdss_workloads-e200205cec7f4fdb.d: crates/workloads/src/lib.rs crates/workloads/src/stream.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/ivdss_workloads-e200205cec7f4fdb: crates/workloads/src/lib.rs crates/workloads/src/stream.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tpch.rs:

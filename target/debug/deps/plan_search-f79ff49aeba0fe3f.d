@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_search-f79ff49aeba0fe3f.d: crates/bench/benches/plan_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_search-f79ff49aeba0fe3f.rmeta: crates/bench/benches/plan_search.rs Cargo.toml
+
+crates/bench/benches/plan_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

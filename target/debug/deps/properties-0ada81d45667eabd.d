@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0ada81d45667eabd.d: crates/replication/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0ada81d45667eabd.rmeta: crates/replication/tests/properties.rs Cargo.toml
+
+crates/replication/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0df8128348aeebd0.d: crates/serve/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0df8128348aeebd0: crates/serve/tests/properties.rs
+
+crates/serve/tests/properties.rs:

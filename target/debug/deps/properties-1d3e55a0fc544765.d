@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1d3e55a0fc544765.d: crates/ga/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1d3e55a0fc544765: crates/ga/tests/properties.rs
+
+crates/ga/tests/properties.rs:

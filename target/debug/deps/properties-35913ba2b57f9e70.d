@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-35913ba2b57f9e70.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-35913ba2b57f9e70: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

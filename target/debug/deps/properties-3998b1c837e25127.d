@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3998b1c837e25127.d: crates/catalog/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3998b1c837e25127: crates/catalog/tests/properties.rs
+
+crates/catalog/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-62cc1b94c1a9cebf.d: crates/mqo/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-62cc1b94c1a9cebf: crates/mqo/tests/properties.rs
+
+crates/mqo/tests/properties.rs:

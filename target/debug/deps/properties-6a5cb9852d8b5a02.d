@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6a5cb9852d8b5a02.d: crates/costmodel/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6a5cb9852d8b5a02: crates/costmodel/tests/properties.rs
+
+crates/costmodel/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bc8042a3772b6fd4.d: crates/costmodel/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bc8042a3772b6fd4.rmeta: crates/costmodel/tests/properties.rs Cargo.toml
+
+crates/costmodel/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-beee6a4da5666f87.d: crates/simkernel/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-beee6a4da5666f87: crates/simkernel/tests/properties.rs
+
+crates/simkernel/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c372ff2e0e0fe863.d: crates/simkernel/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c372ff2e0e0fe863.rmeta: crates/simkernel/tests/properties.rs Cargo.toml
+
+crates/simkernel/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c940f873afaf4d15.d: crates/replication/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c940f873afaf4d15: crates/replication/tests/properties.rs
+
+crates/replication/tests/properties.rs:

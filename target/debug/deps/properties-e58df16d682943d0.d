@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e58df16d682943d0.d: crates/mqo/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e58df16d682943d0.rmeta: crates/mqo/tests/properties.rs Cargo.toml
+
+crates/mqo/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

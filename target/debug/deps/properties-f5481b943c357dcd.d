@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f5481b943c357dcd.d: crates/catalog/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f5481b943c357dcd.rmeta: crates/catalog/tests/properties.rs Cargo.toml
+
+crates/catalog/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_throughput-f7ccba33c344a952.d: crates/bench/benches/serve_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_throughput-f7ccba33c344a952.rmeta: crates/bench/benches/serve_throughput.rs Cargo.toml
+
+crates/bench/benches/serve_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fraud_detection-70afe56ffa196b5e.d: examples/fraud_detection.rs
+
+/root/repo/target/debug/examples/fraud_detection-70afe56ffa196b5e: examples/fraud_detection.rs
+
+examples/fraud_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fraud_detection-e61299431129537c.d: examples/fraud_detection.rs
+
+/root/repo/target/debug/examples/fraud_detection-e61299431129537c: examples/fraud_detection.rs
+
+examples/fraud_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/logistics_mqo-455eaa1eec8e9cf2.d: examples/logistics_mqo.rs
+
+/root/repo/target/debug/examples/logistics_mqo-455eaa1eec8e9cf2: examples/logistics_mqo.rs
+
+examples/logistics_mqo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/logistics_mqo-f47a400f47ebabd7.d: examples/logistics_mqo.rs
+
+/root/repo/target/debug/examples/logistics_mqo-f47a400f47ebabd7: examples/logistics_mqo.rs
+
+examples/logistics_mqo.rs:

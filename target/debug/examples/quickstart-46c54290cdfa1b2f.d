@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-46c54290cdfa1b2f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-46c54290cdfa1b2f: examples/quickstart.rs
+
+examples/quickstart.rs:

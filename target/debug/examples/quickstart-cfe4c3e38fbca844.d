@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cfe4c3e38fbca844.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cfe4c3e38fbca844: examples/quickstart.rs
+
+examples/quickstart.rs:

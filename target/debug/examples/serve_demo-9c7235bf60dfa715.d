@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_demo-9c7235bf60dfa715.d: examples/serve_demo.rs
+
+/root/repo/target/debug/examples/serve_demo-9c7235bf60dfa715: examples/serve_demo.rs
+
+examples/serve_demo.rs:

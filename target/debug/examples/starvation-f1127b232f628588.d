@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/starvation-f1127b232f628588.d: examples/starvation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstarvation-f1127b232f628588.rmeta: examples/starvation.rs Cargo.toml
+
+examples/starvation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/starvation-f152e071bbdd6aeb.d: examples/starvation.rs
+
+/root/repo/target/debug/examples/starvation-f152e071bbdd6aeb: examples/starvation.rs
+
+examples/starvation.rs:

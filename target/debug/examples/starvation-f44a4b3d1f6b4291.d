@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/starvation-f44a4b3d1f6b4291.d: examples/starvation.rs
+
+/root/repo/target/debug/examples/starvation-f44a4b3d1f6b4291: examples/starvation.rs
+
+examples/starvation.rs:

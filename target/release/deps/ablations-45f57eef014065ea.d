@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-45f57eef014065ea.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-45f57eef014065ea: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-133eee5be92f1478.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-133eee5be92f1478: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

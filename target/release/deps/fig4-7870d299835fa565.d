@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-7870d299835fa565.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-7870d299835fa565: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

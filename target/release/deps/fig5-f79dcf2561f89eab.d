@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-f79dcf2561f89eab.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-f79dcf2561f89eab: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

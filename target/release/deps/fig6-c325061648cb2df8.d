@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-c325061648cb2df8.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-c325061648cb2df8: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-51fcc3ce1f5bdb62.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-51fcc3ce1f5bdb62: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-55014abb71681d6c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-55014abb71681d6c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

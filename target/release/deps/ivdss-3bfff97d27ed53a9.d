@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ivdss-3bfff97d27ed53a9.d: src/lib.rs
+
+/root/repo/target/release/deps/libivdss-3bfff97d27ed53a9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libivdss-3bfff97d27ed53a9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ivdss-71b3c8325d159267.d: src/lib.rs
+
+/root/repo/target/release/deps/libivdss-71b3c8325d159267.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libivdss-71b3c8325d159267.rmeta: src/lib.rs
+
+src/lib.rs:

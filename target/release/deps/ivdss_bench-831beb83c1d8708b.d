@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ivdss_bench-831beb83c1d8708b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libivdss_bench-831beb83c1d8708b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libivdss_bench-831beb83c1d8708b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ivdss_catalog-75cef44b22e22249.d: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/ids.rs crates/catalog/src/placement.rs crates/catalog/src/replica.rs crates/catalog/src/synthetic.rs crates/catalog/src/table.rs crates/catalog/src/tpch.rs
+
+/root/repo/target/release/deps/libivdss_catalog-75cef44b22e22249.rlib: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/ids.rs crates/catalog/src/placement.rs crates/catalog/src/replica.rs crates/catalog/src/synthetic.rs crates/catalog/src/table.rs crates/catalog/src/tpch.rs
+
+/root/repo/target/release/deps/libivdss_catalog-75cef44b22e22249.rmeta: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/ids.rs crates/catalog/src/placement.rs crates/catalog/src/replica.rs crates/catalog/src/synthetic.rs crates/catalog/src/table.rs crates/catalog/src/tpch.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/catalog.rs:
+crates/catalog/src/ids.rs:
+crates/catalog/src/placement.rs:
+crates/catalog/src/replica.rs:
+crates/catalog/src/synthetic.rs:
+crates/catalog/src/table.rs:
+crates/catalog/src/tpch.rs:

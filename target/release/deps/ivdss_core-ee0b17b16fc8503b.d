@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ivdss_core-ee0b17b16fc8503b.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/latency.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/search.rs crates/core/src/starvation.rs crates/core/src/value.rs
+
+/root/repo/target/release/deps/libivdss_core-ee0b17b16fc8503b.rlib: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/latency.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/search.rs crates/core/src/starvation.rs crates/core/src/value.rs
+
+/root/repo/target/release/deps/libivdss_core-ee0b17b16fc8503b.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/latency.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/search.rs crates/core/src/starvation.rs crates/core/src/value.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/latency.rs:
+crates/core/src/plan.rs:
+crates/core/src/planner.rs:
+crates/core/src/search.rs:
+crates/core/src/starvation.rs:
+crates/core/src/value.rs:

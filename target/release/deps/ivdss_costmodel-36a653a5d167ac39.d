@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ivdss_costmodel-36a653a5d167ac39.d: crates/costmodel/src/lib.rs crates/costmodel/src/compile.rs crates/costmodel/src/model.rs crates/costmodel/src/query.rs
+
+/root/repo/target/release/deps/libivdss_costmodel-36a653a5d167ac39.rlib: crates/costmodel/src/lib.rs crates/costmodel/src/compile.rs crates/costmodel/src/model.rs crates/costmodel/src/query.rs
+
+/root/repo/target/release/deps/libivdss_costmodel-36a653a5d167ac39.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/compile.rs crates/costmodel/src/model.rs crates/costmodel/src/query.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/compile.rs:
+crates/costmodel/src/model.rs:
+crates/costmodel/src/query.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ivdss_dsim-612a2418818bf3a4.d: crates/dsim/src/lib.rs crates/dsim/src/experiments/mod.rs crates/dsim/src/experiments/common.rs crates/dsim/src/experiments/fig4.rs crates/dsim/src/experiments/fig5.rs crates/dsim/src/experiments/fig67.rs crates/dsim/src/experiments/fig8.rs crates/dsim/src/experiments/fig9.rs crates/dsim/src/metrics.rs crates/dsim/src/simulator.rs
+
+/root/repo/target/release/deps/ivdss_dsim-612a2418818bf3a4: crates/dsim/src/lib.rs crates/dsim/src/experiments/mod.rs crates/dsim/src/experiments/common.rs crates/dsim/src/experiments/fig4.rs crates/dsim/src/experiments/fig5.rs crates/dsim/src/experiments/fig67.rs crates/dsim/src/experiments/fig8.rs crates/dsim/src/experiments/fig9.rs crates/dsim/src/metrics.rs crates/dsim/src/simulator.rs
+
+crates/dsim/src/lib.rs:
+crates/dsim/src/experiments/mod.rs:
+crates/dsim/src/experiments/common.rs:
+crates/dsim/src/experiments/fig4.rs:
+crates/dsim/src/experiments/fig5.rs:
+crates/dsim/src/experiments/fig67.rs:
+crates/dsim/src/experiments/fig8.rs:
+crates/dsim/src/experiments/fig9.rs:
+crates/dsim/src/metrics.rs:
+crates/dsim/src/simulator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ivdss_ga-a31e9c75f7e179cb.d: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs
+
+/root/repo/target/release/deps/libivdss_ga-a31e9c75f7e179cb.rlib: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs
+
+/root/repo/target/release/deps/libivdss_ga-a31e9c75f7e179cb.rmeta: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/permutation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ivdss_mqo-4d81ea5168e5932b.d: crates/mqo/src/lib.rs crates/mqo/src/evaluate.rs crates/mqo/src/scheduler.rs crates/mqo/src/workload.rs
+
+/root/repo/target/release/deps/libivdss_mqo-4d81ea5168e5932b.rlib: crates/mqo/src/lib.rs crates/mqo/src/evaluate.rs crates/mqo/src/scheduler.rs crates/mqo/src/workload.rs
+
+/root/repo/target/release/deps/libivdss_mqo-4d81ea5168e5932b.rmeta: crates/mqo/src/lib.rs crates/mqo/src/evaluate.rs crates/mqo/src/scheduler.rs crates/mqo/src/workload.rs
+
+crates/mqo/src/lib.rs:
+crates/mqo/src/evaluate.rs:
+crates/mqo/src/scheduler.rs:
+crates/mqo/src/workload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ivdss_replication-0b4bc3d1188388c9.d: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs
+
+/root/repo/target/release/deps/libivdss_replication-0b4bc3d1188388c9.rlib: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs
+
+/root/repo/target/release/deps/libivdss_replication-0b4bc3d1188388c9.rmeta: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs
+
+crates/replication/src/lib.rs:
+crates/replication/src/events.rs:
+crates/replication/src/qos.rs:
+crates/replication/src/schedule.rs:
+crates/replication/src/timelines.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ivdss_serve-f1fc62dc11323a85.d: crates/serve/src/lib.rs
+
+/root/repo/target/release/deps/libivdss_serve-f1fc62dc11323a85.rlib: crates/serve/src/lib.rs
+
+/root/repo/target/release/deps/libivdss_serve-f1fc62dc11323a85.rmeta: crates/serve/src/lib.rs
+
+crates/serve/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ivdss_simkernel-6849872514c4bfcb.d: crates/simkernel/src/lib.rs crates/simkernel/src/events.rs crates/simkernel/src/facility.rs crates/simkernel/src/rng.rs crates/simkernel/src/stats.rs crates/simkernel/src/time.rs
+
+/root/repo/target/release/deps/libivdss_simkernel-6849872514c4bfcb.rlib: crates/simkernel/src/lib.rs crates/simkernel/src/events.rs crates/simkernel/src/facility.rs crates/simkernel/src/rng.rs crates/simkernel/src/stats.rs crates/simkernel/src/time.rs
+
+/root/repo/target/release/deps/libivdss_simkernel-6849872514c4bfcb.rmeta: crates/simkernel/src/lib.rs crates/simkernel/src/events.rs crates/simkernel/src/facility.rs crates/simkernel/src/rng.rs crates/simkernel/src/stats.rs crates/simkernel/src/time.rs
+
+crates/simkernel/src/lib.rs:
+crates/simkernel/src/events.rs:
+crates/simkernel/src/facility.rs:
+crates/simkernel/src/rng.rs:
+crates/simkernel/src/stats.rs:
+crates/simkernel/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-15c56cfaf8519962.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-15c56cfaf8519962: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

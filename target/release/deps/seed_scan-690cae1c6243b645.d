@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seed_scan-690cae1c6243b645.d: crates/dsim/tests/seed_scan.rs
+
+/root/repo/target/release/deps/seed_scan-690cae1c6243b645: crates/dsim/tests/seed_scan.rs
+
+crates/dsim/tests/seed_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_throughput-a790be589d283f73.d: crates/bench/benches/serve_throughput.rs
+
+/root/repo/target/release/deps/serve_throughput-a790be589d283f73: crates/bench/benches/serve_throughput.rs
+
+crates/bench/benches/serve_throughput.rs:

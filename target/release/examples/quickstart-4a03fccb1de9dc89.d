@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4a03fccb1de9dc89.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4a03fccb1de9dc89: examples/quickstart.rs
+
+examples/quickstart.rs:

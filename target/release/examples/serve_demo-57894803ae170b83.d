@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve_demo-57894803ae170b83.d: examples/serve_demo.rs
+
+/root/repo/target/release/examples/serve_demo-57894803ae170b83: examples/serve_demo.rs
+
+examples/serve_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_probe-191b70f0a2f5b646.d: examples/verify_probe.rs
+
+/root/repo/target/release/examples/verify_probe-191b70f0a2f5b646: examples/verify_probe.rs
+
+examples/verify_probe.rs:

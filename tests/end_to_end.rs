@@ -90,7 +90,9 @@ fn ivqp_dominates_baselines_on_shared_infrastructure() {
     for (i, spec) in tpch_query_specs().into_iter().enumerate() {
         let request = QueryRequest::new(spec, SimTime::new(10.0 + 3.0 * i as f64));
         let ivqp = IvqpPlanner::new().select_plan(&ctx, &request).unwrap();
-        let fed = FederationPlanner::new().select_plan(&ctx, &request).unwrap();
+        let fed = FederationPlanner::new()
+            .select_plan(&ctx, &request)
+            .unwrap();
         let dw = WarehousePlanner::new().select_plan(&ctx, &request).unwrap();
         let best = fed
             .information_value
@@ -150,7 +152,10 @@ fn workload_formation_pipeline() {
     );
     let ranges = ivdss::mqo::execution_ranges(&ctx, &requests).unwrap();
     let groups = form_workloads(&ranges);
-    assert!(groups.len() >= 2, "distant bursts must form separate workloads");
+    assert!(
+        groups.len() >= 2,
+        "distant bursts must form separate workloads"
+    );
     let total: usize = groups.iter().map(Vec::len).sum();
     assert_eq!(total, 6);
 }
@@ -168,13 +173,11 @@ fn prioritized_discipline_serves_everyone() {
     };
     let requests = ArrivalStream::new(tpch_query_specs(), 6.0, 3).take_requests(30);
     let aging = AgingPolicy::outpacing(rates, 0.02);
-    let plain = run_prioritized(&env, &IvqpPlanner::new(), &requests, AgingPolicy::DISABLED)
-        .unwrap();
+    let plain =
+        run_prioritized(&env, &IvqpPlanner::new(), &requests, AgingPolicy::DISABLED).unwrap();
     let aged = run_prioritized(&env, &IvqpPlanner::new(), &requests, aging).unwrap();
     assert_eq!(plain.len(), 30);
     assert_eq!(aged.len(), 30);
     // Aging must not worsen the maximum waiting time.
-    assert!(
-        aged.waiting_stats().max().unwrap() <= plain.waiting_stats().max().unwrap() + 1e-9
-    );
+    assert!(aged.waiting_stats().max().unwrap() <= plain.waiting_stats().max().unwrap() + 1e-9);
 }

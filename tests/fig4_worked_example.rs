@@ -54,10 +54,11 @@ fn delayed_plans_enter_the_plan_space() {
         rates: DiscountRates::new(0.01, 0.3),
         queues: &NoQueues,
     };
-    let outcome = ScatterGatherSearch::new().search(&ctx, &setup.request).unwrap();
+    let outcome = ScatterGatherSearch::new()
+        .search(&ctx, &setup.request)
+        .unwrap();
     assert!(
-        outcome.best.execute_at > setup.request.submitted_at
-            || outcome.best.is_all_remote(),
+        outcome.best.execute_at > setup.request.submitted_at || outcome.best.is_all_remote(),
         "staleness-sensitive optimum must delay or read base tables"
     );
 }
