@@ -85,7 +85,7 @@ pub use advisor::{AdvisorStep, PlacementAdvisor, Recommendation};
 pub use latency::Latencies;
 pub use plan::{
     evaluate_plan, FacilityQueues, NoQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest,
-    QueueEstimator,
+    QueueEstimator, SiteFloors,
 };
 pub use planner::{FederationPlanner, IvqpPlanner, Planner, WarehousePlanner};
 pub use search::{

@@ -159,6 +159,89 @@ impl QueueEstimator for FacilityQueues {
     }
 }
 
+/// A [`QueueEstimator`] decorator that imposes *release floors* on remote
+/// sites: a floored site accepts no work before its floor (e.g. an outage
+/// ends there), so the reported delay first waits out the floor and then
+/// pays whatever queue exists at the floor itself. Local delays pass
+/// through untouched — the local federation server is not a remote site.
+///
+/// Planners given a floored estimator naturally steer around down sites:
+/// remote plan options absorb the outage as queuing delay (lowering their
+/// IV), so replica-only options win whenever the outage outlasts the
+/// staleness they pay.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::BTreeMap;
+/// use ivdss_catalog::ids::SiteId;
+/// use ivdss_core::plan::{NoQueues, QueueEstimator, SiteFloors};
+/// use ivdss_simkernel::time::{SimDuration, SimTime};
+///
+/// let floors: BTreeMap<SiteId, SimTime> =
+///     [(SiteId::new(0), SimTime::new(30.0))].into_iter().collect();
+/// let q = SiteFloors::new(&NoQueues, floors);
+/// // Work released at t=10 against a site down until t=30 waits 20.
+/// assert_eq!(
+///     q.remote_delay(SiteId::new(0), SimTime::new(10.0), SimDuration::new(1.0)),
+///     SimDuration::new(20.0)
+/// );
+/// // After recovery the floor is inert.
+/// assert_eq!(
+///     q.remote_delay(SiteId::new(0), SimTime::new(31.0), SimDuration::new(1.0)),
+///     SimDuration::ZERO
+/// );
+/// ```
+#[derive(Clone)]
+pub struct SiteFloors<'a> {
+    inner: &'a dyn QueueEstimator,
+    floors: std::collections::BTreeMap<SiteId, SimTime>,
+}
+
+impl fmt::Debug for SiteFloors<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SiteFloors")
+            .field("floors", &self.floors)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SiteFloors<'a> {
+    /// Wraps `inner`, holding each listed site closed until its floor.
+    #[must_use]
+    pub fn new(
+        inner: &'a dyn QueueEstimator,
+        floors: std::collections::BTreeMap<SiteId, SimTime>,
+    ) -> Self {
+        SiteFloors { inner, floors }
+    }
+
+    /// Returns `true` if no site is floored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.floors.is_empty()
+    }
+
+    /// The floor of `site`, if it has one in the future of `at`.
+    #[must_use]
+    pub fn floor_after(&self, site: SiteId, at: SimTime) -> Option<SimTime> {
+        self.floors.get(&site).copied().filter(|&f| f > at)
+    }
+}
+
+impl QueueEstimator for SiteFloors<'_> {
+    fn local_delay(&self, at: SimTime, service: SimDuration) -> SimDuration {
+        self.inner.local_delay(at, service)
+    }
+
+    fn remote_delay(&self, site: SiteId, at: SimTime, service: SimDuration) -> SimDuration {
+        match self.floor_after(site, at) {
+            Some(floor) => (floor - at) + self.inner.remote_delay(site, floor, service),
+            None => self.inner.remote_delay(site, at, service),
+        }
+    }
+}
+
 /// Everything a planner needs to evaluate candidate plans.
 pub struct PlanContext<'a> {
     /// The catalog (tables, placement, replication plan).
@@ -558,6 +641,70 @@ mod tests {
         let err = evaluate_plan(&ctx, &req, SimTime::new(1.0), &BTreeSet::new()).unwrap_err();
         assert!(matches!(err, PlanError::ExecutesBeforeSubmission { .. }));
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn site_floors_defer_remote_work_and_compose_with_queues() {
+        let (catalog, _timelines) = fixture();
+        let site = catalog.site_of(t(2));
+        let mut queues = FacilityQueues::new(catalog.site_count());
+        // The site also has a booked job keeping it busy over the floor.
+        queues
+            .remote_mut(site)
+            .book(SimTime::new(30.0), SimDuration::new(5.0));
+        let floors: std::collections::BTreeMap<SiteId, SimTime> =
+            [(site, SimTime::new(30.0))].into_iter().collect();
+        let floored = SiteFloors::new(&queues, floors);
+        assert!(!floored.is_empty());
+        // Wait out the floor (10→30), then the booked job (30→35).
+        assert_eq!(
+            floored.remote_delay(site, SimTime::new(10.0), SimDuration::new(1.0)),
+            SimDuration::new(25.0)
+        );
+        // Local work is unaffected by remote floors.
+        assert_eq!(
+            floored.local_delay(SimTime::new(10.0), SimDuration::new(1.0)),
+            SimDuration::ZERO
+        );
+        // Other sites are unaffected.
+        let other = SiteId::new((site.index() as u32 + 1) % catalog.site_count() as u32);
+        assert_eq!(
+            floored.remote_delay(other, SimTime::new(10.0), SimDuration::new(1.0)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn search_degrades_to_replica_only_under_remote_outage() {
+        use crate::search::ScatterGatherSearch;
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0), t(1)]),
+            SimTime::new(11.0),
+        );
+        let search = ScatterGatherSearch::new();
+
+        let nominal_ctx = ctx(&catalog, &timelines, &model, &NoQueues);
+        let nominal = search.search(&nominal_ctx, &req).unwrap();
+
+        // Every site hosting the footprint is down for a long time.
+        let floors: std::collections::BTreeMap<SiteId, SimTime> = catalog
+            .sites_spanned(&[t(0), t(1)])
+            .into_iter()
+            .map(|s| (s, SimTime::new(500.0)))
+            .collect();
+        let floored = SiteFloors::new(&NoQueues, floors);
+        let degraded_ctx = ctx(&catalog, &timelines, &model, &floored);
+        let degraded = search.search(&degraded_ctx, &req).unwrap();
+
+        // The planner steers to the replica-only plan instead of stalling
+        // on the outage, and the degraded IV never beats the nominal one.
+        assert!(degraded.best.is_all_local(&req.query));
+        assert!(
+            degraded.best.information_value <= nominal.best.information_value,
+            "outage must not improve IV"
+        );
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Chaos experiment — the serving engine under injected faults.
+//!
+//! Not a figure from the paper: a robustness study the paper's §5
+//! (real-deployment discussion) motivates. A fault severity knob scales
+//! sync slips/drops, site outages and cost jitter together; each swept
+//! point runs the *same* open-loop arrival stream twice — once clean,
+//! once with a [`FaultPlan`] armed — and reports delivered IV side by
+//! side with the engine's fault counters. Both runs share every seed, so
+//! the delta is attributable to the injected faults alone, and the whole
+//! sweep is reproducible from `ChaosConfig::seed`.
+
+use ivdss_catalog::placement::PlacementStrategy;
+use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+use ivdss_core::value::{BusinessValue, DiscountRates};
+use ivdss_costmodel::model::StylizedCostModel;
+use ivdss_faults::{FaultConfig, FaultPlan};
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+use ivdss_serve::clock::DesClock;
+use ivdss_serve::engine::{ServeConfig, ServeEngine};
+use ivdss_serve::loadgen::{run_open_loop, OpenLoopConfig};
+use ivdss_simkernel::rng::SeedFactory;
+use ivdss_simkernel::time::SimTime;
+use ivdss_workloads::synthetic::{random_queries, RandomQueryConfig};
+
+/// Configuration of the chaos sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Open-loop queries per run.
+    pub queries: usize,
+    /// Mean exponential inter-arrival time.
+    pub mean_interarrival: f64,
+    /// Mean replica synchronization period.
+    pub mean_sync_period: f64,
+    /// Fault-generation horizon (should exceed the run length).
+    pub horizon: SimTime,
+    /// Root seed for catalog, workload, arrivals and fault generation.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            queries: 400,
+            mean_interarrival: 2.0,
+            mean_sync_period: 6.0,
+            horizon: SimTime::new(4_000.0),
+            seed: 0xC4A05,
+        }
+    }
+}
+
+/// Fault parameters at a given severity in `[0, 1]`: severity 0 injects
+/// nothing, severity 1 slips ~30% / drops ~10% of syncs, takes sites
+/// down every ~150 time units for up to 40, and inflates costs by up to
+/// 50%.
+#[must_use]
+pub fn severity_faults(severity: f64, horizon: SimTime) -> FaultConfig {
+    assert!(
+        (0.0..=1.0).contains(&severity),
+        "severity must be in [0, 1]"
+    );
+    FaultConfig {
+        slip_probability: 0.3 * severity,
+        drop_probability: 0.1 * severity,
+        slip_delay: (2.0, 12.0),
+        outage_mtbf: if severity > 0.0 {
+            150.0 / severity
+        } else {
+            0.0
+        },
+        outage_duration: (5.0, 40.0 * severity.max(0.125)),
+        jitter: (1.0, 1.0 + 0.5 * severity),
+        horizon,
+    }
+}
+
+/// One swept severity point: paired clean/faulted runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPoint {
+    /// Fault severity in `[0, 1]`.
+    pub severity: f64,
+    /// Synchronizations slipped by the fault plan.
+    pub slips: u64,
+    /// Synchronizations dropped by the fault plan.
+    pub drops: u64,
+    /// Outage windows opened during the run.
+    pub outages: u64,
+    /// Dispatches re-planned because their plan spanned a down site.
+    pub replans: u64,
+    /// Queries delivered by the faulted run.
+    pub delivered: usize,
+    /// Total IV delivered by the clean run.
+    pub clean_iv: f64,
+    /// Total IV delivered by the faulted run.
+    pub faulted_iv: f64,
+    /// Total IV-lost-to-degradation recorded by the engine (delivered
+    /// vs. the fault-free planning bound, so it also counts queuing).
+    pub iv_lost: f64,
+}
+
+impl ChaosPoint {
+    /// Fraction of the clean run's IV the faulted run retained.
+    #[must_use]
+    pub fn retention(&self) -> f64 {
+        if self.clean_iv <= 0.0 {
+            1.0
+        } else {
+            self.faulted_iv / self.clean_iv
+        }
+    }
+}
+
+/// Chaos sweep output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosResults {
+    /// One point per swept severity, in ascending order.
+    pub points: Vec<ChaosPoint>,
+}
+
+impl ChaosResults {
+    /// Renders the sweep as an aligned table.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== Chaos — delivered IV vs fault severity ==");
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>6} {:>8} {:>8} {:>10} {:>11} {:>10}",
+            "severity",
+            "slips",
+            "drops",
+            "outages",
+            "replans",
+            "clean IV",
+            "faulted IV",
+            "retain %"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:<10.2} {:>6} {:>6} {:>8} {:>8} {:>10.2} {:>11.2} {:>10.1}",
+                p.severity,
+                p.slips,
+                p.drops,
+                p.outages,
+                p.replans,
+                p.clean_iv,
+                p.faulted_iv,
+                100.0 * p.retention()
+            );
+        }
+        out
+    }
+}
+
+/// Runs one paired (clean, faulted) point.
+fn run_point(config: &ChaosConfig, severity: f64) -> ChaosPoint {
+    let seeds = SeedFactory::new(config.seed);
+    let catalog = synthetic_catalog(&SyntheticConfig {
+        tables: 16,
+        sites: 4,
+        placement: PlacementStrategy::Skewed,
+        replicated_tables: 8,
+        mean_sync_period: config.mean_sync_period,
+        seed: seeds.seed_for("catalog"),
+        ..SyntheticConfig::default()
+    })
+    .expect("chaos catalog configuration is valid");
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let model = StylizedCostModel::paper_fig4();
+    let serve_config = ServeConfig::new(DiscountRates::new(0.01, 0.05));
+    let templates = random_queries(&RandomQueryConfig {
+        queries: 12,
+        tables: 16,
+        max_tables_per_query: 5,
+        weight_range: (0.8, 2.5),
+        seed: seeds.seed_for("queries"),
+    });
+    let open = OpenLoopConfig {
+        queries: config.queries,
+        mean_interarrival: config.mean_interarrival,
+        seed: seeds.seed_for("arrivals"),
+        business_value: BusinessValue::UNIT,
+    };
+
+    let mut clean = ServeEngine::new(&catalog, &timelines, &model, serve_config, DesClock::new());
+    let clean_report =
+        run_open_loop(&mut clean, templates.clone(), &open).expect("clean run is feasible");
+
+    let faults = FaultPlan::generate(
+        &severity_faults(severity, config.horizon),
+        &timelines,
+        catalog.site_count(),
+        seeds.seed_for("faults"),
+    );
+    let mut faulted = ServeEngine::with_faults(
+        &catalog,
+        &timelines,
+        &model,
+        serve_config,
+        DesClock::new(),
+        faults,
+    );
+    let faulted_report =
+        run_open_loop(&mut faulted, templates, &open).expect("faulted run is feasible");
+    let snap = faulted.snapshot();
+
+    ChaosPoint {
+        severity,
+        slips: snap.faults_syncs_slipped,
+        drops: snap.faults_syncs_dropped,
+        outages: snap.faults_outages,
+        replans: snap.faults_replans,
+        delivered: faulted_report.completions.len(),
+        clean_iv: clean_report.total_delivered_iv(),
+        faulted_iv: faulted_report.total_delivered_iv(),
+        iv_lost: snap.faults_iv_lost_total,
+    }
+}
+
+/// Severities swept by [`run_chaos`].
+pub const SEVERITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// Runs the chaos sweep.
+#[must_use]
+pub fn run_chaos(config: &ChaosConfig) -> ChaosResults {
+    ChaosResults {
+        points: SEVERITIES
+            .into_iter()
+            .map(|severity| run_point(config, severity))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ChaosConfig {
+        ChaosConfig {
+            queries: 120,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn zero_severity_is_a_perfect_shadow() {
+        let p = run_point(&small(), 0.0);
+        assert_eq!(p.slips + p.drops + p.outages + p.replans, 0);
+        assert_eq!(p.delivered, 120);
+        assert!(
+            (p.faulted_iv - p.clean_iv).abs() < 1e-9,
+            "an empty fault plan must not change delivered IV: {} vs {}",
+            p.faulted_iv,
+            p.clean_iv
+        );
+    }
+
+    #[test]
+    fn severity_injects_faults_and_degrades_iv() {
+        let p = run_point(&small(), 1.0);
+        assert!(p.slips + p.drops > 0, "full severity must revise timelines");
+        assert!(p.outages > 0, "full severity must open outage windows");
+        assert_eq!(p.delivered, 120, "every query still completes");
+        assert!(
+            p.faulted_iv < p.clean_iv,
+            "degradation must cost IV: faulted {} vs clean {}",
+            p.faulted_iv,
+            p.clean_iv
+        );
+        assert!(p.iv_lost > 0.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = run_chaos(&small());
+        let b = run_chaos(&small());
+        assert_eq!(a, b, "same config must reproduce the same sweep");
+        assert_eq!(a.points.len(), SEVERITIES.len());
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = ChaosResults {
+            points: vec![ChaosPoint {
+                severity: 0.5,
+                slips: 3,
+                drops: 1,
+                outages: 2,
+                replans: 4,
+                delivered: 100,
+                clean_iv: 80.0,
+                faulted_iv: 60.0,
+                iv_lost: 21.5,
+            }],
+        };
+        let t = r.to_table();
+        assert!(t.contains("Chaos"));
+        assert!(t.contains("retain %"));
+        assert!(t.contains("75.0"));
+    }
+}

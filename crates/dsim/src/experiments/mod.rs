@@ -4,6 +4,7 @@
 //! `to_table()` renderer; the `ivdss-bench` crate wraps them in binaries
 //! (`cargo run -p ivdss-bench --release --bin figN`).
 
+pub mod chaos;
 pub mod common;
 pub mod fig4;
 pub mod fig5;
@@ -11,6 +12,7 @@ pub mod fig67;
 pub mod fig8;
 pub mod fig9;
 
+pub use chaos::{run_chaos, severity_faults, ChaosConfig, ChaosPoint, ChaosResults};
 pub use common::{method_setups, synthetic_hybrid, tpch_hybrid, Method, MethodSetup};
 pub use fig4::{fig4_setup, run_fig4, Fig4Results, Fig4Setup};
 pub use fig5::{fig5_rate_configs, run_fig5, Fig5Cell, Fig5Config, Fig5Results};

@@ -1,0 +1,119 @@
+//! Deterministic multiplicative cost jitter.
+
+use std::collections::BTreeSet;
+
+use ivdss_catalog::catalog::Catalog;
+use ivdss_catalog::ids::TableId;
+use ivdss_costmodel::model::{CostModel, PlanCost};
+use ivdss_costmodel::query::QuerySpec;
+use ivdss_simkernel::time::SimDuration;
+
+use crate::plan::FaultPlan;
+
+/// A [`CostModel`] decorator that inflates every cost component of a plan
+/// by the fault plan's per-query jitter factor (≥ 1).
+///
+/// The factor is a pure function of the fault plan's seed and the query
+/// id ([`FaultPlan::jitter_factor`]), so repeated estimates for the same
+/// query — cache fill, re-plan at dispatch, live re-evaluation — all see
+/// the same degraded costs, and a run's cost surface is reproducible from
+/// the fault seed alone.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use ivdss_catalog::placement::PlacementStrategy;
+/// use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+/// use ivdss_costmodel::model::{CostModel, StylizedCostModel};
+/// use ivdss_costmodel::query::{QueryId, QuerySpec};
+/// use ivdss_faults::{FaultPlan, JitteredCostModel};
+/// use ivdss_simkernel::time::SimTime;
+/// use ivdss_catalog::ids::TableId;
+///
+/// let cat = synthetic_catalog(&SyntheticConfig::default()).unwrap();
+/// let inner = StylizedCostModel::paper_fig4();
+/// let plan = FaultPlan::none(SimTime::new(100.0));
+/// let jittered = JitteredCostModel::new(&inner, &plan);
+/// let q = QuerySpec::new(QueryId::new(0), vec![TableId::new(0)]);
+/// // An empty fault plan has factor 1.0: costs pass through unchanged.
+/// assert_eq!(
+///     jittered.plan_cost(&cat, &q, &BTreeSet::new()).total(),
+///     inner.plan_cost(&cat, &q, &BTreeSet::new()).total()
+/// );
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct JitteredCostModel<'a, M: CostModel + ?Sized> {
+    inner: &'a M,
+    faults: &'a FaultPlan,
+}
+
+impl<'a, M: CostModel + ?Sized> JitteredCostModel<'a, M> {
+    /// Wraps `inner`, drawing jitter factors from `faults`.
+    #[must_use]
+    pub fn new(inner: &'a M, faults: &'a FaultPlan) -> Self {
+        JitteredCostModel { inner, faults }
+    }
+}
+
+impl<M: CostModel + ?Sized> CostModel for JitteredCostModel<'_, M> {
+    fn plan_cost(
+        &self,
+        catalog: &Catalog,
+        query: &QuerySpec,
+        remote: &BTreeSet<TableId>,
+    ) -> PlanCost {
+        let cost = self.inner.plan_cost(catalog, query, remote);
+        let factor = self.faults.jitter_factor(query.id());
+        let scale = |d: SimDuration| SimDuration::new(d.value() * factor);
+        PlanCost {
+            local_processing: scale(cost.local_processing),
+            remote_processing: scale(cost.remote_processing),
+            transmission: scale(cost.transmission),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultConfig;
+    use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+    use ivdss_costmodel::model::StylizedCostModel;
+    use ivdss_costmodel::query::QueryId;
+    use ivdss_replication::timelines::SyncTimelines;
+    use ivdss_simkernel::time::SimTime;
+
+    #[test]
+    fn jitter_scales_every_component_and_never_discounts() {
+        let cat = synthetic_catalog(&SyntheticConfig::default()).unwrap();
+        let inner = StylizedCostModel::paper_fig4();
+        let plan = FaultPlan::generate(
+            &FaultConfig {
+                jitter: (1.1, 2.0),
+                horizon: SimTime::new(100.0),
+                ..FaultConfig::default()
+            },
+            &SyncTimelines::new(),
+            0,
+            21,
+        );
+        let jittered = JitteredCostModel::new(&inner, &plan);
+        for qid in 0..32u64 {
+            let q = QuerySpec::new(QueryId::new(qid), vec![TableId::new(0), TableId::new(1)]);
+            let remote: BTreeSet<TableId> = [TableId::new(1)].into_iter().collect();
+            let base = inner.plan_cost(&cat, &q, &remote);
+            let hot = jittered.plan_cost(&cat, &q, &remote);
+            let factor = plan.jitter_factor(q.id());
+            assert!((1.1..=2.0).contains(&factor));
+            for (b, h) in [
+                (base.local_processing, hot.local_processing),
+                (base.remote_processing, hot.remote_processing),
+                (base.transmission, hot.transmission),
+            ] {
+                assert!((h.value() - b.value() * factor).abs() < 1e-12);
+                assert!(h >= b, "jitter must never discount");
+            }
+        }
+    }
+}

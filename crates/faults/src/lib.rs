@@ -1,0 +1,36 @@
+//! # ivdss-faults — seeded, deterministic fault injection
+//!
+//! The IV model assumes synchronizations land on schedule and remote
+//! servers answer; production systems see the opposite routinely. This
+//! crate generates *fault plans* — fully precomputed, seed-deterministic
+//! schedules of three fault families — that the serving engine and the
+//! experiment drivers replay:
+//!
+//! * **sync slips / drops** ([`plan::FaultPlan::revisions`]) — scheduled
+//!   synchronizations complete late or not at all, published as
+//!   [`ivdss_replication::events::TimelineRevision`]s that consumers apply
+//!   to their timeline belief;
+//! * **site outages** ([`plan::FaultPlan::outages`]) — remote servers go
+//!   down and come back up; while down, remote-base-table plan options pay
+//!   a release-floor penalty (work cannot start before recovery);
+//! * **cost jitter** ([`jitter::JitteredCostModel`]) — transmission and
+//!   processing costs inflate by a deterministic per-query factor ≥ 1.
+//!
+//! # Determinism guarantees
+//!
+//! The same `(config, timelines, seed)` triple always yields an identical
+//! [`plan::FaultPlan`]: generation uses [`ivdss_simkernel::rng::SeedFactory`]
+//! to derive independent named sub-streams, so enabling one fault family
+//! never perturbs another. All three families only *degrade* the system —
+//! slips and drops make replicas staler, outages delay remote work, jitter
+//! multiplies costs by a factor ≥ 1 — which is what makes the chaos-suite
+//! invariant "faulted IV ≤ fault-free IV" provable plan-by-plan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod jitter;
+pub mod plan;
+
+pub use jitter::JitteredCostModel;
+pub use plan::{FaultConfig, FaultPlan, Outage};

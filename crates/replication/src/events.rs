@@ -97,6 +97,100 @@ impl SyncEventCursor {
     }
 }
 
+/// A published correction to a synchronization timeline: the sync of
+/// `table` that was scheduled to complete at `scheduled` will instead
+/// complete at `new_time` (a *slip*) or not at all (`None`, a *drop*).
+///
+/// Revisions model the gap between the *published* timeline a planner
+/// trusts and what the replication pipeline actually delivers. A
+/// revision is *revealed* at `revealed_at` — the moment consumers can
+/// learn about it (no earlier than discovery is physically possible,
+/// typically the nominally scheduled time itself, when the sync fails
+/// to land). Consumers apply revisions to their timeline belief via
+/// [`SyncTimelines::revise`] and must treat any cached decision that
+/// referenced the revised sync point as stale.
+///
+/// [`SyncTimelines::revise`]: crate::timelines::SyncTimelines::revise
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TimelineRevision {
+    /// When consumers learn of the revision.
+    pub revealed_at: SimTime,
+    /// The table whose timeline is revised.
+    pub table: TableId,
+    /// The nominally scheduled completion being revised.
+    pub scheduled: SimTime,
+    /// The corrected completion time (`None` = the sync is dropped).
+    pub new_time: Option<SimTime>,
+}
+
+/// A monotone cursor over a sorted sequence of [`TimelineRevision`]s,
+/// mirroring [`SyncEventCursor`]: each advance yields the revisions
+/// revealed in `(position, now]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RevisionCursor {
+    position: SimTime,
+    next: usize,
+}
+
+impl RevisionCursor {
+    /// Creates a cursor that has consumed every revision revealed at or
+    /// before `start`.
+    #[must_use]
+    pub fn new(start: SimTime) -> Self {
+        RevisionCursor {
+            position: start,
+            next: 0,
+        }
+    }
+
+    /// The time up to which revisions have been delivered (inclusive).
+    #[must_use]
+    pub fn position(&self) -> SimTime {
+        self.position
+    }
+
+    /// Returns the revisions revealed in `(position, now]` and moves the
+    /// cursor to `now`. `revisions` must be sorted by `revealed_at` and
+    /// must be the same sequence on every call (the cursor indexes into
+    /// it monotonically).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `revisions` is not sorted by
+    /// `revealed_at`.
+    pub fn advance_to<'a>(
+        &mut self,
+        revisions: &'a [TimelineRevision],
+        now: SimTime,
+    ) -> &'a [TimelineRevision] {
+        debug_assert!(
+            revisions
+                .windows(2)
+                .all(|w| w[0].revealed_at <= w[1].revealed_at),
+            "revisions must be sorted by revealed_at"
+        );
+        if now <= self.position {
+            return &[];
+        }
+        let start = self.next;
+        // Skip anything at or before the position (tolerates a cursor
+        // created mid-sequence).
+        let start = start
+            + revisions[start..]
+                .iter()
+                .take_while(|r| r.revealed_at <= self.position)
+                .count();
+        let end = start
+            + revisions[start..]
+                .iter()
+                .take_while(|r| r.revealed_at <= now)
+                .count();
+        self.position = now;
+        self.next = end;
+        &revisions[start..end]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +249,64 @@ mod tests {
         assert!(cursor.advance_to(&tl, SimTime::new(7.0)).is_empty());
         assert!(cursor.advance_to(&tl, SimTime::new(3.0)).is_empty());
         assert_eq!(cursor.position(), SimTime::new(7.0));
+    }
+
+    fn rev(
+        revealed_at: f64,
+        table: TableId,
+        scheduled: f64,
+        new_time: Option<f64>,
+    ) -> TimelineRevision {
+        TimelineRevision {
+            revealed_at: SimTime::new(revealed_at),
+            table,
+            scheduled: SimTime::new(scheduled),
+            new_time: new_time.map(SimTime::new),
+        }
+    }
+
+    #[test]
+    fn revision_cursor_delivers_half_open_interval() {
+        let revisions = vec![
+            rev(5.0, t(0), 5.0, Some(7.0)),
+            rev(10.0, t(1), 10.0, None),
+            rev(15.0, t(0), 15.0, Some(16.0)),
+        ];
+        let mut cursor = RevisionCursor::new(SimTime::ZERO);
+        assert_eq!(
+            cursor.advance_to(&revisions, SimTime::new(5.0)),
+            &revisions[..1]
+        );
+        // Re-polling the same instant re-delivers nothing.
+        assert!(cursor.advance_to(&revisions, SimTime::new(5.0)).is_empty());
+        assert_eq!(
+            cursor.advance_to(&revisions, SimTime::new(20.0)),
+            &revisions[1..]
+        );
+        assert!(cursor.advance_to(&revisions, SimTime::new(30.0)).is_empty());
+        assert_eq!(cursor.position(), SimTime::new(30.0));
+    }
+
+    #[test]
+    fn revision_cursor_created_mid_sequence_skips_past() {
+        let revisions = vec![
+            rev(2.0, t(0), 2.0, None),
+            rev(6.0, t(0), 6.0, None),
+            rev(9.0, t(0), 9.0, None),
+        ];
+        let mut cursor = RevisionCursor::new(SimTime::new(6.0));
+        assert_eq!(
+            cursor.advance_to(&revisions, SimTime::new(9.0)),
+            &revisions[2..]
+        );
+    }
+
+    #[test]
+    fn revision_cursor_backwards_advance_is_noop() {
+        let revisions = vec![rev(4.0, t(0), 4.0, None)];
+        let mut cursor = RevisionCursor::new(SimTime::new(5.0));
+        assert!(cursor.advance_to(&revisions, SimTime::new(3.0)).is_empty());
+        assert_eq!(cursor.position(), SimTime::new(5.0));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod qos;
 pub mod schedule;
 pub mod timelines;
 
-pub use events::{SyncEvent, SyncEventCursor};
+pub use events::{RevisionCursor, SyncEvent, SyncEventCursor, TimelineRevision};
 pub use qos::QosReplicationManager;
 pub use schedule::Schedule;
 pub use timelines::{NotReplicatedError, ReplicaVersions, SyncMode, SyncTimelines};

@@ -101,7 +101,20 @@ impl Schedule {
                 if t.value() < *phase {
                     return None;
                 }
-                let k = ((t.value() - phase) / period).floor();
+                // Floating-point guards (mirror of `next_completion_after`):
+                // `(t - phase) / period` can round either side of the
+                // integer it mathematically equals, so at an exact
+                // completion instant the unguarded floor reports the
+                // completion a full period early — or one period late for
+                // a `t` one ulp below it. The result must be the largest
+                // `phase + k·period ≤ t`.
+                let mut k = ((t.value() - phase) / period).floor();
+                while phase + (k + 1.0) * period <= t.value() {
+                    k += 1.0;
+                }
+                while k > 0.0 && phase + k * period > t.value() {
+                    k -= 1.0;
+                }
                 Some(SimTime::new(phase + k * period))
             }
             Schedule::Trace(times) => match times.binary_search(&t) {
@@ -156,6 +169,28 @@ impl Schedule {
             t = next;
         }
         out
+    }
+
+    /// Materializes the schedule as an explicit list of completion times:
+    /// the completion at or before [`SimTime::ZERO`] (if any, so the
+    /// replica's initial version survives) followed by every completion in
+    /// `(0, horizon]`. Trace schedules return *all* their times regardless
+    /// of `horizon` — they are already finite, and truncating them would
+    /// silently lose completions a previous revision pushed past the
+    /// horizon.
+    #[must_use]
+    pub fn materialize(&self, horizon: SimTime) -> Vec<SimTime> {
+        match self {
+            Schedule::Trace(times) => times.clone(),
+            Schedule::Periodic { .. } => {
+                let mut out = Vec::new();
+                if let Some(at) = self.last_completion_at(SimTime::ZERO) {
+                    out.push(at);
+                }
+                out.extend(self.completions_in(SimTime::ZERO, horizon));
+                out
+            }
+        }
     }
 
     /// The mean gap between completions, where defined.
@@ -278,5 +313,70 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_period_rejected() {
         let _ = Schedule::periodic(0.0, 0.0);
+    }
+
+    #[test]
+    fn periodic_is_consistent_at_unrepresentable_completion_instants() {
+        // `3·p / p` rounds to 2.9999999999999996 for this period; the
+        // unguarded floor then reported the completion at `2p` as the
+        // last one *at the exact instant of the `3p` completion*,
+        // disagreeing with both `next_completion_after` and the
+        // materialized trace. Regression for the guarded arithmetic.
+        let p = 6.871_045_525_054_468_f64;
+        let s = Schedule::periodic(p, 0.0);
+        let trace = Schedule::trace(s.materialize(SimTime::new(400.0)));
+        for k in 1..50 {
+            let at = SimTime::new(f64::from(k) * p);
+            assert_eq!(
+                s.last_completion_at(at),
+                Some(at),
+                "k={k}: a periodic completion instant must report itself"
+            );
+            assert_eq!(
+                s.last_completion_at(at),
+                trace.last_completion_at(at),
+                "k={k}: periodic and materialized answers must agree"
+            );
+            let next = s.next_completion_after(at).unwrap();
+            assert!(next > at, "k={k}: next must move strictly forward");
+            assert_eq!(s.last_completion_at(next), Some(next));
+        }
+    }
+
+    #[test]
+    fn materialize_periodic_keeps_initial_completion() {
+        let s = Schedule::periodic(4.0, 0.0);
+        let times = s.materialize(SimTime::new(10.0));
+        assert_eq!(
+            times,
+            vec![SimTime::ZERO, SimTime::new(4.0), SimTime::new(8.0)]
+        );
+    }
+
+    #[test]
+    fn materialize_phased_periodic_has_no_initial_completion() {
+        let s = Schedule::periodic(4.0, 3.0);
+        let times = s.materialize(SimTime::new(8.0));
+        assert_eq!(times, vec![SimTime::new(3.0), SimTime::new(7.0)]);
+    }
+
+    #[test]
+    fn materialize_trace_ignores_horizon() {
+        let s = Schedule::trace(vec![SimTime::new(1.0), SimTime::new(50.0)]);
+        let times = s.materialize(SimTime::new(10.0));
+        assert_eq!(times, vec![SimTime::new(1.0), SimTime::new(50.0)]);
+    }
+
+    #[test]
+    fn materialized_trace_is_equivalent_inside_horizon() {
+        let s = Schedule::periodic(3.0, 1.0);
+        let t = Schedule::trace(s.materialize(SimTime::new(20.0)));
+        // Probe only far enough below the horizon that `next` stays inside
+        // it — beyond that the finite trace legitimately ends.
+        for i in 0..48 {
+            let at = SimTime::new(f64::from(i) * 0.33);
+            assert_eq!(s.last_completion_at(at), t.last_completion_at(at));
+            assert_eq!(s.next_completion_after(at), t.next_completion_after(at));
+        }
     }
 }

@@ -10,6 +10,7 @@ use ivdss_catalog::replica::ReplicationPlan;
 use ivdss_simkernel::rng::SeedFactory;
 use ivdss_simkernel::time::SimTime;
 
+use crate::events::TimelineRevision;
 use crate::schedule::Schedule;
 
 /// Error raised when a table without a replica is used as one.
@@ -144,6 +145,33 @@ impl SyncTimelines {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.schedules.is_empty()
+    }
+
+    /// Applies a [`TimelineRevision`] to the table's schedule: the
+    /// completion at `revision.scheduled` is removed and, for a slip,
+    /// `revision.new_time` is inserted in its place. The schedule is
+    /// materialized (periodic schedules out to `horizon`) and re-inserted
+    /// as an explicit trace, so repeated revisions compose.
+    ///
+    /// Returns `true` if the scheduled completion existed and was revised;
+    /// `false` if the table has no schedule or the completion was absent
+    /// (e.g. already revised away), in which case a slip target is still
+    /// *not* inserted — a revision of a nonexistent sync is a no-op.
+    pub fn revise(&mut self, revision: &TimelineRevision, horizon: SimTime) -> bool {
+        let Some(schedule) = self.schedules.get(&revision.table) else {
+            return false;
+        };
+        let mut times = schedule.materialize(horizon);
+        let Ok(idx) = times.binary_search(&revision.scheduled) else {
+            return false;
+        };
+        times.remove(idx);
+        if let Some(new_time) = revision.new_time {
+            times.push(new_time);
+        }
+        self.schedules
+            .insert(revision.table, Schedule::trace(times));
+        true
     }
 
     /// The earliest upcoming synchronization strictly after `t` across the
@@ -321,6 +349,109 @@ mod tests {
         let mut v = ReplicaVersions::new();
         v.record_sync(TableId::new(0), SimTime::new(5.0));
         v.record_sync(TableId::new(0), SimTime::new(4.0));
+    }
+
+    #[test]
+    fn revise_slip_moves_completion() {
+        let mut tl = SyncTimelines::from_plan(&plan(), SyncMode::Deterministic);
+        let table = TableId::new(0); // period 4: syncs at 0, 4, 8, 12, …
+        let revision = TimelineRevision {
+            revealed_at: SimTime::new(8.0),
+            table,
+            scheduled: SimTime::new(8.0),
+            new_time: Some(SimTime::new(9.5)),
+        };
+        assert!(tl.revise(&revision, SimTime::new(20.0)));
+        assert_eq!(
+            tl.last_sync(table, SimTime::new(8.5)),
+            Some(SimTime::new(4.0))
+        );
+        assert_eq!(
+            tl.last_sync(table, SimTime::new(9.5)),
+            Some(SimTime::new(9.5))
+        );
+        assert_eq!(
+            tl.next_sync(table, SimTime::new(9.5)),
+            Some(SimTime::new(12.0))
+        );
+    }
+
+    #[test]
+    fn revise_drop_removes_completion() {
+        let mut tl = SyncTimelines::from_plan(&plan(), SyncMode::Deterministic);
+        let table = TableId::new(0);
+        let revision = TimelineRevision {
+            revealed_at: SimTime::new(8.0),
+            table,
+            scheduled: SimTime::new(8.0),
+            new_time: None,
+        };
+        assert!(tl.revise(&revision, SimTime::new(20.0)));
+        assert_eq!(
+            tl.last_sync(table, SimTime::new(11.0)),
+            Some(SimTime::new(4.0))
+        );
+        assert_eq!(
+            tl.next_sync(table, SimTime::new(4.0)),
+            Some(SimTime::new(12.0))
+        );
+    }
+
+    #[test]
+    fn revise_missing_completion_is_noop() {
+        let mut tl = SyncTimelines::from_plan(&plan(), SyncMode::Deterministic);
+        let before = tl.clone();
+        let revision = TimelineRevision {
+            revealed_at: SimTime::new(7.0),
+            table: TableId::new(0),
+            scheduled: SimTime::new(7.0), // not a sync point
+            new_time: Some(SimTime::new(9.0)),
+        };
+        assert!(!tl.revise(&revision, SimTime::new(20.0)));
+        assert_eq!(tl, before);
+        // Unknown table is also a no-op.
+        let revision = TimelineRevision {
+            revealed_at: SimTime::new(4.0),
+            table: TableId::new(9),
+            scheduled: SimTime::new(4.0),
+            new_time: None,
+        };
+        assert!(!tl.revise(&revision, SimTime::new(20.0)));
+    }
+
+    #[test]
+    fn revisions_compose_including_beyond_horizon_slips() {
+        let mut tl = SyncTimelines::new();
+        let table = TableId::new(0);
+        tl.insert(table, Schedule::periodic(5.0, 0.0));
+        let horizon = SimTime::new(20.0);
+        // Slip the t=10 sync past the horizon…
+        let slip = TimelineRevision {
+            revealed_at: SimTime::new(10.0),
+            table,
+            scheduled: SimTime::new(10.0),
+            new_time: Some(SimTime::new(25.0)),
+        };
+        assert!(tl.revise(&slip, horizon));
+        // …then drop the t=15 sync. The slipped-to t=25 completion must
+        // survive the second materialization even though it lies beyond
+        // the horizon.
+        let drop = TimelineRevision {
+            revealed_at: SimTime::new(15.0),
+            table,
+            scheduled: SimTime::new(15.0),
+            new_time: None,
+        };
+        assert!(tl.revise(&drop, horizon));
+        // Remaining completions: 0, 5, 20, 25.
+        assert_eq!(
+            tl.last_sync(table, SimTime::new(19.0)),
+            Some(SimTime::new(5.0))
+        );
+        assert_eq!(
+            tl.next_sync(table, SimTime::new(20.0)),
+            Some(SimTime::new(25.0))
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ use ivdss_catalog::ids::TableId;
 use ivdss_core::plan::{evaluate_plan, PlanContext, PlanError, PlanEvaluation, QueryRequest};
 use ivdss_core::search::{is_better, local_subsets, replicated_footprint, DEFAULT_MAX_SYNC_POINTS};
 use ivdss_replication::events::SyncEvent;
+use ivdss_replication::timelines::SyncTimelines;
 use ivdss_simkernel::time::SimTime;
 
 /// Sentinel for "this replica has never completed a sync".
@@ -340,6 +341,47 @@ impl PlanCache {
                 candidates,
             },
         ))
+    }
+
+    /// Evicts every entry whose replicated footprint includes `table` and
+    /// returns how many entries were dropped. Used when `table`'s
+    /// timeline is *revised* (a scheduled sync slipped or dropped): the
+    /// entry's delayed champions may reference the revised sync point, so
+    /// unlike ordinary sync-event GC the eviction is a correctness
+    /// matter, not just garbage collection.
+    pub fn invalidate_table(&mut self, table: TableId) -> usize {
+        let stale: Vec<PlanCacheKey> = self
+            .entries
+            .iter()
+            .filter(|(_, entry)| entry.replicated.contains(&table))
+            .map(|(key, _)| key.clone())
+            .collect();
+        for key in &stale {
+            self.entries.remove(key);
+        }
+        self.insertion_order
+            .retain(|key| self.entries.contains_key(key));
+        self.invalidations += stale.len() as u64;
+        stale.len()
+    }
+
+    /// Counts entries whose recorded sync phase disagrees with
+    /// `timelines` at `now` — entries a lookup *could not hit* (the key
+    /// embeds the phase) but that invalidation should have collected.
+    /// The chaos suite asserts this is zero after every tick; it is an
+    /// observability probe, not part of the serving path.
+    #[must_use]
+    pub fn stale_entries(&self, timelines: &SyncTimelines, now: SimTime) -> usize {
+        self.entries
+            .values()
+            .filter(|entry| {
+                entry
+                    .replicated
+                    .iter()
+                    .zip(&entry.last_syncs)
+                    .any(|(&t, &seen)| timelines.last_sync(t, now) != seen)
+            })
+            .count()
     }
 
     /// Evicts every entry invalidated by the given synchronization

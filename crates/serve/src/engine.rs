@@ -23,19 +23,44 @@
 //! its calendar has an idle instant) is below
 //! [`ServeConfig::dispatch_backlog`]. Under overload the queue fills and
 //! the IV-aware shedding policy starts choosing victims.
+//!
+//! # Fault injection
+//!
+//! [`ServeEngine::with_faults`] arms the engine with a precomputed
+//! [`FaultPlan`]. The engine then maintains a *belief* copy of the
+//! synchronization timelines ([`std::borrow::Cow`]): each fault-plan
+//! revision, once its reveal time passes, is applied to the belief via
+//! [`SyncTimelines::revise`] and evicts every cache entry touching the
+//! revised table ([`PlanCache::invalidate_table`]) — a cached delayed
+//! champion may reference the slipped sync point, so this is a
+//! correctness eviction, not garbage collection. Site outages become
+//! [`SiteFloors`] over both the planning context (admission's marginal
+//! IV and dispatch-time re-planning see the degraded topology) and the
+//! live calendars (delivered IV pays for waiting out the outage), and a
+//! dispatched plan that would span a down site is re-planned on the
+//! spot. Cost jitter applies only at delivery
+//! ([`JitteredCostModel`]): plans are chosen from estimates, execution
+//! runs hotter — so the cache's exactness argument is untouched. Every
+//! completion under faults additionally reports the IV it lost versus
+//! the fault-free planning bound.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
 
 use ivdss_catalog::catalog::Catalog;
-use ivdss_catalog::ids::TableId;
+use ivdss_catalog::ids::{SiteId, TableId};
 use ivdss_core::plan::{
     evaluate_plan, FacilityQueues, NoQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest,
+    SiteFloors,
 };
 use ivdss_core::planner::{IvqpPlanner, Planner};
 use ivdss_core::starvation::AgingPolicy;
 use ivdss_core::value::DiscountRates;
 use ivdss_costmodel::model::CostModel;
 use ivdss_costmodel::query::QueryId;
+use ivdss_faults::{FaultPlan, JitteredCostModel};
 use ivdss_mqo::workload::live_batch_windows;
-use ivdss_replication::events::SyncEventCursor;
+use ivdss_replication::events::{RevisionCursor, SyncEventCursor};
 use ivdss_replication::timelines::SyncTimelines;
 use ivdss_simkernel::time::{SimDuration, SimTime};
 
@@ -87,10 +112,17 @@ pub struct Completion {
     /// The completed query.
     pub query: QueryId,
     /// The delivered plan evaluation (latencies and IV include actual
-    /// calendar queuing).
+    /// calendar queuing and any injected degradation).
     pub evaluation: PlanEvaluation,
     /// How long the query sat in the admission queue before dispatch.
     pub waited: SimDuration,
+    /// IV lost to degradation: the fault-free planning bound minus the
+    /// delivered IV, clamped at zero. Always zero when no fault plan is
+    /// armed.
+    pub iv_lost: f64,
+    /// `true` if the dispatched plan was re-planned because its original
+    /// choice spanned a site that an injected outage had taken down.
+    pub replanned: bool,
 }
 
 /// What one [`ServeEngine::submit`] call did.
@@ -104,11 +136,46 @@ pub struct SubmitReport {
     pub completed: Vec<Completion>,
 }
 
+/// Replay state of an armed [`FaultPlan`].
+struct FaultState {
+    plan: FaultPlan,
+    revisions: RevisionCursor,
+    next_outage: usize,
+}
+
+/// Builds the engine's planning context ([`NoQueues`], belief
+/// timelines) inline, so the borrow checker sees disjoint field borrows
+/// and mutation of `queue`/`cache` can overlap with it.
+macro_rules! planning_ctx {
+    ($engine:expr) => {
+        PlanContext {
+            catalog: $engine.catalog,
+            timelines: &$engine.timelines,
+            model: $engine.model,
+            rates: $engine.config.rates,
+            queues: &NoQueues,
+        }
+    };
+    ($engine:expr, $queues:expr) => {
+        PlanContext {
+            catalog: $engine.catalog,
+            timelines: &$engine.timelines,
+            model: $engine.model,
+            rates: $engine.config.rates,
+            queues: $queues,
+        }
+    };
+}
+
 /// The online query-serving engine. See the module docs for the
 /// pipeline.
 pub struct ServeEngine<'a, C: Clock> {
     catalog: &'a Catalog,
-    timelines: &'a SyncTimelines,
+    /// The published (fault-free) timelines.
+    nominal: &'a SyncTimelines,
+    /// The engine's timeline belief: borrows `nominal` until the first
+    /// applied revision forces a private revised copy.
+    timelines: Cow<'a, SyncTimelines>,
     model: &'a dyn CostModel,
     config: ServeConfig,
     clock: C,
@@ -117,6 +184,7 @@ pub struct ServeEngine<'a, C: Clock> {
     facilities: FacilityQueues,
     cursor: SyncEventCursor,
     metrics: ServeMetrics,
+    faults: Option<FaultState>,
 }
 
 impl<'a, C: Clock> ServeEngine<'a, C> {
@@ -133,7 +201,8 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
         let start = clock.now();
         ServeEngine {
             catalog,
-            timelines,
+            nominal: timelines,
+            timelines: Cow::Borrowed(timelines),
             model,
             queue: AdmissionQueue::new(config.queue_capacity, config.aging),
             cache: PlanCache::new(config.cache_capacity),
@@ -142,7 +211,32 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             metrics: ServeMetrics::new(start),
             config,
             clock,
+            faults: None,
         }
+    }
+
+    /// Creates an engine that replays `faults` on top of the nominal
+    /// timelines (see the module docs for the degradation semantics).
+    /// The fault plan's horizon should cover the intended run length:
+    /// once a table's timeline is revised it becomes a finite trace
+    /// materialized out to that horizon.
+    #[must_use]
+    pub fn with_faults(
+        catalog: &'a Catalog,
+        timelines: &'a SyncTimelines,
+        model: &'a dyn CostModel,
+        config: ServeConfig,
+        clock: C,
+        faults: FaultPlan,
+    ) -> Self {
+        let start = clock.now();
+        let mut engine = ServeEngine::new(catalog, timelines, model, config, clock);
+        engine.faults = Some(FaultState {
+            plan: faults,
+            revisions: RevisionCursor::new(start),
+            next_outage: 0,
+        });
+        engine
     }
 
     /// The engine's current time.
@@ -169,31 +263,76 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
         &self.cache
     }
 
+    /// The live reservation calendars.
+    #[must_use]
+    pub fn facilities(&self) -> &FacilityQueues {
+        &self.facilities
+    }
+
+    /// The engine's current timeline belief (the nominal timelines until
+    /// a fault revision is applied).
+    #[must_use]
+    pub fn timelines(&self) -> &SyncTimelines {
+        &self.timelines
+    }
+
+    /// The armed fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
     /// Freezes the metrics at the current time.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot(self.clock.now())
     }
 
-    /// The planning context: [`NoQueues`], as the cache requires.
-    fn planning_ctx(&self) -> PlanContext<'a> {
-        PlanContext {
-            catalog: self.catalog,
-            timelines: self.timelines,
-            model: self.model,
-            rates: self.config.rates,
-            queues: &NoQueues,
-        }
+    /// Release floors of the sites currently inside an injected outage
+    /// (empty without faults).
+    fn current_floors(&self, now: SimTime) -> BTreeMap<SiteId, SimTime> {
+        self.faults
+            .as_ref()
+            .map_or_else(BTreeMap::new, |f| f.plan.site_floors(now))
     }
 
-    /// Delivers pending sync events to the cache's invalidator.
+    /// Applies due fault revisions to the timeline belief, counts outage
+    /// windows that have opened, then delivers pending sync events to
+    /// the cache's invalidator.
+    ///
+    /// Revisions are applied *before* the sync cursor advances, so a
+    /// slipped or dropped completion is never delivered at its nominal
+    /// time: the cursor walks the already-revised belief.
     fn sync_tick(&mut self, now: SimTime) {
-        let events = self.cursor.advance_to(self.timelines, now);
+        if let Some(faults) = &mut self.faults {
+            let due = faults.revisions.advance_to(faults.plan.revisions(), now);
+            for revision in due {
+                if self
+                    .timelines
+                    .to_mut()
+                    .revise(revision, faults.plan.horizon())
+                {
+                    let evicted = self.cache.invalidate_table(revision.table);
+                    self.metrics.record_cache_invalidations(evicted as u64);
+                    if revision.new_time.is_some() {
+                        self.metrics.record_fault_slip();
+                    } else {
+                        self.metrics.record_fault_drop();
+                    }
+                }
+            }
+            let outages = faults.plan.outages();
+            while faults.next_outage < outages.len() && outages[faults.next_outage].start <= now {
+                faults.next_outage += 1;
+                self.metrics.record_fault_outage();
+            }
+        }
+        let events = self.cursor.advance_to(&self.timelines, now);
         if !events.is_empty() {
             let evicted = self.cache.apply_sync_events(&events);
             self.metrics.record_cache_invalidations(evicted as u64);
-            self.metrics.set_cache_size(self.cache.len());
         }
+        self.metrics.set_cache_size(self.cache.len());
     }
 
     /// Moves the engine's clock to `to` (if in the future), delivering
@@ -213,6 +352,11 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
     /// Submits a query: admission, planning, dispatch. The clock is
     /// advanced to the request's submission time first.
     ///
+    /// Admission estimates marginal IV under the *degraded* topology:
+    /// the belief timelines plus release floors for sites currently in
+    /// an outage, so a query whose fallback depends on a down site ranks
+    /// honestly low.
+    ///
     /// # Errors
     ///
     /// Propagates [`PlanError`] from planning a dispatched query.
@@ -222,21 +366,28 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
         self.sync_tick(now);
         self.metrics.record_submitted();
 
-        let ctx = self.planning_ctx();
+        let floors = self.current_floors(now);
+        let floored = SiteFloors::new(&NoQueues, floors);
         let submitted_id = request.id();
-        let shed = match self.queue.offer(&ctx, request, now) {
+        let outcome = self
+            .queue
+            .offer(&planning_ctx!(self, &floored), request, now);
+        let shed = match outcome {
             AdmitOutcome::Admitted => {
                 self.metrics.record_admitted();
                 None
             }
-            AdmitOutcome::AdmittedAfterShedding { shed, .. } => {
+            AdmitOutcome::AdmittedAfterShedding {
+                shed,
+                shed_marginal_iv,
+            } => {
                 self.metrics.record_admitted();
-                self.metrics.record_shed();
+                self.metrics.record_shed(shed_marginal_iv);
                 Some(shed)
             }
-            AdmitOutcome::Rejected { .. } => {
+            AdmitOutcome::Rejected { marginal_iv } => {
                 // The arrival itself was the lowest-value query.
-                self.metrics.record_shed();
+                self.metrics.record_shed(marginal_iv);
                 Some(submitted_id)
             }
         };
@@ -265,12 +416,22 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
         (self.facilities.local().probe(now, SimDuration::ZERO).start - now).clamp_non_negative()
     }
 
+    /// The remote footprint of a chosen plan.
+    fn remote_tables(request: &QueryRequest, planned: &PlanEvaluation) -> Vec<TableId> {
+        request
+            .query
+            .tables()
+            .iter()
+            .copied()
+            .filter(|t| !planned.local_tables.contains(t))
+            .collect()
+    }
+
     /// Plans and dispatches one query against the live calendars.
     fn dispatch(&mut self, queued: QueuedQuery, now: SimTime) -> Result<Completion, PlanError> {
         let request = queued.request;
-        let ctx = self.planning_ctx();
         let planned = if self.config.use_cache {
-            let (eval, outcome) = self.cache.plan(&ctx, &request)?;
+            let (eval, outcome) = self.cache.plan(&planning_ctx!(self), &request)?;
             match outcome {
                 CacheOutcome::Hit => self.metrics.record_cache_hit(),
                 CacheOutcome::Miss => self.metrics.record_cache_miss(),
@@ -278,43 +439,100 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             self.metrics.set_cache_size(self.cache.len());
             eval
         } else {
-            IvqpPlanner::new().select_plan(&ctx, &request)?
+            IvqpPlanner::new().select_plan(&planning_ctx!(self), &request)?
+        };
+
+        // Outage-aware re-planning: if the chosen plan would span a site
+        // that is down at its release, re-plan with the floors visible so
+        // replica-only and delayed options can win on merit. The cache is
+        // bypassed — floors are queue state, which its key cannot carry.
+        let floors = self.current_floors(now);
+        let mut replanned = false;
+        let planned = if floors.is_empty() {
+            planned
+        } else {
+            let release = planned.execute_at.max(now);
+            let remote = Self::remote_tables(&request, &planned);
+            let hits_outage = !remote.is_empty()
+                && self
+                    .catalog
+                    .sites_spanned(&remote)
+                    .into_iter()
+                    .any(|site| floors.get(&site).is_some_and(|&floor| floor > release));
+            if hits_outage {
+                replanned = true;
+                self.metrics.record_fault_replan();
+                let floored = SiteFloors::new(&NoQueues, floors.clone());
+                IvqpPlanner::new().select_plan_from(
+                    &planning_ctx!(self, &floored),
+                    &request,
+                    now,
+                )?
+            } else {
+                planned
+            }
         };
 
         // Re-evaluate the chosen candidate against live calendar state:
-        // the delivered IV must pay for real queuing, not the planner's
-        // empty-queue assumption.
+        // the delivered IV must pay for real queuing — and, under faults,
+        // for outage floors and cost jitter.
         let release = planned.execute_at.max(now);
+        let jittered;
+        let live_model: &dyn CostModel = match &self.faults {
+            Some(faults) => {
+                jittered = JitteredCostModel::new(self.model, &faults.plan);
+                &jittered
+            }
+            None => self.model,
+        };
+        let live_queues = SiteFloors::new(&self.facilities, floors.clone());
         let live_ctx = PlanContext {
             catalog: self.catalog,
-            timelines: self.timelines,
-            model: self.model,
+            timelines: &self.timelines,
+            model: live_model,
             rates: self.config.rates,
-            queues: &self.facilities,
+            queues: &live_queues,
         };
         let delivered = evaluate_plan(&live_ctx, &request, release, &planned.local_tables)?;
 
         // Commit the reservations the estimator just probed, mirroring
         // evaluate_plan's participation rule: the local server always
         // serves the plan's local work and result reception; each site a
-        // remote table lives on serves the remote processing.
+        // remote table lives on serves the remote processing, no earlier
+        // than its outage floor.
         let cost = delivered.cost;
         self.facilities
             .local_mut()
             .book(release, cost.local_service());
-        let remote: Vec<TableId> = request
-            .query
-            .tables()
-            .iter()
-            .copied()
-            .filter(|t| !planned.local_tables.contains(t))
-            .collect();
+        let remote = Self::remote_tables(&request, &planned);
         if !remote.is_empty() {
             for site in self.catalog.sites_spanned(&remote) {
+                let site_release = floors
+                    .get(&site)
+                    .map_or(release, |&floor| release.max(floor));
                 self.facilities
                     .remote_mut(site)
-                    .book(release, cost.remote_processing);
+                    .book(site_release, cost.remote_processing);
             }
+        }
+
+        // Under faults, measure what the degradation cost this query:
+        // the IV an unfaulted planner (nominal timelines, no queues, no
+        // jitter) could have promised at the same dispatch instant,
+        // minus what was actually delivered.
+        let mut iv_lost = 0.0;
+        if self.faults.is_some() {
+            let nominal_ctx = PlanContext {
+                catalog: self.catalog,
+                timelines: self.nominal,
+                model: self.model,
+                rates: self.config.rates,
+                queues: &NoQueues,
+            };
+            let ideal = IvqpPlanner::new().select_plan_from(&nominal_ctx, &request, now)?;
+            iv_lost =
+                (ideal.information_value.value() - delivered.information_value.value()).max(0.0);
+            self.metrics.record_fault_iv_lost(iv_lost);
         }
 
         self.metrics.record_completion(
@@ -326,6 +544,8 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             query: request.id(),
             evaluation: delivered,
             waited: (now - queued.enqueued_at).clamp_non_negative(),
+            iv_lost,
+            replanned,
         })
     }
 
@@ -349,6 +569,6 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
     /// Propagates [`PlanError`] from the per-query range search.
     pub fn batch_windows(&self) -> Result<Vec<Vec<QueryId>>, PlanError> {
         let pending: Vec<QueryRequest> = self.queue.iter().map(|q| q.request.clone()).collect();
-        live_batch_windows(&self.planning_ctx(), &pending, self.clock.now())
+        live_batch_windows(&planning_ctx!(self), &pending, self.clock.now())
     }
 }

@@ -36,11 +36,18 @@ pub struct ServeMetrics {
     queries_submitted: u64,
     queries_admitted: u64,
     queries_shed: u64,
+    shed_iv: f64,
     queries_completed: u64,
     plan_cache_hits: u64,
     plan_cache_misses: u64,
     plan_cache_invalidations: u64,
     plan_cache_size: u64,
+    faults_syncs_slipped: u64,
+    faults_syncs_dropped: u64,
+    faults_outages: u64,
+    faults_replans: u64,
+    faults_iv_lost: Histogram,
+    faults_iv_lost_sum: f64,
     queue_depth: TimeWeighted,
     cl: Histogram,
     sl: Histogram,
@@ -57,11 +64,18 @@ impl ServeMetrics {
             queries_submitted: 0,
             queries_admitted: 0,
             queries_shed: 0,
+            shed_iv: 0.0,
             queries_completed: 0,
             plan_cache_hits: 0,
             plan_cache_misses: 0,
             plan_cache_invalidations: 0,
             plan_cache_size: 0,
+            faults_syncs_slipped: 0,
+            faults_syncs_dropped: 0,
+            faults_outages: 0,
+            faults_replans: 0,
+            faults_iv_lost: Histogram::new(0.0, IV_HIST_MAX, IV_HIST_BINS),
+            faults_iv_lost_sum: 0.0,
             queue_depth: TimeWeighted::new(start, 0.0),
             cl: Histogram::new(0.0, LATENCY_HIST_MAX, LATENCY_HIST_BINS),
             sl: Histogram::new(0.0, LATENCY_HIST_MAX, LATENCY_HIST_BINS),
@@ -80,9 +94,38 @@ impl ServeMetrics {
         self.queries_admitted += 1;
     }
 
-    /// Counts one IV-aware shed.
-    pub fn record_shed(&mut self) {
+    /// Counts one IV-aware shed and accumulates the marginal IV the
+    /// victim carried at eviction time.
+    pub fn record_shed(&mut self, marginal_iv: f64) {
         self.queries_shed += 1;
+        self.shed_iv += marginal_iv;
+    }
+
+    /// Counts one injected synchronization slip.
+    pub fn record_fault_slip(&mut self) {
+        self.faults_syncs_slipped += 1;
+    }
+
+    /// Counts one injected synchronization drop.
+    pub fn record_fault_drop(&mut self) {
+        self.faults_syncs_dropped += 1;
+    }
+
+    /// Counts one remote-site outage window opening.
+    pub fn record_fault_outage(&mut self) {
+        self.faults_outages += 1;
+    }
+
+    /// Counts one dispatch-time re-plan forced by a fault.
+    pub fn record_fault_replan(&mut self) {
+        self.faults_replans += 1;
+    }
+
+    /// Records the IV a completion lost to degradation (delivered IV vs.
+    /// the fault-free planning bound).
+    pub fn record_fault_iv_lost(&mut self, iv_lost: f64) {
+        self.faults_iv_lost.record(iv_lost);
+        self.faults_iv_lost_sum += iv_lost;
     }
 
     /// Counts one completed query and records its latencies and
@@ -140,11 +183,18 @@ impl ServeMetrics {
             queries_submitted: self.queries_submitted,
             queries_admitted: self.queries_admitted,
             queries_shed: self.queries_shed,
+            shed_iv: self.shed_iv,
             queries_completed: self.queries_completed,
             plan_cache_hits: self.plan_cache_hits,
             plan_cache_misses: self.plan_cache_misses,
             plan_cache_invalidations: self.plan_cache_invalidations,
             plan_cache_size: self.plan_cache_size,
+            faults_syncs_slipped: self.faults_syncs_slipped,
+            faults_syncs_dropped: self.faults_syncs_dropped,
+            faults_outages: self.faults_outages,
+            faults_replans: self.faults_replans,
+            faults_iv_lost_total: self.faults_iv_lost_sum,
+            faults_iv_lost: HistogramSnapshot::from_histogram(&self.faults_iv_lost),
             queue_depth: self.queue_depth.current(),
             queue_depth_peak: self.queue_depth.peak(),
             queue_depth_mean: self.queue_depth.mean_until(now),
@@ -228,6 +278,8 @@ pub struct MetricsSnapshot {
     pub queries_admitted: u64,
     /// Queries dropped by IV-aware load shedding.
     pub queries_shed: u64,
+    /// Total marginal IV the shed queries carried when evicted.
+    pub shed_iv: f64,
     /// Queries planned, dispatched and delivered.
     pub queries_completed: u64,
     /// Plan-cache hits.
@@ -238,6 +290,18 @@ pub struct MetricsSnapshot {
     pub plan_cache_invalidations: u64,
     /// Live cache entries at snapshot time.
     pub plan_cache_size: u64,
+    /// Injected synchronization slips applied so far.
+    pub faults_syncs_slipped: u64,
+    /// Injected synchronization drops applied so far.
+    pub faults_syncs_dropped: u64,
+    /// Remote-site outage windows opened so far.
+    pub faults_outages: u64,
+    /// Dispatch-time re-plans forced by faults.
+    pub faults_replans: u64,
+    /// Total IV lost to degradation across completions.
+    pub faults_iv_lost_total: f64,
+    /// Distribution of per-completion IV lost to degradation.
+    pub faults_iv_lost: HistogramSnapshot,
     /// Queue depth at snapshot time.
     pub queue_depth: f64,
     /// Highest queue depth observed.
@@ -285,6 +349,7 @@ impl MetricsSnapshot {
             self.queries_admitted
         );
         let _ = writeln!(out, "serve_queries_shed_total {}", self.queries_shed);
+        let _ = writeln!(out, "serve_shed_iv_total {}", self.shed_iv);
         let _ = writeln!(
             out,
             "serve_queries_completed_total {}",
@@ -307,9 +372,27 @@ impl MetricsSnapshot {
         let _ = writeln!(out, "serve_queue_depth_mean {}", self.queue_depth_mean);
         let _ = writeln!(out, "serve_delivered_iv_total {}", self.total_delivered_iv);
         let _ = writeln!(out, "serve_delivered_iv_mean {}", self.mean_delivered_iv);
+        let _ = writeln!(
+            out,
+            "serve_faults_syncs_slipped_total {}",
+            self.faults_syncs_slipped
+        );
+        let _ = writeln!(
+            out,
+            "serve_faults_syncs_dropped_total {}",
+            self.faults_syncs_dropped
+        );
+        let _ = writeln!(out, "serve_faults_outages_total {}", self.faults_outages);
+        let _ = writeln!(out, "serve_faults_replans_total {}", self.faults_replans);
+        let _ = writeln!(
+            out,
+            "serve_faults_iv_lost_total {}",
+            self.faults_iv_lost_total
+        );
         self.cl.dump("serve_cl_minutes", &mut out);
         self.sl.dump("serve_sl_minutes", &mut out);
         self.iv.dump("serve_delivered_iv", &mut out);
+        self.faults_iv_lost.dump("serve_faults_iv_lost", &mut out);
         out
     }
 }
@@ -357,6 +440,35 @@ mod tests {
         assert!(text.contains("serve_cl_minutes_bucket{le=\"20\"} 2"));
         assert!(text.contains("serve_cl_minutes_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("serve_cl_minutes_count 2"));
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_dump() {
+        let mut m = ServeMetrics::new(SimTime::ZERO);
+        m.record_fault_slip();
+        m.record_fault_slip();
+        m.record_fault_drop();
+        m.record_fault_outage();
+        m.record_fault_replan();
+        m.record_fault_iv_lost(0.25);
+        m.record_fault_iv_lost(0.5);
+        m.record_shed(0.4);
+        let snap = m.snapshot(SimTime::new(1.0));
+        assert_eq!(snap.faults_syncs_slipped, 2);
+        assert_eq!(snap.faults_syncs_dropped, 1);
+        assert_eq!(snap.faults_outages, 1);
+        assert_eq!(snap.faults_replans, 1);
+        assert!((snap.faults_iv_lost_total - 0.75).abs() < 1e-12);
+        assert_eq!(snap.faults_iv_lost.count(), 2);
+        assert!((snap.shed_iv - 0.4).abs() < 1e-12);
+        let text = snap.to_text();
+        assert!(text.contains("serve_faults_syncs_slipped_total 2"));
+        assert!(text.contains("serve_faults_syncs_dropped_total 1"));
+        assert!(text.contains("serve_faults_outages_total 1"));
+        assert!(text.contains("serve_faults_replans_total 1"));
+        assert!(text.contains("serve_faults_iv_lost_total 0.75"));
+        assert!(text.contains("serve_faults_iv_lost_count 2"));
+        assert!(text.contains("serve_shed_iv_total 0.4"));
     }
 
     #[test]

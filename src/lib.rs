@@ -24,6 +24,7 @@
 //! | [`ga`] | Genetic algorithm with permutation genomes and order crossover |
 //! | [`mqo`] | Workload formation and GA-driven multi-query (order) optimization |
 //! | [`workloads`] | The 22 TPC-H query footprints, synthetic query generators, arrival streams |
+//! | [`faults`] | Deterministic fault injection: seeded sync slips/drops, site outages, cost jitter |
 //! | [`serve`] | Online query-serving engine: IV-aware admission, sync-phase plan caching, calendar dispatch, metrics |
 //! | [`dsim`] | End-to-end DSS simulator and the per-figure experiment drivers |
 //!
@@ -61,6 +62,7 @@ pub use ivdss_catalog as catalog;
 pub use ivdss_core as core;
 pub use ivdss_costmodel as costmodel;
 pub use ivdss_dsim as dsim;
+pub use ivdss_faults as faults;
 pub use ivdss_ga as ga;
 pub use ivdss_mqo as mqo;
 pub use ivdss_replication as replication;
@@ -87,11 +89,15 @@ pub mod prelude {
     pub use ivdss_dsim::{
         run_arrival_driven, run_prioritized, Environment, ReplicaLoading, RunMetrics,
     };
+    pub use ivdss_faults::{FaultConfig, FaultPlan, JitteredCostModel, Outage};
     pub use ivdss_ga::{optimize_permutation, GaConfig, Permutation};
     pub use ivdss_mqo::{
         form_workloads, FifoScheduler, MqoScheduler, WorkloadEvaluator, WorkloadScheduler,
     };
-    pub use ivdss_replication::{Schedule, SyncEvent, SyncEventCursor, SyncMode, SyncTimelines};
+    pub use ivdss_replication::{
+        RevisionCursor, Schedule, SyncEvent, SyncEventCursor, SyncMode, SyncTimelines,
+        TimelineRevision,
+    };
     pub use ivdss_serve::{
         run_closed_loop, run_open_loop, AdmissionQueue, Clock, DesClock, MetricsSnapshot,
         OpenLoopConfig, PlanCache, ServeConfig, ServeEngine, WallClock,

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-da56e453f422bcf3.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-da56e453f422bcf3: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

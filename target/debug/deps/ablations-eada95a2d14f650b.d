@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-eada95a2d14f650b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-eada95a2d14f650b: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-0fdfbc073aa1be33.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-0fdfbc073aa1be33: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

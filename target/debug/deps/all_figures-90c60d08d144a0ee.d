@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-90c60d08d144a0ee.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-90c60d08d144a0ee: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

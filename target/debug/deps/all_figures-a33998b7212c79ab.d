@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-a33998b7212c79ab.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-a33998b7212c79ab: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-5b624a659349757c.d: crates/serve/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-5b624a659349757c: crates/serve/tests/chaos.rs
+
+crates/serve/tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-72bff683f95cb1e7.d: crates/serve/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-72bff683f95cb1e7.rmeta: crates/serve/tests/chaos.rs Cargo.toml
+
+crates/serve/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

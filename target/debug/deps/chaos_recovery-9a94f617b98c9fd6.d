@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_recovery-9a94f617b98c9fd6.d: tests/chaos_recovery.rs
+
+/root/repo/target/debug/deps/chaos_recovery-9a94f617b98c9fd6: tests/chaos_recovery.rs
+
+tests/chaos_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_recovery-e0eb029a11303695.d: tests/chaos_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_recovery-e0eb029a11303695.rmeta: tests/chaos_recovery.rs Cargo.toml
+
+tests/chaos_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_diff-a080ff3e18361d03.d: crates/core/tests/dbg_diff.rs
+
+/root/repo/target/debug/deps/dbg_diff-a080ff3e18361d03: crates/core/tests/dbg_diff.rs
+
+crates/core/tests/dbg_diff.rs:

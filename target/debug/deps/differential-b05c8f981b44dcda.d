@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-b05c8f981b44dcda.d: crates/core/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-b05c8f981b44dcda: crates/core/tests/differential.rs
+
+crates/core/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-e481a96a0d5d2909.d: crates/core/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-e481a96a0d5d2909.rmeta: crates/core/tests/differential.rs Cargo.toml
+
+crates/core/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

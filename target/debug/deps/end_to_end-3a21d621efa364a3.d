@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3a21d621efa364a3.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3a21d621efa364a3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f60f04cb9c583f0d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f60f04cb9c583f0d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-1588b5b37dbc93e3.d: crates/serve/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-1588b5b37dbc93e3: crates/serve/tests/engine.rs
+
+crates/serve/tests/engine.rs:

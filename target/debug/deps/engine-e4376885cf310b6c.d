@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-e4376885cf310b6c.d: crates/serve/tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-e4376885cf310b6c.rmeta: crates/serve/tests/engine.rs Cargo.toml
+
+crates/serve/tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

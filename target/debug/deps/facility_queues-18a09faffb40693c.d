@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/facility_queues-18a09faffb40693c.d: crates/core/tests/facility_queues.rs
+
+/root/repo/target/debug/deps/facility_queues-18a09faffb40693c: crates/core/tests/facility_queues.rs
+
+crates/core/tests/facility_queues.rs:

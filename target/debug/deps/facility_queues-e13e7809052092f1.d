@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/facility_queues-e13e7809052092f1.d: crates/core/tests/facility_queues.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfacility_queues-e13e7809052092f1.rmeta: crates/core/tests/facility_queues.rs Cargo.toml
+
+crates/core/tests/facility_queues.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-07cfcf30cc6680fe.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-07cfcf30cc6680fe: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

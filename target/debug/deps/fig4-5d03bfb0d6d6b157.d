@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-5d03bfb0d6d6b157.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-5d03bfb0d6d6b157: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

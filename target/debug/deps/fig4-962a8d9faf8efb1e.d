@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-962a8d9faf8efb1e.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-962a8d9faf8efb1e: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_worked_example-421adfbc068ee69d.d: tests/fig4_worked_example.rs
+
+/root/repo/target/debug/deps/fig4_worked_example-421adfbc068ee69d: tests/fig4_worked_example.rs
+
+tests/fig4_worked_example.rs:

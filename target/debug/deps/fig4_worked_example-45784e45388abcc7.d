@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_worked_example-45784e45388abcc7.d: tests/fig4_worked_example.rs
+
+/root/repo/target/debug/deps/fig4_worked_example-45784e45388abcc7: tests/fig4_worked_example.rs
+
+tests/fig4_worked_example.rs:

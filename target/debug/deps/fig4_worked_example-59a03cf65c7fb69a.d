@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_worked_example-59a03cf65c7fb69a.d: tests/fig4_worked_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_worked_example-59a03cf65c7fb69a.rmeta: tests/fig4_worked_example.rs Cargo.toml
+
+tests/fig4_worked_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

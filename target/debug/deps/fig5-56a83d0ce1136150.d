@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-56a83d0ce1136150.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-56a83d0ce1136150: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

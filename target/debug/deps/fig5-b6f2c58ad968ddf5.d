@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b6f2c58ad968ddf5.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-b6f2c58ad968ddf5: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

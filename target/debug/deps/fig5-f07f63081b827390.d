@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-f07f63081b827390.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-f07f63081b827390: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

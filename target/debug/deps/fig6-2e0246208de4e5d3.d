@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-2e0246208de4e5d3.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-2e0246208de4e5d3: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-7406722b917ee889.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-7406722b917ee889: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-bd18bdfc51c49be8.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-bd18bdfc51c49be8: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

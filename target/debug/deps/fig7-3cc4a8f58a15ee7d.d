@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-3cc4a8f58a15ee7d.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-3cc4a8f58a15ee7d: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-efdc872ddf6c13bb.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-efdc872ddf6c13bb: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-f8fa8102725512a1.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-f8fa8102725512a1: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

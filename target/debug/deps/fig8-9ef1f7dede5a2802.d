@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-9ef1f7dede5a2802.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-9ef1f7dede5a2802: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c45b07f87ac6ab90.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c45b07f87ac6ab90: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-f34077561be736da.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-f34077561be736da: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-2a3d1bb3f2f3d7fb.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-2a3d1bb3f2f3d7fb: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-bd19e5214dd4ad41.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-bd19e5214dd4ad41: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-d5b85917a0a2426c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-d5b85917a0a2426c: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ga_convergence-53c4e35a43aa03c7.d: crates/bench/benches/ga_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libga_convergence-53c4e35a43aa03c7.rmeta: crates/bench/benches/ga_convergence.rs Cargo.toml
+
+crates/bench/benches/ga_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ga_convergence-f24c0936d05719de.d: crates/bench/benches/ga_convergence.rs
+
+/root/repo/target/debug/deps/ga_convergence-f24c0936d05719de: crates/bench/benches/ga_convergence.rs
+
+crates/bench/benches/ga_convergence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iv_math-5e319bfd175b1c9a.d: crates/bench/benches/iv_math.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiv_math-5e319bfd175b1c9a.rmeta: crates/bench/benches/iv_math.rs Cargo.toml
+
+crates/bench/benches/iv_math.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

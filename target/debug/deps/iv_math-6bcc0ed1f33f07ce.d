@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iv_math-6bcc0ed1f33f07ce.d: crates/bench/benches/iv_math.rs
+
+/root/repo/target/debug/deps/iv_math-6bcc0ed1f33f07ce: crates/bench/benches/iv_math.rs
+
+crates/bench/benches/iv_math.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss-1c8974c6e984f913.d: src/lib.rs
+
+/root/repo/target/debug/deps/libivdss-1c8974c6e984f913.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libivdss-1c8974c6e984f913.rmeta: src/lib.rs
+
+src/lib.rs:

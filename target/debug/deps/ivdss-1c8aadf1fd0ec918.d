@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss-1c8aadf1fd0ec918.d: src/lib.rs
+
+/root/repo/target/debug/deps/ivdss-1c8aadf1fd0ec918: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss-59d9d71378bf73bb.d: src/lib.rs
+
+/root/repo/target/debug/deps/ivdss-59d9d71378bf73bb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss-daa71b45a1ba9922.d: src/lib.rs
+
+/root/repo/target/debug/deps/libivdss-daa71b45a1ba9922.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libivdss-daa71b45a1ba9922.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss_bench-2d2141cf714c5abc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libivdss_bench-2d2141cf714c5abc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libivdss_bench-2d2141cf714c5abc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss_bench-696a6bc602a5aa37.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ivdss_bench-696a6bc602a5aa37: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss_bench-801f1a368910663c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libivdss_bench-801f1a368910663c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libivdss_bench-801f1a368910663c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss_bench-b877b0f67d7ffc19.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ivdss_bench-b877b0f67d7ffc19: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

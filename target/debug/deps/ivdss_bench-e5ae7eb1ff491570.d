@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ivdss_bench-e5ae7eb1ff491570.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_bench-e5ae7eb1ff491570.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

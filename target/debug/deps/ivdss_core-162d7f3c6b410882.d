@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ivdss_core-162d7f3c6b410882.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/latency.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/search.rs crates/core/src/starvation.rs crates/core/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_core-162d7f3c6b410882.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/latency.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/search.rs crates/core/src/starvation.rs crates/core/src/value.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/latency.rs:
+crates/core/src/plan.rs:
+crates/core/src/planner.rs:
+crates/core/src/search.rs:
+crates/core/src/starvation.rs:
+crates/core/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ivdss_dsim-e2e13020580448a3.d: crates/dsim/src/lib.rs crates/dsim/src/experiments/mod.rs crates/dsim/src/experiments/chaos.rs crates/dsim/src/experiments/common.rs crates/dsim/src/experiments/fig4.rs crates/dsim/src/experiments/fig5.rs crates/dsim/src/experiments/fig67.rs crates/dsim/src/experiments/fig8.rs crates/dsim/src/experiments/fig9.rs crates/dsim/src/metrics.rs crates/dsim/src/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_dsim-e2e13020580448a3.rmeta: crates/dsim/src/lib.rs crates/dsim/src/experiments/mod.rs crates/dsim/src/experiments/chaos.rs crates/dsim/src/experiments/common.rs crates/dsim/src/experiments/fig4.rs crates/dsim/src/experiments/fig5.rs crates/dsim/src/experiments/fig67.rs crates/dsim/src/experiments/fig8.rs crates/dsim/src/experiments/fig9.rs crates/dsim/src/metrics.rs crates/dsim/src/simulator.rs Cargo.toml
+
+crates/dsim/src/lib.rs:
+crates/dsim/src/experiments/mod.rs:
+crates/dsim/src/experiments/chaos.rs:
+crates/dsim/src/experiments/common.rs:
+crates/dsim/src/experiments/fig4.rs:
+crates/dsim/src/experiments/fig5.rs:
+crates/dsim/src/experiments/fig67.rs:
+crates/dsim/src/experiments/fig8.rs:
+crates/dsim/src/experiments/fig9.rs:
+crates/dsim/src/metrics.rs:
+crates/dsim/src/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss_faults-2a7b24143054522a.d: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/ivdss_faults-2a7b24143054522a: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/jitter.rs:
+crates/faults/src/plan.rs:

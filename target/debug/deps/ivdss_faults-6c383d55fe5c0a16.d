@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ivdss_faults-6c383d55fe5c0a16.d: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_faults-6c383d55fe5c0a16.rmeta: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/jitter.rs:
+crates/faults/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ivdss_faults-a2535a80ae4437c4.d: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/libivdss_faults-a2535a80ae4437c4.rlib: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/libivdss_faults-a2535a80ae4437c4.rmeta: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/jitter.rs:
+crates/faults/src/plan.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ivdss_serve-9ba4590fd8ca0012.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/clock.rs crates/serve/src/engine.rs crates/serve/src/loadgen.rs crates/serve/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivdss_serve-9ba4590fd8ca0012.rmeta: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/clock.rs crates/serve/src/engine.rs crates/serve/src/loadgen.rs crates/serve/src/metrics.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/clock.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/loadgen.rs:
+crates/serve/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ivdss_serve-a05de7a48ee33c74.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/clock.rs crates/serve/src/engine.rs crates/serve/src/loadgen.rs crates/serve/src/metrics.rs
+
+/root/repo/target/debug/deps/libivdss_serve-a05de7a48ee33c74.rlib: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/clock.rs crates/serve/src/engine.rs crates/serve/src/loadgen.rs crates/serve/src/metrics.rs
+
+/root/repo/target/debug/deps/libivdss_serve-a05de7a48ee33c74.rmeta: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/clock.rs crates/serve/src/engine.rs crates/serve/src/loadgen.rs crates/serve/src/metrics.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/clock.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/loadgen.rs:
+crates/serve/src/metrics.rs:

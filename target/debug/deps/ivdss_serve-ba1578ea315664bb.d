@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ivdss_serve-ba1578ea315664bb.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/clock.rs crates/serve/src/engine.rs crates/serve/src/loadgen.rs crates/serve/src/metrics.rs
+
+/root/repo/target/debug/deps/ivdss_serve-ba1578ea315664bb: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/clock.rs crates/serve/src/engine.rs crates/serve/src/loadgen.rs crates/serve/src/metrics.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/clock.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/loadgen.rs:
+crates/serve/src/metrics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_search-43b07c5b0d266e62.d: crates/bench/benches/plan_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_search-43b07c5b0d266e62.rmeta: crates/bench/benches/plan_search.rs Cargo.toml
+
+crates/bench/benches/plan_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_search-61c7e33fa45f76f7.d: crates/bench/benches/plan_search.rs
+
+/root/repo/target/debug/deps/plan_search-61c7e33fa45f76f7: crates/bench/benches/plan_search.rs
+
+crates/bench/benches/plan_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-062720bbef93d24a.d: crates/serve/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-062720bbef93d24a: crates/serve/tests/properties.rs
+
+crates/serve/tests/properties.rs:

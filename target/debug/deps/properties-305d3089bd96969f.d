@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-305d3089bd96969f.d: crates/serve/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-305d3089bd96969f.rmeta: crates/serve/tests/properties.rs Cargo.toml
+
+crates/serve/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7640512df7faafe4.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7640512df7faafe4: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_throughput-5abbd8d16eb1f9f4.d: crates/bench/benches/serve_throughput.rs
+
+/root/repo/target/debug/deps/serve_throughput-5abbd8d16eb1f9f4: crates/bench/benches/serve_throughput.rs
+
+crates/bench/benches/serve_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-9d8cd21d6d2242a2.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-9d8cd21d6d2242a2: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_demo-2f84de648b0df9ab.d: examples/chaos_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_demo-2f84de648b0df9ab.rmeta: examples/chaos_demo.rs Cargo.toml
+
+examples/chaos_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

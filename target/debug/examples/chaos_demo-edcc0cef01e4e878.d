@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_demo-edcc0cef01e4e878.d: examples/chaos_demo.rs
+
+/root/repo/target/debug/examples/chaos_demo-edcc0cef01e4e878: examples/chaos_demo.rs
+
+examples/chaos_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fraud_detection-13c0ea27e4f1929f.d: examples/fraud_detection.rs
+
+/root/repo/target/debug/examples/fraud_detection-13c0ea27e4f1929f: examples/fraud_detection.rs
+
+examples/fraud_detection.rs:

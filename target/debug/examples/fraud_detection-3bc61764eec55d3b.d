@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fraud_detection-3bc61764eec55d3b.d: examples/fraud_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfraud_detection-3bc61764eec55d3b.rmeta: examples/fraud_detection.rs Cargo.toml
+
+examples/fraud_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

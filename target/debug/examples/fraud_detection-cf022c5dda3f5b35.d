@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fraud_detection-cf022c5dda3f5b35.d: examples/fraud_detection.rs
+
+/root/repo/target/debug/examples/fraud_detection-cf022c5dda3f5b35: examples/fraud_detection.rs
+
+examples/fraud_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/logistics_mqo-93f622fd604f2e74.d: examples/logistics_mqo.rs
+
+/root/repo/target/debug/examples/logistics_mqo-93f622fd604f2e74: examples/logistics_mqo.rs
+
+examples/logistics_mqo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/logistics_mqo-cc910369228f24d8.d: examples/logistics_mqo.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblogistics_mqo-cc910369228f24d8.rmeta: examples/logistics_mqo.rs Cargo.toml
+
+examples/logistics_mqo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

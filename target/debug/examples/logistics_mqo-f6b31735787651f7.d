@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/logistics_mqo-f6b31735787651f7.d: examples/logistics_mqo.rs
+
+/root/repo/target/debug/examples/logistics_mqo-f6b31735787651f7: examples/logistics_mqo.rs
+
+examples/logistics_mqo.rs:

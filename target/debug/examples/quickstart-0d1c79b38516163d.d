@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0d1c79b38516163d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0d1c79b38516163d: examples/quickstart.rs
+
+examples/quickstart.rs:

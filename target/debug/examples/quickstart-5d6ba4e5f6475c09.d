@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5d6ba4e5f6475c09.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5d6ba4e5f6475c09: examples/quickstart.rs
+
+examples/quickstart.rs:

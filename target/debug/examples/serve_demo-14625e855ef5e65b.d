@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_demo-14625e855ef5e65b.d: examples/serve_demo.rs
+
+/root/repo/target/debug/examples/serve_demo-14625e855ef5e65b: examples/serve_demo.rs
+
+examples/serve_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serve_demo-6817b96c99b003b2.d: examples/serve_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserve_demo-6817b96c99b003b2.rmeta: examples/serve_demo.rs Cargo.toml
+
+examples/serve_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_demo-742b0b1d90322a59.d: examples/serve_demo.rs
+
+/root/repo/target/debug/examples/serve_demo-742b0b1d90322a59: examples/serve_demo.rs
+
+examples/serve_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/starvation-4a81fcde1f9d80be.d: examples/starvation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstarvation-4a81fcde1f9d80be.rmeta: examples/starvation.rs Cargo.toml
+
+examples/starvation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

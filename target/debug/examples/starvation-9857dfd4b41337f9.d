@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/starvation-9857dfd4b41337f9.d: examples/starvation.rs
+
+/root/repo/target/debug/examples/starvation-9857dfd4b41337f9: examples/starvation.rs
+
+examples/starvation.rs:

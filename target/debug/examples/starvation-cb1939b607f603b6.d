@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/starvation-cb1939b607f603b6.d: examples/starvation.rs
+
+/root/repo/target/debug/examples/starvation-cb1939b607f603b6: examples/starvation.rs
+
+examples/starvation.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libivdss_ga.rlib: /root/repo/crates/ga/src/engine.rs /root/repo/crates/ga/src/lib.rs /root/repo/crates/ga/src/permutation.rs /root/repo/vendor/rand/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-260617623f153f63.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-260617623f153f63: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-0dbeaa940326fb26.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-0dbeaa940326fb26: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-5516fbff04906383.d: crates/serve/tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-5516fbff04906383: crates/serve/tests/chaos.rs
+
+crates/serve/tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_recovery-753c7140fda126da.d: tests/chaos_recovery.rs
+
+/root/repo/target/release/deps/chaos_recovery-753c7140fda126da: tests/chaos_recovery.rs
+
+tests/chaos_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-eaf82a2c3a8d0de6.d: crates/core/tests/differential.rs
+
+/root/repo/target/release/deps/differential-eaf82a2c3a8d0de6: crates/core/tests/differential.rs
+
+crates/core/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-64c464e980bfcea1.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-64c464e980bfcea1: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-a61ad7df1b2b398c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-a61ad7df1b2b398c: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

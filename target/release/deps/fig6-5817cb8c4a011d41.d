@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-5817cb8c4a011d41.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-5817cb8c4a011d41: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-5ea33d95032bf8a6.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-5ea33d95032bf8a6: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

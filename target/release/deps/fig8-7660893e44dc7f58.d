@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-7660893e44dc7f58.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-7660893e44dc7f58: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

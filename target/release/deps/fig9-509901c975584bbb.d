@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-509901c975584bbb.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-509901c975584bbb: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

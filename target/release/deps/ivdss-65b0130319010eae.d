@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ivdss-65b0130319010eae.d: src/lib.rs
+
+/root/repo/target/release/deps/libivdss-65b0130319010eae.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libivdss-65b0130319010eae.rmeta: src/lib.rs
+
+src/lib.rs:

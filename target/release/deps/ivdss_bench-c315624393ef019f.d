@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ivdss_bench-c315624393ef019f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libivdss_bench-c315624393ef019f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libivdss_bench-c315624393ef019f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ivdss_dsim-69ea748c651f9f78.d: crates/dsim/src/lib.rs crates/dsim/src/experiments/mod.rs crates/dsim/src/experiments/chaos.rs crates/dsim/src/experiments/common.rs crates/dsim/src/experiments/fig4.rs crates/dsim/src/experiments/fig5.rs crates/dsim/src/experiments/fig67.rs crates/dsim/src/experiments/fig8.rs crates/dsim/src/experiments/fig9.rs crates/dsim/src/metrics.rs crates/dsim/src/simulator.rs
+
+/root/repo/target/release/deps/libivdss_dsim-69ea748c651f9f78.rlib: crates/dsim/src/lib.rs crates/dsim/src/experiments/mod.rs crates/dsim/src/experiments/chaos.rs crates/dsim/src/experiments/common.rs crates/dsim/src/experiments/fig4.rs crates/dsim/src/experiments/fig5.rs crates/dsim/src/experiments/fig67.rs crates/dsim/src/experiments/fig8.rs crates/dsim/src/experiments/fig9.rs crates/dsim/src/metrics.rs crates/dsim/src/simulator.rs
+
+/root/repo/target/release/deps/libivdss_dsim-69ea748c651f9f78.rmeta: crates/dsim/src/lib.rs crates/dsim/src/experiments/mod.rs crates/dsim/src/experiments/chaos.rs crates/dsim/src/experiments/common.rs crates/dsim/src/experiments/fig4.rs crates/dsim/src/experiments/fig5.rs crates/dsim/src/experiments/fig67.rs crates/dsim/src/experiments/fig8.rs crates/dsim/src/experiments/fig9.rs crates/dsim/src/metrics.rs crates/dsim/src/simulator.rs
+
+crates/dsim/src/lib.rs:
+crates/dsim/src/experiments/mod.rs:
+crates/dsim/src/experiments/chaos.rs:
+crates/dsim/src/experiments/common.rs:
+crates/dsim/src/experiments/fig4.rs:
+crates/dsim/src/experiments/fig5.rs:
+crates/dsim/src/experiments/fig67.rs:
+crates/dsim/src/experiments/fig8.rs:
+crates/dsim/src/experiments/fig9.rs:
+crates/dsim/src/metrics.rs:
+crates/dsim/src/simulator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ivdss_faults-614d4d3e3bfa11d2.d: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs
+
+/root/repo/target/release/deps/libivdss_faults-614d4d3e3bfa11d2.rlib: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs
+
+/root/repo/target/release/deps/libivdss_faults-614d4d3e3bfa11d2.rmeta: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/jitter.rs:
+crates/faults/src/plan.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ivdss_serve-757fee2604a80651.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/clock.rs crates/serve/src/engine.rs crates/serve/src/loadgen.rs crates/serve/src/metrics.rs
+
+/root/repo/target/release/deps/libivdss_serve-757fee2604a80651.rlib: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/clock.rs crates/serve/src/engine.rs crates/serve/src/loadgen.rs crates/serve/src/metrics.rs
+
+/root/repo/target/release/deps/libivdss_serve-757fee2604a80651.rmeta: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/clock.rs crates/serve/src/engine.rs crates/serve/src/loadgen.rs crates/serve/src/metrics.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/clock.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/loadgen.rs:
+crates/serve/src/metrics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_demo-378f6cb0dce16c23.d: examples/chaos_demo.rs
+
+/root/repo/target/release/examples/chaos_demo-378f6cb0dce16c23: examples/chaos_demo.rs
+
+examples/chaos_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d3fc51b6ed659659.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d3fc51b6ed659659: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve_demo-95024ae4fe25d6b4.d: examples/serve_demo.rs
+
+/root/repo/target/release/examples/serve_demo-95024ae4fe25d6b4: examples/serve_demo.rs
+
+examples/serve_demo.rs:
