@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-0942bbc547e685ae.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-0942bbc547e685ae.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-91e9b705e8944581.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-91e9b705e8944581.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-23ded266d4180411.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/liball_figures-23ded266d4180411.rmeta: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-894d33a17f2a9d98.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/liball_figures-894d33a17f2a9d98.rmeta: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

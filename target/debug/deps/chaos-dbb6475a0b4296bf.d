@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-dbb6475a0b4296bf.d: crates/serve/tests/chaos.rs
+
+/root/repo/target/debug/deps/libchaos-dbb6475a0b4296bf.rmeta: crates/serve/tests/chaos.rs
+
+crates/serve/tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_recovery-7b1e0c7ce86b1872.d: tests/chaos_recovery.rs
+
+/root/repo/target/debug/deps/libchaos_recovery-7b1e0c7ce86b1872.rmeta: tests/chaos_recovery.rs
+
+tests/chaos_recovery.rs:

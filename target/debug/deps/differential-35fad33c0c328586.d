@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-35fad33c0c328586.d: crates/core/tests/differential.rs
+
+/root/repo/target/debug/deps/libdifferential-35fad33c0c328586.rmeta: crates/core/tests/differential.rs
+
+crates/core/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-da2b0d6014652640.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-da2b0d6014652640.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

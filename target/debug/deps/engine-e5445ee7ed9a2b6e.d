@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-e5445ee7ed9a2b6e.d: crates/serve/tests/engine.rs
+
+/root/repo/target/debug/deps/libengine-e5445ee7ed9a2b6e.rmeta: crates/serve/tests/engine.rs
+
+crates/serve/tests/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/facility_queues-6d300bfe8a192892.d: crates/core/tests/facility_queues.rs
+
+/root/repo/target/debug/deps/libfacility_queues-6d300bfe8a192892.rmeta: crates/core/tests/facility_queues.rs
+
+crates/core/tests/facility_queues.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-2f363736b7fba755.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-2f363736b7fba755.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

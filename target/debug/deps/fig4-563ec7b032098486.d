@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-563ec7b032098486.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-563ec7b032098486.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_worked_example-dd2a8008b7eee846.d: tests/fig4_worked_example.rs
+
+/root/repo/target/debug/deps/libfig4_worked_example-dd2a8008b7eee846.rmeta: tests/fig4_worked_example.rs
+
+tests/fig4_worked_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-af0f9b42962c8843.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-af0f9b42962c8843.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

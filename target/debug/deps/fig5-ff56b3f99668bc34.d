@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-ff56b3f99668bc34.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-ff56b3f99668bc34.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-715db9174f5659c5.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-715db9174f5659c5.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-e82a49e01dd4294d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-e82a49e01dd4294d.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

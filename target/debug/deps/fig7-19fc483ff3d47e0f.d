@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-19fc483ff3d47e0f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-19fc483ff3d47e0f.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-c1ceb481aed600c9.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-c1ceb481aed600c9.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

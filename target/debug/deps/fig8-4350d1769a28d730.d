@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-4350d1769a28d730.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-4350d1769a28d730.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-52e038d3c2794762.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-52e038d3c2794762.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-3e19dafe2b2086d5.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-3e19dafe2b2086d5.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

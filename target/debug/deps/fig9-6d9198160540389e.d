@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-6d9198160540389e.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-6d9198160540389e.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

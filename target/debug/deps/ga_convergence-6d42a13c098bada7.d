@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ga_convergence-6d42a13c098bada7.d: crates/bench/benches/ga_convergence.rs
+
+/root/repo/target/debug/deps/libga_convergence-6d42a13c098bada7.rmeta: crates/bench/benches/ga_convergence.rs
+
+crates/bench/benches/ga_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iv_math-d8a5dd91fbadeac5.d: crates/bench/benches/iv_math.rs
+
+/root/repo/target/debug/deps/libiv_math-d8a5dd91fbadeac5.rmeta: crates/bench/benches/iv_math.rs
+
+crates/bench/benches/iv_math.rs:

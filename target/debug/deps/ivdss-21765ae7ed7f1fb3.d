@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss-21765ae7ed7f1fb3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libivdss-21765ae7ed7f1fb3.rmeta: src/lib.rs
+
+src/lib.rs:

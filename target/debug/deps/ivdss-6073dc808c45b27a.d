@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss-6073dc808c45b27a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libivdss-6073dc808c45b27a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss_bench-1ca601ce6d1c476a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libivdss_bench-1ca601ce6d1c476a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivdss_bench-d08ee7113b24e0d0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libivdss_bench-d08ee7113b24e0d0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ivdss_catalog-28d03759fd946ebd.d: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/ids.rs crates/catalog/src/placement.rs crates/catalog/src/replica.rs crates/catalog/src/synthetic.rs crates/catalog/src/table.rs crates/catalog/src/tpch.rs
+
+/root/repo/target/debug/deps/libivdss_catalog-28d03759fd946ebd.rmeta: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/ids.rs crates/catalog/src/placement.rs crates/catalog/src/replica.rs crates/catalog/src/synthetic.rs crates/catalog/src/table.rs crates/catalog/src/tpch.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/catalog.rs:
+crates/catalog/src/ids.rs:
+crates/catalog/src/placement.rs:
+crates/catalog/src/replica.rs:
+crates/catalog/src/synthetic.rs:
+crates/catalog/src/table.rs:
+crates/catalog/src/tpch.rs:

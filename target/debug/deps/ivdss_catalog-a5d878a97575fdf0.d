@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ivdss_catalog-a5d878a97575fdf0.d: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/ids.rs crates/catalog/src/placement.rs crates/catalog/src/replica.rs crates/catalog/src/synthetic.rs crates/catalog/src/table.rs crates/catalog/src/tpch.rs
+
+/root/repo/target/debug/deps/libivdss_catalog-a5d878a97575fdf0.rmeta: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/ids.rs crates/catalog/src/placement.rs crates/catalog/src/replica.rs crates/catalog/src/synthetic.rs crates/catalog/src/table.rs crates/catalog/src/tpch.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/catalog.rs:
+crates/catalog/src/ids.rs:
+crates/catalog/src/placement.rs:
+crates/catalog/src/replica.rs:
+crates/catalog/src/synthetic.rs:
+crates/catalog/src/table.rs:
+crates/catalog/src/tpch.rs:

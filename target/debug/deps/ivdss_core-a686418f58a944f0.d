@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ivdss_core-a686418f58a944f0.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/latency.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/search.rs crates/core/src/starvation.rs crates/core/src/value.rs
+
+/root/repo/target/debug/deps/libivdss_core-a686418f58a944f0.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/latency.rs crates/core/src/plan.rs crates/core/src/planner.rs crates/core/src/search.rs crates/core/src/starvation.rs crates/core/src/value.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/latency.rs:
+crates/core/src/plan.rs:
+crates/core/src/planner.rs:
+crates/core/src/search.rs:
+crates/core/src/starvation.rs:
+crates/core/src/value.rs:

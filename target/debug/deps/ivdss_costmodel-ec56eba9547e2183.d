@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ivdss_costmodel-ec56eba9547e2183.d: crates/costmodel/src/lib.rs crates/costmodel/src/compile.rs crates/costmodel/src/model.rs crates/costmodel/src/query.rs
+
+/root/repo/target/debug/deps/libivdss_costmodel-ec56eba9547e2183.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/compile.rs crates/costmodel/src/model.rs crates/costmodel/src/query.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/compile.rs:
+crates/costmodel/src/model.rs:
+crates/costmodel/src/query.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ivdss_dsim-53bf75aec6b98282.d: crates/dsim/src/lib.rs crates/dsim/src/experiments/mod.rs crates/dsim/src/experiments/chaos.rs crates/dsim/src/experiments/common.rs crates/dsim/src/experiments/fig4.rs crates/dsim/src/experiments/fig5.rs crates/dsim/src/experiments/fig67.rs crates/dsim/src/experiments/fig8.rs crates/dsim/src/experiments/fig9.rs crates/dsim/src/metrics.rs crates/dsim/src/simulator.rs
+
+/root/repo/target/debug/deps/libivdss_dsim-53bf75aec6b98282.rmeta: crates/dsim/src/lib.rs crates/dsim/src/experiments/mod.rs crates/dsim/src/experiments/chaos.rs crates/dsim/src/experiments/common.rs crates/dsim/src/experiments/fig4.rs crates/dsim/src/experiments/fig5.rs crates/dsim/src/experiments/fig67.rs crates/dsim/src/experiments/fig8.rs crates/dsim/src/experiments/fig9.rs crates/dsim/src/metrics.rs crates/dsim/src/simulator.rs
+
+crates/dsim/src/lib.rs:
+crates/dsim/src/experiments/mod.rs:
+crates/dsim/src/experiments/chaos.rs:
+crates/dsim/src/experiments/common.rs:
+crates/dsim/src/experiments/fig4.rs:
+crates/dsim/src/experiments/fig5.rs:
+crates/dsim/src/experiments/fig67.rs:
+crates/dsim/src/experiments/fig8.rs:
+crates/dsim/src/experiments/fig9.rs:
+crates/dsim/src/metrics.rs:
+crates/dsim/src/simulator.rs:

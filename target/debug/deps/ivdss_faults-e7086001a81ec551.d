@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss_faults-e7086001a81ec551.d: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/libivdss_faults-e7086001a81ec551.rmeta: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/jitter.rs:
+crates/faults/src/plan.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss_faults-ed202f3b350bf0d7.d: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/libivdss_faults-ed202f3b350bf0d7.rmeta: crates/faults/src/lib.rs crates/faults/src/jitter.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/jitter.rs:
+crates/faults/src/plan.rs:

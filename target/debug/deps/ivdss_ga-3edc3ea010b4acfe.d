@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss_ga-3edc3ea010b4acfe.d: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs
+
+/root/repo/target/debug/deps/libivdss_ga-3edc3ea010b4acfe.rmeta: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/permutation.rs:

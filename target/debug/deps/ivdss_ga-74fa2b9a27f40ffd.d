@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivdss_ga-74fa2b9a27f40ffd.d: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs
+
+/root/repo/target/debug/deps/libivdss_ga-74fa2b9a27f40ffd.rmeta: crates/ga/src/lib.rs crates/ga/src/engine.rs crates/ga/src/permutation.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/permutation.rs:

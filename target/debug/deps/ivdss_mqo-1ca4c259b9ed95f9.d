@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ivdss_mqo-1ca4c259b9ed95f9.d: crates/mqo/src/lib.rs crates/mqo/src/evaluate.rs crates/mqo/src/scheduler.rs crates/mqo/src/workload.rs
+
+/root/repo/target/debug/deps/libivdss_mqo-1ca4c259b9ed95f9.rmeta: crates/mqo/src/lib.rs crates/mqo/src/evaluate.rs crates/mqo/src/scheduler.rs crates/mqo/src/workload.rs
+
+crates/mqo/src/lib.rs:
+crates/mqo/src/evaluate.rs:
+crates/mqo/src/scheduler.rs:
+crates/mqo/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ivdss_replication-0891c98a036bb519.d: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs
+
+/root/repo/target/debug/deps/libivdss_replication-0891c98a036bb519.rmeta: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs
+
+crates/replication/src/lib.rs:
+crates/replication/src/events.rs:
+crates/replication/src/qos.rs:
+crates/replication/src/schedule.rs:
+crates/replication/src/timelines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ivdss_replication-b3f5ce743299c87e.d: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs
+
+/root/repo/target/debug/deps/libivdss_replication-b3f5ce743299c87e.rmeta: crates/replication/src/lib.rs crates/replication/src/events.rs crates/replication/src/qos.rs crates/replication/src/schedule.rs crates/replication/src/timelines.rs
+
+crates/replication/src/lib.rs:
+crates/replication/src/events.rs:
+crates/replication/src/qos.rs:
+crates/replication/src/schedule.rs:
+crates/replication/src/timelines.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ivdss_serve-2534739939851612.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/clock.rs crates/serve/src/engine.rs crates/serve/src/loadgen.rs crates/serve/src/metrics.rs
+
+/root/repo/target/debug/deps/libivdss_serve-2534739939851612.rmeta: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/clock.rs crates/serve/src/engine.rs crates/serve/src/loadgen.rs crates/serve/src/metrics.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/clock.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/loadgen.rs:
+crates/serve/src/metrics.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ivdss_simkernel-940afe90774d289a.d: crates/simkernel/src/lib.rs crates/simkernel/src/events.rs crates/simkernel/src/facility.rs crates/simkernel/src/rng.rs crates/simkernel/src/stats.rs crates/simkernel/src/time.rs
+
+/root/repo/target/debug/deps/libivdss_simkernel-940afe90774d289a.rmeta: crates/simkernel/src/lib.rs crates/simkernel/src/events.rs crates/simkernel/src/facility.rs crates/simkernel/src/rng.rs crates/simkernel/src/stats.rs crates/simkernel/src/time.rs
+
+crates/simkernel/src/lib.rs:
+crates/simkernel/src/events.rs:
+crates/simkernel/src/facility.rs:
+crates/simkernel/src/rng.rs:
+crates/simkernel/src/stats.rs:
+crates/simkernel/src/time.rs:

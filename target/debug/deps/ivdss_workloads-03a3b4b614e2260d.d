@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ivdss_workloads-03a3b4b614e2260d.d: crates/workloads/src/lib.rs crates/workloads/src/stream.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libivdss_workloads-03a3b4b614e2260d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/stream.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tpch.rs:

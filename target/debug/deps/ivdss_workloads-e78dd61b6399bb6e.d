@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ivdss_workloads-e78dd61b6399bb6e.d: crates/workloads/src/lib.rs crates/workloads/src/stream.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libivdss_workloads-e78dd61b6399bb6e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/stream.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tpch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_search-6d5ad27a45036ce4.d: crates/bench/benches/plan_search.rs
+
+/root/repo/target/debug/deps/libplan_search-6d5ad27a45036ce4.rmeta: crates/bench/benches/plan_search.rs
+
+crates/bench/benches/plan_search.rs:

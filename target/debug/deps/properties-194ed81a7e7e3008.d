@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-194ed81a7e7e3008.d: crates/costmodel/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-194ed81a7e7e3008.rmeta: crates/costmodel/tests/properties.rs
+
+crates/costmodel/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-59d3a7cd29271174.d: crates/ga/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-59d3a7cd29271174.rmeta: crates/ga/tests/properties.rs
+
+crates/ga/tests/properties.rs:

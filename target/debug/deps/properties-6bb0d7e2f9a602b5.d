@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6bb0d7e2f9a602b5.d: crates/mqo/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-6bb0d7e2f9a602b5.rmeta: crates/mqo/tests/properties.rs
+
+crates/mqo/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8773995c57544c00.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-8773995c57544c00.rmeta: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

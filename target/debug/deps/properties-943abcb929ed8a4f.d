@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-943abcb929ed8a4f.d: crates/serve/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-943abcb929ed8a4f.rmeta: crates/serve/tests/properties.rs
+
+crates/serve/tests/properties.rs:

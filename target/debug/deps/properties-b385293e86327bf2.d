@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b385293e86327bf2.d: crates/catalog/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-b385293e86327bf2.rmeta: crates/catalog/tests/properties.rs
+
+crates/catalog/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c5d34b1c49501d0a.d: crates/replication/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-c5d34b1c49501d0a.rmeta: crates/replication/tests/properties.rs
+
+crates/replication/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dc033ad36be49de9.d: crates/simkernel/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-dc033ad36be49de9.rmeta: crates/simkernel/tests/properties.rs
+
+crates/simkernel/tests/properties.rs:

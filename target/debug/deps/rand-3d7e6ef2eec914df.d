@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-3d7e6ef2eec914df.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3d7e6ef2eec914df.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_throughput-99c942f38be888d4.d: crates/bench/benches/serve_throughput.rs
+
+/root/repo/target/debug/deps/libserve_throughput-99c942f38be888d4.rmeta: crates/bench/benches/serve_throughput.rs
+
+crates/bench/benches/serve_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-e506d1e631e2c346.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/libsimulator-e506d1e631e2c346.rmeta: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_demo-b6f6b8f1adf4e9ce.d: examples/chaos_demo.rs
+
+/root/repo/target/debug/examples/libchaos_demo-b6f6b8f1adf4e9ce.rmeta: examples/chaos_demo.rs
+
+examples/chaos_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fraud_detection-1b988a4f6cccac65.d: examples/fraud_detection.rs
+
+/root/repo/target/debug/examples/libfraud_detection-1b988a4f6cccac65.rmeta: examples/fraud_detection.rs
+
+examples/fraud_detection.rs:

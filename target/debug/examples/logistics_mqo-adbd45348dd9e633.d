@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/logistics_mqo-adbd45348dd9e633.d: examples/logistics_mqo.rs
+
+/root/repo/target/debug/examples/liblogistics_mqo-adbd45348dd9e633.rmeta: examples/logistics_mqo.rs
+
+examples/logistics_mqo.rs:

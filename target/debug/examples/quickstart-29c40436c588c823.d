@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-29c40436c588c823.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-29c40436c588c823.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

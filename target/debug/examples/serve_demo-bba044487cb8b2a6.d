@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_demo-bba044487cb8b2a6.d: examples/serve_demo.rs
+
+/root/repo/target/debug/examples/libserve_demo-bba044487cb8b2a6.rmeta: examples/serve_demo.rs
+
+examples/serve_demo.rs:

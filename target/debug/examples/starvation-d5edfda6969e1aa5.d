@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/starvation-d5edfda6969e1aa5.d: examples/starvation.rs
+
+/root/repo/target/debug/examples/libstarvation-d5edfda6969e1aa5.rmeta: examples/starvation.rs
+
+examples/starvation.rs:
