@@ -1,7 +1,7 @@
 //! The TPC-H-derived schema used by the paper's evaluation.
 //!
 //! The paper uses the TPC-H benchmark data set (6 GB — scale factor 6, 22
-//! queries) and "first split[s] LineItem table into 5 partitions, therefore
+//! queries) and "first split\[s\] LineItem table into 5 partitions, therefore
 //! there are totally 12 tables", then randomly selects 5 of the 12 tables
 //! into the replication plan.
 //!

@@ -21,6 +21,12 @@
 //!   §3.1 plus an exhaustive oracle;
 //! * [`planner`] — [`planner::IvqpPlanner`] and the paper's two baselines,
 //!   [`planner::FederationPlanner`] and [`planner::WarehousePlanner`];
+//! * [`parallel`] — [`parallel::PlannerPool`] and the
+//!   [`parallel::ParallelPlanner`], which fan candidate evaluation out
+//!   over threads while choosing plans bit-identical to the sequential
+//!   search;
+//! * [`memo`] — [`memo::PhaseMemo`], memoized dominance-pruning frontiers
+//!   keyed by sync phase so repeated scatter points reuse pruned state;
 //! * [`starvation`] — the §3.3 aging adaptation for long-queued queries;
 //! * [`advisor`] — the §6 future-work data-placement advisor (greedy
 //!   replica recommendation by marginal information value).
@@ -75,6 +81,8 @@
 
 pub mod advisor;
 pub mod latency;
+pub mod memo;
+pub mod parallel;
 pub mod plan;
 pub mod planner;
 pub mod search;
@@ -83,6 +91,8 @@ pub mod value;
 
 pub use advisor::{AdvisorStep, PlacementAdvisor, Recommendation};
 pub use latency::Latencies;
+pub use memo::{MemoStats, PhaseKey, PhaseMemo};
+pub use parallel::{ParallelPlanner, PlannerPool};
 pub use plan::{
     evaluate_plan, FacilityQueues, NoQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest,
     QueueEstimator, SiteFloors,

@@ -1,0 +1,385 @@
+//! Memoized dominance-pruning frontiers keyed by sync phase.
+//!
+//! Every wave of the scatter-and-gather search ranks the same local
+//! subsets (masks over the replicated footprint) at one release time.
+//! Under a *stateless* queue estimator ([`NoQueues`]) the information
+//! value of mask `m` released at time `t` factors as
+//!
+//! ```text
+//! IV(m, t) = [BV · (1 − λ_CL)^(t − submit)] · (1 − λ_CL)^c(m) · (1 − λ_SL)^(c(m) + d(m))
+//! ```
+//!
+//! where `c(m)` is the mask's cost and `d(m)` its staleness, which
+//! depends on `t` only through the per-table *phase offsets*
+//! `t − last_sync(table, t)`. The bracketed factor is mask-independent,
+//! so **the ranking of masks is identical at every release time with the
+//! same phase offsets** — across waves of one search, across queries
+//! sharing a footprint, and across timeline revisions (the offsets, not
+//! the absolute sync times, are the key).
+//!
+//! [`PhaseMemo`] exploits this: the first fully evaluated wave at a
+//! phase records its *frontier* — the masks whose IV is within a
+//! relative [`FRONTIER_MARGIN`] of the wave winner — and later waves at
+//! the same phase evaluate only the frontier. The margin (`1e-9`)
+//! exceeds floating-point evaluation noise (`≈1e-13`) by four orders of
+//! magnitude, so no mask that could win — even on the exact-equality
+//! tie-breaks of [`is_better`] — is ever excluded: the memoized search
+//! returns the *bit-identical* plan, only its effort counters shrink.
+//! The differential suite verifies this over seeded workloads.
+//!
+//! The key deliberately omits the catalog, the cost model and the
+//! business value: the first two are assumed fixed for the lifetime of a
+//! memo (do not share one across differently configured engines, same
+//! as [`PlanCache`]), and business value scales every mask equally. The
+//! factorization argument **does not hold** for stateful queue
+//! estimators (`FacilityQueues`, `SiteFloors`), whose delays depend on
+//! absolute time — callers must not pass a memo alongside those.
+//!
+//! [`NoQueues`]: crate::plan::NoQueues
+//! [`is_better`]: crate::search::is_better
+//! [`PlanCache`]: https://docs.rs/ivdss-serve
+//!
+//! # Examples
+//!
+//! ```
+//! use ivdss_core::memo::PhaseMemo;
+//!
+//! let memo = PhaseMemo::new();
+//! assert!(memo.is_empty());
+//! assert_eq!(memo.stats().hits, 0);
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use ivdss_catalog::ids::TableId;
+use ivdss_simkernel::time::SimTime;
+
+use crate::plan::{PlanContext, QueryRequest};
+
+/// Relative slack below the wave winner's IV that keeps a mask in the
+/// recorded frontier. Large enough to dominate `powf` evaluation noise
+/// (`≈1e-13` relative), small enough to prune aggressively.
+pub const FRONTIER_MARGIN: f64 = 1e-9;
+
+/// Default bound on live memo entries.
+pub const DEFAULT_MEMO_CAPACITY: usize = 4096;
+
+/// Everything the *ranking* of local subsets at one wave depends on
+/// (given a fixed catalog and cost model): the footprint, the cost
+/// profile, the discount rates, and the per-table sync-phase offsets.
+///
+/// Unlike the serving plan cache — which keys absolute last-sync times
+/// to identify an inter-sync window — the memo keys the *offsets*
+/// `wave − last_sync`, so a wave ten cycles later (or on a revised
+/// timeline) at the same phase reuses the frontier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PhaseKey {
+    /// Sorted query footprint.
+    footprint: Vec<TableId>,
+    /// `(weight, selectivity)` bit patterns of the cost profile.
+    profile: (u64, u64),
+    /// `(λ_CL, λ_SL)` bit patterns.
+    rates: (u64, u64),
+    /// Bit pattern of `wave − last_sync` per replicated footprint table
+    /// (sorted by table). A never-synced replica contributes
+    /// `wave − 0`, matching how plan evaluation stamps it.
+    offsets: Vec<u64>,
+}
+
+impl PhaseKey {
+    /// Builds the phase key of the wave releasing `request`'s candidates
+    /// at `wave` under `ctx`.
+    ///
+    /// `replicated` must be the replicated footprint of the request (as
+    /// computed by [`replicated_footprint`]); it is passed in because
+    /// the search already has it.
+    ///
+    /// [`replicated_footprint`]: crate::search::replicated_footprint
+    #[must_use]
+    pub fn for_wave(
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        replicated: &[TableId],
+        wave: SimTime,
+    ) -> Self {
+        let offsets = replicated
+            .iter()
+            .map(|&t| {
+                let last = ctx.timelines.last_sync(t, wave).unwrap_or(SimTime::ZERO);
+                (wave - last).value().to_bits()
+            })
+            .collect();
+        PhaseKey {
+            footprint: request.query.tables().to_vec(),
+            profile: (
+                request.query.weight().to_bits(),
+                request.query.selectivity().to_bits(),
+            ),
+            rates: (ctx.rates.cl.rate().to_bits(), ctx.rates.sl.rate().to_bits()),
+            offsets,
+        }
+    }
+}
+
+/// Counters exposed by [`PhaseMemo::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Waves answered from a recorded frontier.
+    pub hits: u64,
+    /// Waves that had to evaluate every subset.
+    pub misses: u64,
+    /// Live frontier entries.
+    pub entries: usize,
+}
+
+#[derive(Debug, Default)]
+struct MemoInner {
+    frontiers: HashMap<PhaseKey, Vec<usize>>,
+    insertion_order: VecDeque<PhaseKey>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A bounded, thread-safe store of dominance-pruning frontiers keyed by
+/// sync phase (see the [module docs](self) for the exactness argument
+/// and the stateless-queues precondition).
+///
+/// Shared by reference across searches — typically one memo per serving
+/// engine or batch evaluator, wrapped in an `Arc` alongside the
+/// [`PlannerPool`](crate::parallel::PlannerPool).
+#[derive(Debug)]
+pub struct PhaseMemo {
+    inner: Mutex<MemoInner>,
+    capacity: usize,
+}
+
+impl Default for PhaseMemo {
+    fn default() -> Self {
+        PhaseMemo::new()
+    }
+}
+
+impl PhaseMemo {
+    /// Creates a memo bounded at [`DEFAULT_MEMO_CAPACITY`] entries.
+    #[must_use]
+    pub fn new() -> Self {
+        PhaseMemo::with_capacity(DEFAULT_MEMO_CAPACITY)
+    }
+
+    /// Creates a memo holding at most `capacity` frontiers (FIFO
+    /// eviction beyond that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "memo capacity must be positive");
+        PhaseMemo {
+            inner: Mutex::new(MemoInner::default()),
+            capacity,
+        }
+    }
+
+    /// Hit/miss/occupancy counters.
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        let inner = self.lock();
+        MemoStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.frontiers.len(),
+        }
+    }
+
+    /// Live frontier entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().frontiers.len()
+    }
+
+    /// `true` if no frontier has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().frontiers.is_empty()
+    }
+
+    /// Drops every recorded frontier (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.frontiers.clear();
+        inner.insertion_order.clear();
+    }
+
+    /// The recorded frontier for `key` — subset indices into the
+    /// `local_subsets` enumeration, ascending, never including the
+    /// all-remote index 0 — counting the probe as a hit or miss.
+    pub(crate) fn lookup(&self, key: &PhaseKey) -> Option<Vec<usize>> {
+        let mut inner = self.lock();
+        match inner.frontiers.get(key) {
+            Some(frontier) => {
+                let frontier = frontier.clone();
+                inner.hits += 1;
+                Some(frontier)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records the frontier computed from a fully evaluated wave. A
+    /// concurrent duplicate insertion is harmless (both writers derive
+    /// the frontier from identical evaluations).
+    pub(crate) fn record(&self, key: PhaseKey, frontier: Vec<usize>) {
+        let mut inner = self.lock();
+        if inner.frontiers.contains_key(&key) {
+            return;
+        }
+        while inner.frontiers.len() >= self.capacity {
+            match inner.insertion_order.pop_front() {
+                Some(oldest) => {
+                    inner.frontiers.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        inner.insertion_order.push_back(key.clone());
+        inner.frontiers.insert(key, frontier);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemoInner> {
+        // A worker holding the lock only clones a small Vec; poisoning
+        // can only result from a panic mid-clone, which aborts the
+        // search anyway.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::NoQueues;
+    use crate::search::replicated_footprint;
+    use crate::value::DiscountRates;
+    use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+    use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+    use ivdss_costmodel::model::StylizedCostModel;
+    use ivdss_costmodel::query::{QueryId, QuerySpec};
+    use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+
+    fn fixture() -> (ivdss_catalog::catalog::Catalog, SyncTimelines) {
+        let base = synthetic_catalog(&SyntheticConfig {
+            tables: 4,
+            sites: 2,
+            replicated_tables: 0,
+            seed: 1,
+            ..SyntheticConfig::default()
+        })
+        .unwrap();
+        let mut plan = ReplicationPlan::new();
+        plan.add(TableId::new(0), ReplicaSpec::new(10.0));
+        plan.add(TableId::new(1), ReplicaSpec::new(4.0));
+        let catalog = base.with_replication(plan).unwrap();
+        let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+        (catalog, timelines)
+    }
+
+    #[test]
+    fn keys_match_at_equal_phase_offsets() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = PlanContext {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::paper_fig4(),
+            queues: &NoQueues,
+        };
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![TableId::new(0), TableId::new(1)]),
+            SimTime::ZERO,
+        );
+        let replicated = replicated_footprint(&ctx, &req);
+        // t=21 and t=41: both one unit past a joint sync phase (t0 last
+        // synced at 20/40, t1 at 20/40) — identical offsets.
+        let a = PhaseKey::for_wave(&ctx, &req, &replicated, SimTime::new(21.0));
+        let b = PhaseKey::for_wave(&ctx, &req, &replicated, SimTime::new(41.0));
+        assert_eq!(a, b);
+        // t=25 has different offsets (t0 last 20 → 5; t1 last 24 → 1).
+        let c = PhaseKey::for_wave(&ctx, &req, &replicated, SimTime::new(25.0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lookup_and_record_round_trip_with_stats() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = PlanContext {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::paper_fig4(),
+            queues: &NoQueues,
+        };
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![TableId::new(0)]),
+            SimTime::ZERO,
+        );
+        let replicated = replicated_footprint(&ctx, &req);
+        let key = PhaseKey::for_wave(&ctx, &req, &replicated, SimTime::new(3.0));
+
+        let memo = PhaseMemo::new();
+        assert_eq!(memo.lookup(&key), None);
+        memo.record(key.clone(), vec![1, 3]);
+        assert_eq!(memo.lookup(&key), Some(vec![1, 3]));
+        // Duplicate records keep the original frontier.
+        memo.record(key.clone(), vec![2]);
+        assert_eq!(memo.lookup(&key), Some(vec![1, 3]));
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+        assert_eq!(memo.len(), 1);
+        memo.clear();
+        assert!(memo.is_empty());
+        assert_eq!(memo.lookup(&key), None);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = PlanContext {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::paper_fig4(),
+            queues: &NoQueues,
+        };
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![TableId::new(0)]),
+            SimTime::ZERO,
+        );
+        let replicated = replicated_footprint(&ctx, &req);
+        let memo = PhaseMemo::with_capacity(2);
+        let keys: Vec<PhaseKey> = [0.5, 1.5, 2.5]
+            .iter()
+            .map(|&dt| PhaseKey::for_wave(&ctx, &req, &replicated, SimTime::new(dt)))
+            .collect();
+        for key in &keys {
+            memo.record(key.clone(), vec![1]);
+        }
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.lookup(&keys[0]), None, "oldest entry evicted");
+        assert!(memo.lookup(&keys[2]).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = PhaseMemo::with_capacity(0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Parallel plan selection.
+//!
+//! The scatter-and-gather search of §3.1 evaluates many *independent*
+//! candidate plans — one per (release time, local subset) pair — and the
+//! batch paths above it (MQO order evaluation, serve-engine dispatch)
+//! plan many independent queries. This module provides the two pieces
+//! that exploit that independence without giving up determinism:
+//!
+//! * [`PlannerPool`] — a configurable fork-join helper over OS threads
+//!   (`std::thread::scope`; the workspace vendors no external thread-pool
+//!   crate). Results are always gathered **in index order**, so any
+//!   reduction over them is independent of scheduling.
+//! * [`ParallelPlanner`] — an IVQP planner that runs the
+//!   scatter-and-gather search with candidate evaluation fanned out over
+//!   the pool, optionally reusing memoized pruning frontiers
+//!   ([`PhaseMemo`]). Its chosen plan is **bit-identical** to
+//!   [`ScatterGatherSearch`]'s on every input — verified by the
+//!   `parallel_differential` suite — because the reduction replays the
+//!   sequential boundary-pruning logic over the speculatively evaluated
+//!   candidates.
+//!
+//! One pool is meant to be shared: build an `Arc<PlannerPool>` once,
+//! hand clones to the serve engine, the MQO evaluator and the benches.
+//! A pool with `threads == 1` degrades to plain inline evaluation with
+//! zero threading overhead, so parallel-capable call sites need no
+//! special-casing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ivdss_simkernel::time::SimTime;
+
+use crate::memo::PhaseMemo;
+use crate::plan::{PlanContext, PlanError, PlanEvaluation, QueryRequest};
+use crate::planner::Planner;
+use crate::search::{ScatterGatherSearch, SearchOutcome};
+
+/// Below this many independent tasks a parallel region runs inline:
+/// spawning a thread costs far more than evaluating a handful of
+/// candidate plans.
+pub const MIN_TASKS_PER_THREAD: usize = 8;
+
+/// A deterministic fork-join pool over OS threads.
+///
+/// `run_indexed(n, f)` applies `f` to every index in `0..n` — possibly
+/// from several worker threads — and returns the results **in index
+/// order**. Determinism therefore holds by construction: callers fold
+/// over the returned `Vec` exactly as a sequential loop would.
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_core::parallel::PlannerPool;
+///
+/// let pool = PlannerPool::new(4);
+/// let squares = pool.run_indexed(100, |i| i * i);
+/// assert_eq!(squares[7], 49);
+/// // A 1-thread pool produces the same answers with zero threading.
+/// assert_eq!(PlannerPool::sequential().run_indexed(100, |i| i * i), squares);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannerPool {
+    threads: usize,
+}
+
+impl Default for PlannerPool {
+    fn default() -> Self {
+        PlannerPool::sequential()
+    }
+}
+
+impl PlannerPool {
+    /// Creates a pool that fans work out over up to `threads` OS threads
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        PlannerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool that runs everything inline on the calling thread.
+    #[must_use]
+    pub fn sequential() -> Self {
+        PlannerPool { threads: 1 }
+    }
+
+    /// A pool sized to the host's available parallelism (1 if unknown).
+    #[must_use]
+    pub fn host_sized() -> Self {
+        PlannerPool::new(std::thread::available_parallelism().map_or(1, usize::from))
+    }
+
+    /// The configured thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` if this pool runs everything inline.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Applies `f` to every index in `0..n`, returning results in index
+    /// order. Small inputs (fewer than [`MIN_TASKS_PER_THREAD`] tasks per
+    /// worker) run inline.
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(n / MIN_TASKS_PER_THREAD.max(1));
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut produced = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            produced.push((i, f(i)));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, r) in handle.join().expect("planner pool worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index produced"))
+            .collect()
+    }
+
+    /// Like [`PlannerPool::run_indexed`] for fallible tasks: returns the
+    /// first error by index order, or all results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error of the lowest-indexed failing task (the same
+    /// one a sequential loop would have surfaced first... with the
+    /// difference that later tasks may already have run).
+    pub fn try_run_indexed<R, E, F>(&self, n: usize, f: F) -> Result<Vec<R>, E>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(usize) -> Result<R, E> + Sync,
+    {
+        let mut out = Vec::with_capacity(n);
+        for result in self.run_indexed(n, f) {
+            out.push(result?);
+        }
+        Ok(out)
+    }
+}
+
+/// An IVQP planner that evaluates candidates through a [`PlannerPool`]
+/// and (optionally) a shared [`PhaseMemo`], choosing plans bit-identical
+/// to the sequential [`ScatterGatherSearch`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use ivdss_catalog::ids::TableId;
+/// use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+/// use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+/// use ivdss_core::parallel::{ParallelPlanner, PlannerPool};
+/// use ivdss_core::plan::{NoQueues, PlanContext, QueryRequest};
+/// use ivdss_core::planner::{IvqpPlanner, Planner};
+/// use ivdss_core::value::DiscountRates;
+/// use ivdss_costmodel::model::StylizedCostModel;
+/// use ivdss_costmodel::query::{QueryId, QuerySpec};
+/// use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+/// use ivdss_simkernel::time::SimTime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let base = synthetic_catalog(&SyntheticConfig {
+///     tables: 4, sites: 2, replicated_tables: 0, ..SyntheticConfig::default()
+/// })?;
+/// let mut plan = ReplicationPlan::new();
+/// plan.add(TableId::new(0), ReplicaSpec::new(8.0));
+/// plan.add(TableId::new(1), ReplicaSpec::new(2.0));
+/// let catalog = base.with_replication(plan)?;
+/// let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+/// let model = StylizedCostModel::paper_fig4();
+/// let ctx = PlanContext {
+///     catalog: &catalog,
+///     timelines: &timelines,
+///     model: &model,
+///     rates: DiscountRates::new(0.01, 0.05),
+///     queues: &NoQueues,
+/// };
+/// let request = QueryRequest::new(
+///     QuerySpec::new(QueryId::new(1), vec![TableId::new(0), TableId::new(1)]),
+///     SimTime::new(11.0),
+/// );
+///
+/// let parallel = ParallelPlanner::new(Arc::new(PlannerPool::new(4)));
+/// let chosen = parallel.select_plan(&ctx, &request)?;
+/// // Plan-identical to the sequential planner, bit for bit.
+/// assert_eq!(chosen, IvqpPlanner::new().select_plan(&ctx, &request)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelPlanner {
+    search: ScatterGatherSearch,
+    pool: Arc<PlannerPool>,
+}
+
+impl ParallelPlanner {
+    /// Creates a planner over `pool` with the default search settings.
+    #[must_use]
+    pub fn new(pool: Arc<PlannerPool>) -> Self {
+        ParallelPlanner {
+            search: ScatterGatherSearch::new(),
+            pool,
+        }
+    }
+
+    /// Creates a planner over `pool` with a custom search.
+    #[must_use]
+    pub fn with_search(search: ScatterGatherSearch, pool: Arc<PlannerPool>) -> Self {
+        ParallelPlanner { search, pool }
+    }
+
+    /// The shared pool.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<PlannerPool> {
+        &self.pool
+    }
+
+    /// Runs the full search in parallel. The outcome — plan, counters and
+    /// boundary — equals [`ScatterGatherSearch::search`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    pub fn search(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+    ) -> Result<SearchOutcome, PlanError> {
+        self.search
+            .search_from_with(ctx, request, request.submitted_at, &self.pool, None)
+    }
+
+    /// Parallel analogue of [`ScatterGatherSearch::search_from`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    pub fn search_from(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+    ) -> Result<SearchOutcome, PlanError> {
+        self.search
+            .search_from_with(ctx, request, not_before, &self.pool, None)
+    }
+
+    /// Parallel search that consults (and feeds) `memo`'s pruning
+    /// frontiers. The chosen plan is still bit-identical to the
+    /// sequential search; only the effort counters shrink. The caller
+    /// must guarantee the memo-safety conditions of [`PhaseMemo`] —
+    /// chiefly a stateless queue estimator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    pub fn search_memoized(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+        memo: &PhaseMemo,
+    ) -> Result<SearchOutcome, PlanError> {
+        self.search
+            .search_from_with(ctx, request, not_before, &self.pool, Some(memo))
+    }
+
+    /// Plans a batch of independent queries, one search per query, fanned
+    /// out over the pool (each individual search runs sequentially —
+    /// query-level parallelism already saturates the workers). Results
+    /// are in input order and identical to planning each query alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input order) planning error.
+    pub fn plan_batch(
+        &self,
+        ctx: &PlanContext<'_>,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<PlanEvaluation>, PlanError> {
+        self.pool.try_run_indexed(requests.len(), |i| {
+            Ok(self.search.search(ctx, &requests[i])?.best)
+        })
+    }
+
+    /// Like [`ParallelPlanner::plan_batch`], reusing `memo` frontiers
+    /// across the whole batch (queries sharing footprints and sync phases
+    /// prune each other's searches).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input order) planning error.
+    pub fn plan_batch_memoized(
+        &self,
+        ctx: &PlanContext<'_>,
+        requests: &[QueryRequest],
+        memo: &PhaseMemo,
+    ) -> Result<Vec<PlanEvaluation>, PlanError> {
+        let sequential = PlannerPool::sequential();
+        self.pool.try_run_indexed(requests.len(), |i| {
+            Ok(self
+                .search
+                .search_from_with(
+                    ctx,
+                    &requests[i],
+                    requests[i].submitted_at,
+                    &sequential,
+                    Some(memo),
+                )?
+                .best)
+        })
+    }
+}
+
+impl Planner for ParallelPlanner {
+    fn name(&self) -> &str {
+        "IVQP (parallel)"
+    }
+
+    fn select_plan(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+    ) -> Result<PlanEvaluation, PlanError> {
+        Ok(self.search(ctx, request)?.best)
+    }
+
+    fn select_plan_from(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+    ) -> Result<PlanEvaluation, PlanError> {
+        Ok(self.search_from(ctx, request, not_before)?.best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::NoQueues;
+    use crate::planner::IvqpPlanner;
+    use crate::value::DiscountRates;
+    use ivdss_catalog::ids::TableId;
+    use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+    use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+    use ivdss_costmodel::model::StylizedCostModel;
+    use ivdss_costmodel::query::{QueryId, QuerySpec};
+    use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+
+    #[test]
+    fn run_indexed_orders_results() {
+        for threads in [1, 2, 4, 8] {
+            let pool = PlannerPool::new(threads);
+            let out = pool.run_indexed(100, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_indexed_empty_and_tiny() {
+        let pool = PlannerPool::new(8);
+        assert!(pool.run_indexed(0, |i| i).is_empty());
+        assert_eq!(pool.run_indexed(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn try_run_indexed_reports_first_error() {
+        let pool = PlannerPool::new(4);
+        let err = pool
+            .try_run_indexed(64, |i| if i % 10 == 7 { Err(i) } else { Ok(i) })
+            .unwrap_err();
+        assert_eq!(err, 7);
+        let ok = pool.try_run_indexed(16, Ok::<usize, usize>).unwrap();
+        assert_eq!(ok.len(), 16);
+    }
+
+    #[test]
+    fn pool_clamps_to_one_thread() {
+        assert_eq!(PlannerPool::new(0).threads(), 1);
+        assert!(PlannerPool::sequential().is_sequential());
+        assert!(PlannerPool::host_sized().threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_planner_matches_sequential() {
+        let base = synthetic_catalog(&SyntheticConfig {
+            tables: 8,
+            sites: 3,
+            replicated_tables: 0,
+            seed: 9,
+            ..SyntheticConfig::default()
+        })
+        .unwrap();
+        let mut plan = ReplicationPlan::new();
+        for i in 0..5u32 {
+            plan.add(TableId::new(i), ReplicaSpec::new(3.0 + f64::from(i)));
+        }
+        let catalog = base.with_replication(plan).unwrap();
+        let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = PlanContext {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::new(0.02, 0.08),
+            queues: &NoQueues,
+        };
+        let requests: Vec<QueryRequest> = (0..6u32)
+            .map(|q| {
+                QueryRequest::new(
+                    QuerySpec::new(
+                        QueryId::new(u64::from(q)),
+                        (0..5).map(|i| TableId::new((q + i) % 8)).collect(),
+                    ),
+                    SimTime::new(7.0 + f64::from(q)),
+                )
+            })
+            .collect();
+
+        let parallel = ParallelPlanner::new(Arc::new(PlannerPool::new(4)));
+        let sequential = IvqpPlanner::new();
+        let batch = parallel.plan_batch(&ctx, &requests).unwrap();
+        for (request, got) in requests.iter().zip(&batch) {
+            let expect = sequential.search(&ctx, request).unwrap();
+            assert_eq!(*got, expect.best);
+            let outcome = parallel.search(&ctx, request).unwrap();
+            assert_eq!(outcome, expect, "full outcome must match bit for bit");
+        }
+    }
+}

@@ -72,7 +72,12 @@ impl QueryRequest {
 /// use [`NoQueues`]. The delay depends on the amount of work (`service`)
 /// because reservation calendars backfill: a short job may fit an idle gap
 /// a long job cannot.
-pub trait QueueEstimator {
+///
+/// The `Send + Sync` supertraits let planners probe queue state from
+/// worker threads ([`crate::parallel::PlannerPool`]); estimators are
+/// consulted immutably during a search, so implementations built from
+/// plain data satisfy them automatically.
+pub trait QueueEstimator: Send + Sync {
     /// Queuing delay at the local federation server for `service` worth of
     /// work released at `at`.
     fn local_delay(&self, at: SimTime, service: SimDuration) -> SimDuration;

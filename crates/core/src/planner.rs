@@ -54,6 +54,52 @@ pub trait Planner {
 
 /// The paper's proposed planner: maximize information value over
 /// local/remote combinations and delayed release times.
+///
+/// # Examples
+///
+/// IVQP never does worse than either baseline on the same context —
+/// it can always pick the all-remote or all-local candidate itself:
+///
+/// ```
+/// use ivdss_catalog::ids::TableId;
+/// use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+/// use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+/// use ivdss_core::plan::{NoQueues, PlanContext, QueryRequest};
+/// use ivdss_core::planner::{FederationPlanner, IvqpPlanner, Planner};
+/// use ivdss_core::value::DiscountRates;
+/// use ivdss_costmodel::model::StylizedCostModel;
+/// use ivdss_costmodel::query::{QueryId, QuerySpec};
+/// use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+/// use ivdss_simkernel::time::SimTime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let base = synthetic_catalog(&SyntheticConfig {
+///     tables: 4, sites: 2, replicated_tables: 0, ..SyntheticConfig::default()
+/// })?;
+/// let mut plan = ReplicationPlan::new();
+/// plan.add(TableId::new(0), ReplicaSpec::new(8.0));
+/// plan.add(TableId::new(1), ReplicaSpec::new(2.0));
+/// let catalog = base.with_replication(plan)?;
+/// let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+/// let model = StylizedCostModel::paper_fig4();
+/// let ctx = PlanContext {
+///     catalog: &catalog,
+///     timelines: &timelines,
+///     model: &model,
+///     rates: DiscountRates::new(0.01, 0.05),
+///     queues: &NoQueues,
+/// };
+/// let request = QueryRequest::new(
+///     QuerySpec::new(QueryId::new(1), vec![TableId::new(0), TableId::new(1)]),
+///     SimTime::new(11.0),
+/// );
+///
+/// let ivqp = IvqpPlanner::new().select_plan(&ctx, &request)?;
+/// let federation = FederationPlanner::new().select_plan(&ctx, &request)?;
+/// assert!(ivqp.information_value >= federation.information_value);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IvqpPlanner {
     search: ScatterGatherSearch,

@@ -29,6 +29,8 @@ use std::collections::BTreeSet;
 use ivdss_catalog::ids::TableId;
 use ivdss_simkernel::time::SimTime;
 
+use crate::memo::{PhaseKey, PhaseMemo, FRONTIER_MARGIN};
+use crate::parallel::PlannerPool;
 use crate::plan::{evaluate_plan, PlanContext, PlanError, PlanEvaluation, QueryRequest};
 
 /// Hard cap on gather iterations, protecting against unbounded searches
@@ -153,6 +155,172 @@ impl ScatterGatherSearch {
                 explored += 1;
                 if is_better(&eval, Some(&best)) {
                     best = eval;
+                    boundary = self.boundary_for(ctx, request, &best);
+                }
+            }
+        }
+
+        Ok(SearchOutcome {
+            best,
+            plans_explored: explored,
+            sync_points_visited: visited,
+            boundary,
+        })
+    }
+
+    /// Parallel, optionally memoized variant of
+    /// [`ScatterGatherSearch::search_from`]. The returned outcome is
+    /// **bit-identical** to the sequential search; with a memo the effort
+    /// counters (`plans_explored`, and hence what a pruning ablation
+    /// measures) shrink but the chosen plan and boundary do not change.
+    ///
+    /// The strategy is *speculative but exact*:
+    ///
+    /// 1. scatter — every local subset (or the memoized frontier for this
+    ///    phase) is evaluated at the release time in one parallel region;
+    /// 2. the gather waves are enumerated against the *scatter* boundary,
+    ///    a superset of what the sequential search visits (the boundary
+    ///    only ever tightens), and all their candidates are evaluated in
+    ///    a second parallel region;
+    /// 3. the sequential boundary-pruning loop is replayed over the
+    ///    precomputed evaluations in the exact sequential order, so the
+    ///    incumbent/boundary trajectory — including every tie-break of
+    ///    [`is_better`] — is reproduced.
+    ///
+    /// `memo` is only sound under a *stateless* queue estimator (see
+    /// [`PhaseMemo`]); pass `None` when the context carries live queue
+    /// state or site floors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation. Errors surface in
+    /// sequential order (lowest wave, then lowest subset), though later
+    /// candidates may already have been evaluated speculatively.
+    pub fn search_from_with(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+        pool: &PlannerPool,
+        memo: Option<&PhaseMemo>,
+    ) -> Result<SearchOutcome, PlanError> {
+        if pool.is_sequential() && memo.is_none() {
+            return self.search_from(ctx, request, not_before);
+        }
+        let submit = request.submitted_at.max(not_before);
+        let replicated = replicated_footprint(ctx, request);
+        let subsets = local_subsets(&replicated);
+        let n_masks = subsets.len();
+
+        // Scatter: all subsets — or the memoized frontier plus the
+        // all-remote subset, which only ever competes at release-now.
+        let scatter_key = memo.map(|_| PhaseKey::for_wave(ctx, request, &replicated, submit));
+        let scatter_frontier = match (memo, &scatter_key) {
+            (Some(memo), Some(key)) => memo.lookup(key),
+            _ => None,
+        };
+        let scatter_masks: Vec<usize> = match &scatter_frontier {
+            Some(frontier) => std::iter::once(0).chain(frontier.iter().copied()).collect(),
+            None => (0..n_masks).collect(),
+        };
+        let scatter_evals = pool.try_run_indexed(scatter_masks.len(), |i| {
+            evaluate_plan(ctx, request, submit, &subsets[scatter_masks[i]])
+        })?;
+        let mut explored = scatter_evals.len();
+        let mut best = None;
+        for eval in &scatter_evals {
+            if is_better(eval, best.as_ref()) {
+                best = Some(eval.clone());
+            }
+        }
+        let mut best = best.expect("at least the all-remote plan exists");
+        let mut boundary = self.boundary_for(ctx, request, &best);
+        if scatter_frontier.is_none() && n_masks > 1 {
+            if let (Some(memo), Some(key)) = (memo, scatter_key) {
+                memo.record(key, frontier_of(&scatter_masks[1..], &scatter_evals[1..]));
+            }
+        }
+
+        // Enumerate the gather waves against the scatter boundary — a
+        // superset of the sequential visit, since later improvements only
+        // tighten it.
+        let mut wave_times: Vec<SimTime> = Vec::new();
+        let mut cursor = submit;
+        while wave_times.len() < self.max_sync_points {
+            let Some((_, next_sync)) = ctx.timelines.next_sync_among(&replicated, cursor) else {
+                break;
+            };
+            if next_sync > boundary {
+                break;
+            }
+            wave_times.push(next_sync);
+            cursor = next_sync;
+        }
+
+        // Candidate subsets per wave: the memoized frontier where one is
+        // recorded, every non-empty subset otherwise (a `Some` key marks
+        // a miss whose frontier gets recorded below).
+        let mut wave_keys: Vec<Option<PhaseKey>> = Vec::with_capacity(wave_times.len());
+        let wave_masks: Vec<Vec<usize>> = wave_times
+            .iter()
+            .map(|&at| {
+                let Some(memo) = memo else {
+                    wave_keys.push(None);
+                    return (1..n_masks).collect();
+                };
+                let key = PhaseKey::for_wave(ctx, request, &replicated, at);
+                match memo.lookup(&key) {
+                    Some(frontier) => {
+                        wave_keys.push(None);
+                        frontier
+                    }
+                    None => {
+                        wave_keys.push(Some(key));
+                        (1..n_masks).collect()
+                    }
+                }
+            })
+            .collect();
+        let tasks: Vec<(usize, usize)> = wave_masks
+            .iter()
+            .enumerate()
+            .flat_map(|(w, masks)| masks.iter().map(move |&m| (w, m)))
+            .collect();
+        let evals = pool.try_run_indexed(tasks.len(), |i| {
+            let (w, m) = tasks[i];
+            evaluate_plan(ctx, request, wave_times[w], &subsets[m])
+        })?;
+
+        // Record frontiers of the fully evaluated (miss) waves — valid
+        // whether or not the replay below reaches them.
+        if let Some(memo) = memo {
+            let mut offset = 0usize;
+            for (w, masks) in wave_masks.iter().enumerate() {
+                let slice = &evals[offset..offset + masks.len()];
+                offset += masks.len();
+                if let Some(key) = wave_keys[w].take() {
+                    if !masks.is_empty() {
+                        memo.record(key, frontier_of(masks, slice));
+                    }
+                }
+            }
+        }
+
+        // Replay the sequential gather over the precomputed evaluations.
+        let mut visited = 0usize;
+        let mut offset = 0usize;
+        for (w, &at) in wave_times.iter().enumerate() {
+            let masks = &wave_masks[w];
+            let slice = &evals[offset..offset + masks.len()];
+            offset += masks.len();
+            if at > boundary {
+                break;
+            }
+            visited += 1;
+            for eval in slice {
+                explored += 1;
+                if is_better(eval, Some(&best)) {
+                    best = eval.clone();
                     boundary = self.boundary_for(ctx, request, &best);
                 }
             }
@@ -292,6 +460,24 @@ pub fn is_better(candidate: &PlanEvaluation, incumbent: Option<&PlanEvaluation>)
         return candidate.finish < inc.finish;
     }
     candidate.local_tables.len() > inc.local_tables.len()
+}
+
+/// The masks whose IV is within a relative [`FRONTIER_MARGIN`] of the
+/// wave winner — every potential winner at any other wave with the same
+/// phase offsets (see [`PhaseMemo`] for the argument). `masks` and
+/// `evals` are aligned; masks ascending in, ascending out.
+fn frontier_of(masks: &[usize], evals: &[PlanEvaluation]) -> Vec<usize> {
+    let winner = evals
+        .iter()
+        .map(|e| e.information_value.value())
+        .fold(0.0f64, f64::max);
+    let threshold = winner * (1.0 - FRONTIER_MARGIN);
+    masks
+        .iter()
+        .zip(evals)
+        .filter(|(_, eval)| eval.information_value.value() >= threshold)
+        .map(|(&mask, _)| mask)
+        .collect()
 }
 
 #[cfg(test)]
@@ -462,6 +648,69 @@ mod tests {
         let search = ScatterGatherSearch::with_max_sync_points(5);
         let sg = search.search(&ctx, &req).unwrap();
         assert!(sg.sync_points_visited <= 5);
+    }
+
+    #[test]
+    fn parallel_outcome_is_bit_identical_without_memo() {
+        let (catalog, timelines) = fixture(&[(0, 8.0), (1, 2.0), (2, 5.0)]);
+        let model = StylizedCostModel::paper_fig4();
+        let search = ScatterGatherSearch::new();
+        for threads in [1, 2, 4] {
+            let pool = PlannerPool::new(threads);
+            for (lcl, lsl) in [(0.1, 0.1), (0.01, 0.05), (0.0, 0.1)] {
+                let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(lcl, lsl));
+                for submit in [0.0, 3.5, 11.0, 40.0] {
+                    let req = QueryRequest::new(
+                        QuerySpec::new(QueryId::new(0), vec![t(0), t(1), t(2), t(3)]),
+                        SimTime::new(submit),
+                    );
+                    let seq = search.search(&ctx, &req).unwrap();
+                    let par = search
+                        .search_from_with(&ctx, &req, req.submitted_at, &pool, None)
+                        .unwrap();
+                    assert_eq!(par, seq, "threads={threads} λcl={lcl} submit={submit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_search_keeps_plan_and_cuts_effort() {
+        let (catalog, timelines) = fixture(&[(0, 8.0), (1, 2.0), (2, 4.0)]);
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(0.02, 0.08));
+        let search = ScatterGatherSearch::new();
+        let pool = PlannerPool::sequential();
+        let memo = crate::memo::PhaseMemo::new();
+        // The same phase recurs every lcm(8,2,4)=8 time units: the second
+        // pass over the phase-equivalent submissions hits the memo.
+        let mut cold = 0usize;
+        let mut warm = 0usize;
+        for round in 0..2 {
+            for submit in [1.0, 9.0, 17.0, 25.0] {
+                let req = QueryRequest::new(
+                    QuerySpec::new(QueryId::new(0), vec![t(0), t(1), t(2)]),
+                    SimTime::new(submit),
+                );
+                let seq = search.search(&ctx, &req).unwrap();
+                let memoized = search
+                    .search_from_with(&ctx, &req, req.submitted_at, &pool, Some(&memo))
+                    .unwrap();
+                assert_eq!(memoized.best, seq.best, "submit={submit}");
+                assert_eq!(memoized.boundary, seq.boundary);
+                assert_eq!(memoized.sync_points_visited, seq.sync_points_visited);
+                if round == 0 && submit == 1.0 {
+                    cold = memoized.plans_explored;
+                } else {
+                    warm = memoized.plans_explored;
+                }
+            }
+        }
+        assert!(memo.stats().hits > 0, "phase-equivalent waves must hit");
+        assert!(
+            warm < cold,
+            "frontier reuse must cut effort ({warm} vs {cold})"
+        );
     }
 
     #[test]

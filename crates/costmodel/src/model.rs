@@ -76,7 +76,12 @@ impl PlanCost {
 ///
 /// `remote` must be a subset of the query's footprint; tables in the
 /// footprint but not in `remote` are read from local replicas.
-pub trait CostModel {
+///
+/// The `Send + Sync` supertraits let planners evaluate candidate plans
+/// from worker threads (`ivdss-core`'s `PlannerPool`); cost models are
+/// consulted immutably during a search, so any model built from plain
+/// data satisfies them automatically.
+pub trait CostModel: Send + Sync {
     /// Estimates the cost of evaluating `query` with `remote` read at
     /// remote sites and the rest locally.
     ///

@@ -57,7 +57,8 @@ pub struct Fig5Cell {
     pub ratio_label: String,
     /// The discount-config label.
     pub rates_label: &'static str,
-    /// Mean information value per method, in [`Method::ALL`] order.
+    /// Mean information value per method, in
+    /// [`Method::ALL`](crate::experiments::Method::ALL) order.
     pub mean_iv: [f64; 3],
 }
 

@@ -44,7 +44,7 @@ impl Default for Fig67Config {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Results {
     /// `per_query[q][m]` = mean CL of query `q+1` under method `m`
-    /// ([`Method::ALL`] order).
+    /// ([`Method::ALL`](crate::experiments::Method::ALL) order).
     pub per_query: Vec<[f64; 3]>,
 }
 

@@ -12,8 +12,11 @@
 //! queueing the earlier ones induce. The total information value of the
 //! order is the GA's fitness.
 
+use std::sync::Arc;
+
 use ivdss_catalog::catalog::Catalog;
 use ivdss_catalog::ids::TableId;
+use ivdss_core::parallel::PlannerPool;
 use ivdss_core::plan::{FacilityQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest};
 use ivdss_core::planner::IvqpPlanner;
 use ivdss_core::value::DiscountRates;
@@ -61,6 +64,7 @@ pub struct WorkloadEvaluator<'a> {
     rates: DiscountRates,
     requests: &'a [QueryRequest],
     planner: IvqpPlanner,
+    pool: Arc<PlannerPool>,
 }
 
 impl<'a> WorkloadEvaluator<'a> {
@@ -85,7 +89,25 @@ impl<'a> WorkloadEvaluator<'a> {
             rates,
             requests,
             planner: IvqpPlanner::new(),
+            pool: Arc::new(PlannerPool::sequential()),
         }
+    }
+
+    /// Shares a planner pool with this evaluator (builder-style):
+    /// [`WorkloadEvaluator::fitness_population`] fans candidate orders
+    /// out over it. One order's replay stays sequential — each query's
+    /// plan depends on the queues committed by the queries before it —
+    /// so the parallelism is *across* independent candidate orders.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<PlannerPool>) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The planner pool candidate orders are evaluated on.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<PlannerPool> {
+        &self.pool
     }
 
     /// The requests under evaluation.
@@ -160,6 +182,21 @@ impl<'a> WorkloadEvaluator<'a> {
         self.evaluate_order(perm.as_slice())
             .expect("workload evaluation cannot fail on valid context")
             .total_information_value
+    }
+
+    /// Evaluates a whole GA generation, fanning the independent candidate
+    /// orders out over the evaluator's [`PlannerPool`]. Returns fitnesses
+    /// in input order, identical to mapping [`WorkloadEvaluator::fitness`]
+    /// over `perms` (each order replays against its own fresh queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics if plan selection fails, which indicates an inconsistent
+    /// evaluator (the search only generates valid candidates).
+    #[must_use]
+    pub fn fitness_population(&self, perms: &[Permutation]) -> Vec<f64> {
+        self.pool
+            .run_indexed(perms.len(), |i| self.fitness(&perms[i]))
     }
 }
 
@@ -342,6 +379,36 @@ mod tests {
             .unwrap()
             .total_information_value;
         assert_eq!(by_fitness, by_eval);
+    }
+
+    #[test]
+    fn pooled_population_fitness_matches_pointwise() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let reqs = requests();
+        let sequential = WorkloadEvaluator::new(
+            &catalog,
+            &timelines,
+            &model,
+            DiscountRates::new(0.05, 0.05),
+            &reqs,
+        );
+        let pooled = WorkloadEvaluator::new(
+            &catalog,
+            &timelines,
+            &model,
+            DiscountRates::new(0.05, 0.05),
+            &reqs,
+        )
+        .with_pool(Arc::new(PlannerPool::new(4)));
+        assert_eq!(pooled.pool().threads(), 4);
+        let perms: Vec<Permutation> = [[0, 1, 2], [2, 1, 0], [1, 0, 2], [0, 2, 1]]
+            .iter()
+            .map(|o| Permutation::new(o.to_vec()).unwrap())
+            .collect();
+        let batch = pooled.fitness_population(&perms);
+        let pointwise: Vec<f64> = perms.iter().map(|p| sequential.fitness(p)).collect();
+        assert_eq!(batch, pointwise);
     }
 
     #[test]

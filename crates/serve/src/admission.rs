@@ -143,6 +143,59 @@ impl AdmissionQueue {
     /// Offers `request` to the queue at `now`. With room it is simply
     /// appended; at capacity the minimum-marginal-IV query among the
     /// queue plus the arrival is shed (ties keep the incumbents).
+    ///
+    /// # Examples
+    ///
+    /// A full queue sheds the lowest-value query — here the cheap
+    /// incumbent, not the newest arrival:
+    ///
+    /// ```
+    /// use ivdss_catalog::ids::TableId;
+    /// use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+    /// use ivdss_core::plan::{NoQueues, PlanContext, QueryRequest};
+    /// use ivdss_core::starvation::AgingPolicy;
+    /// use ivdss_core::value::{BusinessValue, DiscountRates};
+    /// use ivdss_costmodel::model::StylizedCostModel;
+    /// use ivdss_costmodel::query::{QueryId, QuerySpec};
+    /// use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+    /// use ivdss_serve::admission::{AdmissionQueue, AdmitOutcome};
+    /// use ivdss_simkernel::time::SimTime;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let catalog = synthetic_catalog(&SyntheticConfig {
+    ///     tables: 2, sites: 2, replicated_tables: 0, ..SyntheticConfig::default()
+    /// })?;
+    /// let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    /// let model = StylizedCostModel::paper_fig4();
+    /// let ctx = PlanContext {
+    ///     catalog: &catalog,
+    ///     timelines: &timelines,
+    ///     model: &model,
+    ///     rates: DiscountRates::new(0.01, 0.05),
+    ///     queues: &NoQueues,
+    /// };
+    /// let request = |id: u64, bv: f64| {
+    ///     QueryRequest::new(
+    ///         QuerySpec::new(QueryId::new(id), vec![TableId::new(0)]),
+    ///         SimTime::new(1.0),
+    ///     )
+    ///     .with_business_value(BusinessValue::new(bv))
+    /// };
+    ///
+    /// let mut queue = AdmissionQueue::new(1, AgingPolicy::DISABLED);
+    /// assert_eq!(
+    ///     queue.offer(&ctx, request(1, 1.0), SimTime::new(1.0)),
+    ///     AdmitOutcome::Admitted
+    /// );
+    /// // Queue full: the high-value arrival displaces the incumbent.
+    /// let outcome = queue.offer(&ctx, request(2, 50.0), SimTime::new(1.0));
+    /// assert!(matches!(
+    ///     outcome,
+    ///     AdmitOutcome::AdmittedAfterShedding { shed, .. } if shed == QueryId::new(1)
+    /// ));
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn offer(
         &mut self,
         ctx: &PlanContext<'_>,

@@ -130,6 +130,57 @@ struct CacheEntry {
 /// A bounded plan cache keyed by (footprint, cost profile, discount
 /// rates, per-table sync phase), with FIFO eviction at capacity and
 /// sync-event-driven garbage collection.
+///
+/// # Examples
+///
+/// A repeated lookup in the same sync window is a hit and returns the
+/// exact search answer:
+///
+/// ```
+/// use ivdss_catalog::ids::TableId;
+/// use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+/// use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+/// use ivdss_core::plan::{NoQueues, PlanContext, QueryRequest};
+/// use ivdss_core::planner::{IvqpPlanner, Planner};
+/// use ivdss_core::value::DiscountRates;
+/// use ivdss_costmodel::model::StylizedCostModel;
+/// use ivdss_costmodel::query::{QueryId, QuerySpec};
+/// use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+/// use ivdss_serve::cache::{CacheOutcome, PlanCache};
+/// use ivdss_simkernel::time::SimTime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let base = synthetic_catalog(&SyntheticConfig {
+///     tables: 3, sites: 2, replicated_tables: 0, ..SyntheticConfig::default()
+/// })?;
+/// let mut plan = ReplicationPlan::new();
+/// plan.add(TableId::new(0), ReplicaSpec::new(6.0));
+/// let catalog = base.with_replication(plan)?;
+/// let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+/// let model = StylizedCostModel::paper_fig4();
+/// let ctx = PlanContext {
+///     catalog: &catalog,
+///     timelines: &timelines,
+///     model: &model,
+///     rates: DiscountRates::new(0.01, 0.05),
+///     queues: &NoQueues,
+/// };
+/// let request = QueryRequest::new(
+///     QuerySpec::new(QueryId::new(7), vec![TableId::new(0), TableId::new(1)]),
+///     SimTime::new(2.0),
+/// );
+///
+/// let mut cache = PlanCache::new(64);
+/// let (first, outcome) = cache.plan(&ctx, &request)?;
+/// assert_eq!(outcome, CacheOutcome::Miss);
+/// let (second, outcome) = cache.plan(&ctx, &request)?;
+/// assert_eq!(outcome, CacheOutcome::Hit);
+/// // A hit is exactly the scatter-and-gather answer, not an approximation.
+/// assert_eq!(second, first);
+/// assert_eq!(second, IvqpPlanner::new().select_plan(&ctx, &request)?);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct PlanCache {
     entries: HashMap<PlanCacheKey, CacheEntry>,

@@ -4,8 +4,10 @@
 //! per query: (1) drains completed synchronization events from the
 //! replication timelines into the plan cache's invalidator, (2) runs
 //! IV-aware admission ([`AdmissionQueue`]), (3) selects a plan — from
-//! the sync-phase [`PlanCache`] or by a fresh [`IvqpPlanner`] search —
-//! under a [`NoQueues`] planning context, and (4) dispatches the plan
+//! the sync-phase [`PlanCache`] or by a fresh scatter-and-gather search
+//! (a [`ParallelPlanner`] over a shareable [`PlannerPool`], reusing
+//! [`PhaseMemo`] pruning frontiers across dispatches) — under a
+//! [`NoQueues`] planning context, and (4) dispatches the plan
 //! through reservation-calendar facilities ([`FacilityQueues`]),
 //! re-evaluating the chosen candidate against live calendar state so the
 //! *delivered* information value reflects actual queuing.
@@ -46,14 +48,16 @@
 
 use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ivdss_catalog::catalog::Catalog;
 use ivdss_catalog::ids::{SiteId, TableId};
+use ivdss_core::memo::PhaseMemo;
+use ivdss_core::parallel::{ParallelPlanner, PlannerPool};
 use ivdss_core::plan::{
     evaluate_plan, FacilityQueues, NoQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest,
     SiteFloors,
 };
-use ivdss_core::planner::{IvqpPlanner, Planner};
 use ivdss_core::starvation::AgingPolicy;
 use ivdss_core::value::DiscountRates;
 use ivdss_costmodel::model::CostModel;
@@ -185,6 +189,16 @@ pub struct ServeEngine<'a, C: Clock> {
     cursor: SyncEventCursor,
     metrics: ServeMetrics,
     faults: Option<FaultState>,
+    /// Dispatch-time plan searches run through this planner (sequential
+    /// unless a pool is shared via
+    /// [`ServeEngine::with_planner_pool`]).
+    planner: ParallelPlanner,
+    /// Sync-phase pruning frontiers reused across dispatch searches.
+    /// Keyed by phase *offsets*, so timeline revisions never invalidate
+    /// it, and only consulted under stateless-queue contexts (the
+    /// [`NoQueues`] planning and nominal-bound paths — never the
+    /// floored outage re-plan).
+    memo: PhaseMemo,
 }
 
 impl<'a, C: Clock> ServeEngine<'a, C> {
@@ -212,7 +226,20 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             config,
             clock,
             faults: None,
+            planner: ParallelPlanner::new(Arc::new(PlannerPool::sequential())),
+            memo: PhaseMemo::new(),
         }
+    }
+
+    /// Shares a planner pool with this engine (builder-style): the
+    /// dispatch-time plan searches — cache-off planning, outage
+    /// re-planning and the fault-free IV bound — fan their candidate
+    /// evaluation out over it. Plan choices are bit-identical to the
+    /// sequential engine.
+    #[must_use]
+    pub fn with_planner_pool(mut self, pool: Arc<PlannerPool>) -> Self {
+        self.planner = ParallelPlanner::new(pool);
+        self
     }
 
     /// Creates an engine that replays `faults` on top of the nominal
@@ -280,6 +307,19 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
     #[must_use]
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// The pool dispatch-time plan searches run on.
+    #[must_use]
+    pub fn planner_pool(&self) -> &Arc<PlannerPool> {
+        self.planner.pool()
+    }
+
+    /// The sync-phase pruning memo (hit/miss counters for
+    /// observability).
+    #[must_use]
+    pub fn memo(&self) -> &PhaseMemo {
+        &self.memo
     }
 
     /// Freezes the metrics at the current time.
@@ -439,7 +479,15 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             self.metrics.set_cache_size(self.cache.len());
             eval
         } else {
-            IvqpPlanner::new().select_plan(&planning_ctx!(self), &request)?
+            // NoQueues context → the sync-phase memo is sound here.
+            self.planner
+                .search_memoized(
+                    &planning_ctx!(self),
+                    &request,
+                    request.submitted_at,
+                    &self.memo,
+                )?
+                .best
         };
 
         // Outage-aware re-planning: if the chosen plan would span a site
@@ -463,11 +511,11 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
                 replanned = true;
                 self.metrics.record_fault_replan();
                 let floored = SiteFloors::new(&NoQueues, floors.clone());
-                IvqpPlanner::new().select_plan_from(
-                    &planning_ctx!(self, &floored),
-                    &request,
-                    now,
-                )?
+                // Floors are time-dependent queue state → memo unsound;
+                // the pool still parallelizes the candidate evaluation.
+                self.planner
+                    .search_from(&planning_ctx!(self, &floored), &request, now)?
+                    .best
             } else {
                 planned
             }
@@ -529,7 +577,13 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
                 rates: self.config.rates,
                 queues: &NoQueues,
             };
-            let ideal = IvqpPlanner::new().select_plan_from(&nominal_ctx, &request, now)?;
+            // NoQueues again — and the memo keys phase *offsets*, so the
+            // nominal and revised-belief timelines share frontiers
+            // whenever their phases line up.
+            let ideal = self
+                .planner
+                .search_memoized(&nominal_ctx, &request, now, &self.memo)?
+                .best;
             iv_lost =
                 (ideal.information_value.value() - delivered.information_value.value()).max(0.0);
             self.metrics.record_fault_iv_lost(iv_lost);

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Reproducible benchmark trajectory: regenerates every paper figure,
+# runs the ablations, and produces the machine-readable planner-scaling
+# report (BENCH_planner.json at the repo root).
+#
+# Usage:
+#   scripts/bench.sh            # full run (minutes)
+#   scripts/bench.sh --smoke    # scaled-down run (seconds; CI gate)
+#   scripts/bench.sh --out F    # write the scaling JSON to F instead
+#
+# Every bin is seeded and deterministic; only the wall-clock timings in
+# BENCH_planner.json vary across hosts (the JSON records the host's
+# hardware parallelism so readers can tell which regime produced it).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+OUT="BENCH_planner.json"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --out)
+      shift
+      [[ $# -gt 0 ]] || { echo "--out needs a path" >&2; exit 2; }
+      OUT="$1"
+      ;;
+    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+QUICK=()
+if [[ $SMOKE -eq 1 ]]; then
+  QUICK=(--quick)
+fi
+
+echo "==> build (release)"
+cargo build --offline --release -p ivdss-bench
+
+echo "==> figure regeneration (fig4..fig9)"
+for bin in fig4 fig5 fig6 fig7 fig8 fig9; do
+  echo "--- $bin ---"
+  cargo run --offline --release -p ivdss-bench --bin "$bin" -- ${QUICK[@]+"${QUICK[@]}"}
+done
+
+echo "==> ablations"
+cargo run --offline --release -p ivdss-bench --bin ablations -- ${QUICK[@]+"${QUICK[@]}"}
+
+echo "==> planner scaling (writes $OUT)"
+cargo run --offline --release -p ivdss-bench --bin planner_scaling -- \
+  ${QUICK[@]+"${QUICK[@]}"} --out "$OUT"
+
+echo "Benchmark trajectory complete; scaling report at $OUT."
