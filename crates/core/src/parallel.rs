@@ -28,6 +28,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use ivdss_obs::{SearchAudit, Tracer};
 use ivdss_simkernel::time::SimTime;
 
 use crate::memo::PhaseMemo;
@@ -292,6 +293,50 @@ impl ParallelPlanner {
     ) -> Result<SearchOutcome, PlanError> {
         self.search
             .search_from_with(ctx, request, not_before, &self.pool, Some(memo))
+    }
+
+    /// [`ParallelPlanner::search_from`] with observability (see
+    /// [`ScatterGatherSearch::search_from_with_observed`]): search events
+    /// go to `tracer`, the candidate/bound record into `audit`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    pub fn search_from_observed(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+        tracer: &Tracer,
+        audit: Option<&mut SearchAudit>,
+    ) -> Result<SearchOutcome, PlanError> {
+        self.search
+            .search_from_with_observed(ctx, request, not_before, &self.pool, None, tracer, audit)
+    }
+
+    /// [`ParallelPlanner::search_memoized`] with observability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    pub fn search_memoized_observed(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+        memo: &PhaseMemo,
+        tracer: &Tracer,
+        audit: Option<&mut SearchAudit>,
+    ) -> Result<SearchOutcome, PlanError> {
+        self.search.search_from_with_observed(
+            ctx,
+            request,
+            not_before,
+            &self.pool,
+            Some(memo),
+            tracer,
+            audit,
+        )
     }
 
     /// Plans a batch of independent queries, one search per query, fanned

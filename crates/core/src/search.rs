@@ -27,6 +27,8 @@
 use std::collections::BTreeSet;
 
 use ivdss_catalog::ids::TableId;
+use ivdss_costmodel::query::QueryId;
+use ivdss_obs::{BoundStep, EventKind, MemoProbe, SearchAudit, SearchCandidate, Tracer};
 use ivdss_simkernel::time::SimTime;
 
 use crate::memo::{PhaseKey, PhaseMemo, FRONTIER_MARGIN};
@@ -114,23 +116,64 @@ impl ScatterGatherSearch {
         request: &QueryRequest,
         not_before: SimTime,
     ) -> Result<SearchOutcome, PlanError> {
+        self.search_from_observed(ctx, request, not_before, &Tracer::disabled(), None)
+    }
+
+    /// [`ScatterGatherSearch::search_from`] with observability: search
+    /// events (start, per-wave effort, bound trajectory, finish) go to
+    /// `tracer`, and the full candidate/bound record accumulates into
+    /// `audit` when one is supplied. A disabled tracer and `None` audit
+    /// cost one branch per would-be emission, and instrumentation never
+    /// changes the outcome — this *is* the sequential search.
+    ///
+    /// All events are stamped at the release floor (the planning
+    /// instant); wave and bound payloads carry the candidate release
+    /// times they describe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    pub fn search_from_observed(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+        tracer: &Tracer,
+        mut audit: Option<&mut SearchAudit>,
+    ) -> Result<SearchOutcome, PlanError> {
+        let query = request.id();
         let submit = request.submitted_at.max(not_before);
         let replicated = replicated_footprint(ctx, request);
         let subsets = local_subsets(&replicated);
+
+        tracer.emit_with(submit, || EventKind::SearchStarted {
+            query,
+            release_floor: submit,
+            subsets: subsets.len(),
+            memo: false,
+        });
 
         let mut explored = 0usize;
         let mut best: Option<PlanEvaluation> = None;
 
         // Scatter: every combination, released immediately.
+        tracer.emit_with(submit, || EventKind::SearchWave {
+            query,
+            wave: submit,
+            candidates: subsets.len(),
+            memo: MemoProbe::Off,
+        });
         for local in &subsets {
             let eval = evaluate_plan(ctx, request, submit, local)?;
             explored += 1;
+            note_candidate(&mut audit, &eval);
             if is_better(&eval, best.as_ref()) {
                 best = Some(eval);
             }
         }
         let mut best = best.expect("at least the all-remote plan exists");
         let mut boundary = self.boundary_for(ctx, request, &best);
+        note_bound(tracer, &mut audit, query, submit, submit, &best, boundary);
 
         // Gather: walk the synchronization time line.
         let mut now = submit;
@@ -144,6 +187,12 @@ impl ScatterGatherSearch {
             }
             now = next_sync;
             visited += 1;
+            tracer.emit_with(submit, || EventKind::SearchWave {
+                query,
+                wave: now,
+                candidates: subsets.len() - 1,
+                memo: MemoProbe::Off,
+            });
             for local in &subsets {
                 if local.is_empty() {
                     // "if only base tables are involved, then the query
@@ -153,12 +202,28 @@ impl ScatterGatherSearch {
                 }
                 let eval = evaluate_plan(ctx, request, now, local)?;
                 explored += 1;
+                note_candidate(&mut audit, &eval);
                 if is_better(&eval, Some(&best)) {
                     best = eval;
                     boundary = self.boundary_for(ctx, request, &best);
+                    note_bound(tracer, &mut audit, query, submit, now, &best, boundary);
                 }
             }
         }
+
+        if let Some(a) = audit {
+            a.waves = visited;
+            a.boundary = boundary;
+        }
+        tracer.emit_with(submit, || EventKind::SearchFinished {
+            query,
+            explored,
+            waves: visited,
+            pruned: 0,
+            boundary,
+            release: best.execute_at,
+            iv: best.information_value.value(),
+        });
 
         Ok(SearchOutcome {
             best,
@@ -204,13 +269,54 @@ impl ScatterGatherSearch {
         pool: &PlannerPool,
         memo: Option<&PhaseMemo>,
     ) -> Result<SearchOutcome, PlanError> {
+        self.search_from_with_observed(
+            ctx,
+            request,
+            not_before,
+            pool,
+            memo,
+            &Tracer::disabled(),
+            None,
+        )
+    }
+
+    /// [`ScatterGatherSearch::search_from_with`] with observability.
+    /// Events are emitted only from the sequential replay phase (never
+    /// from inside the parallel regions), so the emission order — and
+    /// hence the rendered trace — is a pure function of the inputs, and
+    /// the trace reports exactly the waves/candidates the sequential
+    /// decision consumed, not the speculative superset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation, in sequential
+    /// order as [`ScatterGatherSearch::search_from_with`] does.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_from_with_observed(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+        pool: &PlannerPool,
+        memo: Option<&PhaseMemo>,
+        tracer: &Tracer,
+        mut audit: Option<&mut SearchAudit>,
+    ) -> Result<SearchOutcome, PlanError> {
         if pool.is_sequential() && memo.is_none() {
-            return self.search_from(ctx, request, not_before);
+            return self.search_from_observed(ctx, request, not_before, tracer, audit);
         }
+        let query = request.id();
         let submit = request.submitted_at.max(not_before);
         let replicated = replicated_footprint(ctx, request);
         let subsets = local_subsets(&replicated);
         let n_masks = subsets.len();
+
+        tracer.emit_with(submit, || EventKind::SearchStarted {
+            query,
+            release_floor: submit,
+            subsets: n_masks,
+            memo: memo.is_some(),
+        });
 
         // Scatter: all subsets — or the memoized frontier plus the
         // all-remote subset, which only ever competes at release-now.
@@ -223,18 +329,33 @@ impl ScatterGatherSearch {
             Some(frontier) => std::iter::once(0).chain(frontier.iter().copied()).collect(),
             None => (0..n_masks).collect(),
         };
+        let scatter_probe = match (memo, &scatter_frontier) {
+            (None, _) => MemoProbe::Off,
+            (Some(_), Some(_)) => MemoProbe::Hit,
+            (Some(_), None) => MemoProbe::Miss,
+        };
+        let mut pruned = n_masks - scatter_masks.len();
         let scatter_evals = pool.try_run_indexed(scatter_masks.len(), |i| {
             evaluate_plan(ctx, request, submit, &subsets[scatter_masks[i]])
         })?;
         let mut explored = scatter_evals.len();
+        tracer.emit_with(submit, || EventKind::SearchWave {
+            query,
+            wave: submit,
+            candidates: scatter_evals.len(),
+            memo: scatter_probe,
+        });
+        note_probe(&mut audit, scatter_probe);
         let mut best = None;
         for eval in &scatter_evals {
+            note_candidate(&mut audit, eval);
             if is_better(eval, best.as_ref()) {
                 best = Some(eval.clone());
             }
         }
         let mut best = best.expect("at least the all-remote plan exists");
         let mut boundary = self.boundary_for(ctx, request, &best);
+        note_bound(tracer, &mut audit, query, submit, submit, &best, boundary);
         if scatter_frontier.is_none() && n_masks > 1 {
             if let (Some(memo), Some(key)) = (memo, scatter_key) {
                 memo.record(key, frontier_of(&scatter_masks[1..], &scatter_evals[1..]));
@@ -261,21 +382,25 @@ impl ScatterGatherSearch {
         // recorded, every non-empty subset otherwise (a `Some` key marks
         // a miss whose frontier gets recorded below).
         let mut wave_keys: Vec<Option<PhaseKey>> = Vec::with_capacity(wave_times.len());
+        let mut wave_probes: Vec<MemoProbe> = Vec::with_capacity(wave_times.len());
         let wave_masks: Vec<Vec<usize>> = wave_times
             .iter()
             .map(|&at| {
                 let Some(memo) = memo else {
                     wave_keys.push(None);
+                    wave_probes.push(MemoProbe::Off);
                     return (1..n_masks).collect();
                 };
                 let key = PhaseKey::for_wave(ctx, request, &replicated, at);
                 match memo.lookup(&key) {
                     Some(frontier) => {
                         wave_keys.push(None);
+                        wave_probes.push(MemoProbe::Hit);
                         frontier
                     }
                     None => {
                         wave_keys.push(Some(key));
+                        wave_probes.push(MemoProbe::Miss);
                         (1..n_masks).collect()
                     }
                 }
@@ -317,14 +442,39 @@ impl ScatterGatherSearch {
                 break;
             }
             visited += 1;
+            tracer.emit_with(submit, || EventKind::SearchWave {
+                query,
+                wave: at,
+                candidates: slice.len(),
+                memo: wave_probes[w],
+            });
+            note_probe(&mut audit, wave_probes[w]);
+            pruned += (n_masks - 1) - masks.len();
             for eval in slice {
                 explored += 1;
+                note_candidate(&mut audit, eval);
                 if is_better(eval, Some(&best)) {
                     best = eval.clone();
                     boundary = self.boundary_for(ctx, request, &best);
+                    note_bound(tracer, &mut audit, query, submit, at, &best, boundary);
                 }
             }
         }
+
+        if let Some(a) = audit {
+            a.waves = visited;
+            a.boundary = boundary;
+            a.pruned = pruned;
+        }
+        tracer.emit_with(submit, || EventKind::SearchFinished {
+            query,
+            explored,
+            waves: visited,
+            pruned,
+            boundary,
+            release: best.execute_at,
+            iv: best.information_value.value(),
+        });
 
         Ok(SearchOutcome {
             best,
@@ -351,6 +501,59 @@ impl ScatterGatherSearch {
         match ctx.rates.cl.max_latency_for_factor(threshold) {
             Some(max_cl) => request.submitted_at + max_cl,
             None => SimTime::MAX, // λ_CL = 0: no boundary, the cap applies
+        }
+    }
+}
+
+/// Appends a candidate to the audit (no-op without one). Audit
+/// collection is recording-only: the search never reads it back.
+fn note_candidate(audit: &mut Option<&mut SearchAudit>, eval: &PlanEvaluation) {
+    if let Some(a) = audit.as_deref_mut() {
+        a.candidates.push(SearchCandidate {
+            release: eval.execute_at,
+            local: eval.local_tables.iter().copied().collect(),
+            iv: eval.information_value.value(),
+            finish: eval.finish,
+        });
+    }
+}
+
+/// Records one bound-trajectory step (incumbent improved, boundary
+/// tightened) into the trace and the audit. `stamp` is the planning
+/// instant (all search events share it); `at` is the release time of
+/// the improving candidate.
+fn note_bound(
+    tracer: &Tracer,
+    audit: &mut Option<&mut SearchAudit>,
+    query: QueryId,
+    stamp: SimTime,
+    at: SimTime,
+    best: &PlanEvaluation,
+    boundary: SimTime,
+) {
+    let incumbent_iv = best.information_value.value();
+    tracer.emit_with(stamp, || EventKind::SearchBound {
+        query,
+        at,
+        incumbent_iv,
+        boundary,
+    });
+    if let Some(a) = audit.as_deref_mut() {
+        a.bounds.push(BoundStep {
+            at,
+            incumbent_iv,
+            boundary,
+        });
+    }
+}
+
+/// Tallies a wave's memo probe into the audit counters.
+fn note_probe(audit: &mut Option<&mut SearchAudit>, probe: MemoProbe) {
+    if let Some(a) = audit.as_deref_mut() {
+        match probe {
+            MemoProbe::Off => {}
+            MemoProbe::Hit => a.memo_hits += 1,
+            MemoProbe::Miss => a.memo_misses += 1,
         }
     }
 }
@@ -711,6 +914,84 @@ mod tests {
             warm < cold,
             "frontier reuse must cut effort ({warm} vs {cold})"
         );
+    }
+
+    #[test]
+    fn observed_search_matches_unobserved_and_audits_the_decision() {
+        use ivdss_obs::Trace;
+        use std::sync::Arc;
+
+        let (catalog, timelines) = fixture(&[(0, 8.0), (1, 2.0), (2, 5.0)]);
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(0.05, 0.05));
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(3), vec![t(0), t(1), t(2), t(3)]),
+            SimTime::new(11.0),
+        );
+        let search = ScatterGatherSearch::new();
+        let plain = search.search(&ctx, &req).unwrap();
+
+        let run_observed = || {
+            let trace = Arc::new(Trace::new());
+            let tracer = Tracer::recording(Arc::clone(&trace));
+            let mut audit = SearchAudit::default();
+            let outcome = search
+                .search_from_observed(&ctx, &req, req.submitted_at, &tracer, Some(&mut audit))
+                .unwrap();
+            (outcome, trace.render(), audit)
+        };
+        let (outcome, rendered, audit) = run_observed();
+        assert_eq!(outcome, plain, "instrumentation must not change the search");
+        assert_eq!(audit.explored(), plain.plans_explored);
+        assert_eq!(audit.waves, plain.sync_points_visited);
+        assert_eq!(audit.boundary, plain.boundary);
+        let last = audit.bounds.last().expect("at least the scatter incumbent");
+        assert_eq!(last.incumbent_iv, plain.best.information_value.value());
+
+        let counts_trace = Arc::new(Trace::new());
+        let tracer = Tracer::recording(Arc::clone(&counts_trace));
+        search
+            .search_from_observed(&ctx, &req, req.submitted_at, &tracer, None)
+            .unwrap();
+        let counts = counts_trace.counts();
+        assert_eq!(counts["search_started"], 1);
+        assert_eq!(counts["search_finished"], 1);
+        assert_eq!(
+            counts["search_wave"],
+            1 + plain.sync_points_visited as u64,
+            "one scatter wave plus every visited gather wave"
+        );
+
+        let (outcome2, rendered2, _) = run_observed();
+        assert_eq!(outcome2, plain);
+        assert_eq!(rendered, rendered2, "identical runs render identical bytes");
+
+        // The parallel memoized variant stays bit-identical under
+        // observation too, and reports its memo probes.
+        let memo = crate::memo::PhaseMemo::new();
+        let pool = PlannerPool::new(2);
+        for round in 0..2 {
+            let mut audit = SearchAudit::default();
+            let memoized = search
+                .search_from_with_observed(
+                    &ctx,
+                    &req,
+                    req.submitted_at,
+                    &pool,
+                    Some(&memo),
+                    &Tracer::disabled(),
+                    Some(&mut audit),
+                )
+                .unwrap();
+            assert_eq!(memoized.best, plain.best, "round={round}");
+            assert_eq!(memoized.boundary, plain.boundary);
+            if round == 0 {
+                assert!(audit.memo_misses > 0, "cold round must record misses");
+            } else {
+                assert!(audit.memo_hits > 0, "warm round must report hits");
+                assert!(audit.pruned > 0, "frontier reuse must prune");
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@ use ivdss_catalog::placement::PlacementStrategy;
 use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
 use ivdss_core::value::{BusinessValue, DiscountRates};
 use ivdss_costmodel::model::StylizedCostModel;
+use ivdss_faults::observe::emit_fault_plan;
 use ivdss_faults::{FaultConfig, FaultPlan};
+use ivdss_obs::{EventKind, Tracer};
 use ivdss_replication::timelines::{SyncMode, SyncTimelines};
 use ivdss_serve::clock::DesClock;
 use ivdss_serve::engine::{ServeConfig, ServeEngine};
@@ -156,6 +158,16 @@ impl ChaosResults {
 
 /// Runs one paired (clean, faulted) point.
 fn run_point(config: &ChaosConfig, severity: f64) -> ChaosPoint {
+    run_point_traced(config, severity, &Tracer::disabled())
+}
+
+/// One paired (clean, faulted) chaos point with observability: the
+/// fault plan is emitted as a trace header, the *faulted* engine emits
+/// its full pipeline trace into `tracer` (the clean shadow run stays
+/// untraced), and the point is closed with a `chaos_point` span. With a
+/// disabled tracer this is exactly the untraced point, so the sweep's
+/// numbers never depend on whether anyone is watching.
+pub fn run_point_traced(config: &ChaosConfig, severity: f64, tracer: &Tracer) -> ChaosPoint {
     let seeds = SeedFactory::new(config.seed);
     let catalog = synthetic_catalog(&SyntheticConfig {
         tables: 16,
@@ -194,6 +206,7 @@ fn run_point(config: &ChaosConfig, severity: f64) -> ChaosPoint {
         catalog.site_count(),
         seeds.seed_for("faults"),
     );
+    emit_fault_plan(&faults, tracer);
     let mut faulted = ServeEngine::with_faults(
         &catalog,
         &timelines,
@@ -201,10 +214,15 @@ fn run_point(config: &ChaosConfig, severity: f64) -> ChaosPoint {
         serve_config,
         DesClock::new(),
         faults,
-    );
+    )
+    .with_tracer(tracer.clone());
     let faulted_report =
         run_open_loop(&mut faulted, templates, &open).expect("faulted run is feasible");
     let snap = faulted.snapshot();
+    tracer.emit_with(faulted.now(), || EventKind::Span {
+        name: "chaos_point",
+        start: SimTime::ZERO,
+    });
 
     ChaosPoint {
         severity,
@@ -270,6 +288,52 @@ mod tests {
             p.clean_iv
         );
         assert!(p.iv_lost > 0.0);
+    }
+
+    #[test]
+    fn traced_point_reconciles_with_metrics_and_matches_untraced() {
+        use ivdss_obs::Trace;
+        use std::sync::Arc;
+
+        let trace = Arc::new(Trace::new());
+        let traced = run_point_traced(&small(), 1.0, &Tracer::recording(Arc::clone(&trace)));
+        assert_eq!(
+            traced,
+            run_point(&small(), 1.0),
+            "observing a run must not change its numbers"
+        );
+
+        // Satellite reconciliation: the sum of per-completion iv_lost in
+        // the trace equals the engine's iv_lost counter *exactly* — both
+        // accumulate the same f64 terms in dispatch order.
+        let mut trace_iv_lost = 0.0;
+        let mut completions = 0usize;
+        for event in trace.events() {
+            if let EventKind::Completed { iv_lost, .. } = event.kind {
+                trace_iv_lost += iv_lost;
+                completions += 1;
+            }
+        }
+        assert_eq!(completions, traced.delivered);
+        assert_eq!(
+            trace_iv_lost.to_bits(),
+            traced.iv_lost.to_bits(),
+            "trace iv_lost {} must reconcile bit-for-bit with metrics {}",
+            trace_iv_lost,
+            traced.iv_lost
+        );
+
+        let counts = trace.counts();
+        assert_eq!(counts.get("span").copied().unwrap_or(0), 1);
+        assert!(
+            counts.get("fault_outage_planned").copied().unwrap_or(0) >= traced.outages,
+            "every opened outage window was scheduled in the plan header"
+        );
+        assert_eq!(
+            counts.get("replanned").copied().unwrap_or(0),
+            traced.replans,
+            "each counted re-plan leaves one trace event"
+        );
     }
 
     #[test]

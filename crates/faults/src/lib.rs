@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod jitter;
+pub mod observe;
 pub mod plan;
 
 pub use jitter::JitteredCostModel;

@@ -1,0 +1,101 @@
+//! Trace emission for fault plans.
+//!
+//! A [`FaultPlan`] is precomputed before the run, so its contents can be
+//! emitted as a deterministic trace *header*: one `fault_*_planned`
+//! event per scheduled slip, drop and outage, in plan order (revisions
+//! sorted by reveal time, outages by start). Replay-time consequences —
+//! the engine applying a revision, an outage window opening, jitter
+//! landing on a delivery — are emitted separately by the serving engine
+//! as they happen, so a trace shows both what was *scheduled* and what
+//! the run actually *experienced*.
+
+use ivdss_obs::{EventKind, Tracer};
+
+use crate::plan::FaultPlan;
+
+/// Emits the whole fault plan as trace header events: slips and drops
+/// stamped at their reveal time, outages at their start. A disabled
+/// tracer makes this free.
+pub fn emit_fault_plan(plan: &FaultPlan, tracer: &Tracer) {
+    if !tracer.enabled() {
+        return;
+    }
+    for revision in plan.revisions() {
+        tracer.emit_with(revision.revealed_at, || match revision.new_time {
+            Some(new_time) => EventKind::FaultSlipPlanned {
+                table: revision.table,
+                scheduled: revision.scheduled,
+                new_time,
+            },
+            None => EventKind::FaultDropPlanned {
+                table: revision.table,
+                scheduled: revision.scheduled,
+            },
+        });
+    }
+    for outage in plan.outages() {
+        tracer.emit_with(outage.start, || EventKind::FaultOutagePlanned {
+            site: outage.site,
+            end: outage.end,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultConfig, FaultPlan};
+    use ivdss_obs::Trace;
+    use ivdss_replication::timelines::SyncTimelines;
+    use ivdss_simkernel::time::SimTime;
+    use std::sync::Arc;
+
+    use ivdss_catalog::ids::TableId;
+    use ivdss_replication::schedule::Schedule;
+
+    fn plan() -> FaultPlan {
+        let mut timelines = SyncTimelines::new();
+        timelines.insert(TableId::new(0), Schedule::periodic(5.0, 0.0));
+        timelines.insert(TableId::new(1), Schedule::periodic(7.0, 0.0));
+        let config = FaultConfig {
+            slip_probability: 0.5,
+            drop_probability: 0.2,
+            slip_delay: (1.0, 4.0),
+            outage_mtbf: 40.0,
+            outage_duration: (2.0, 6.0),
+            jitter: (1.0, 1.3),
+            horizon: SimTime::new(120.0),
+        };
+        FaultPlan::generate(&config, &timelines, 3, 0xFA11)
+    }
+
+    #[test]
+    fn header_emits_every_scheduled_fault_once() {
+        let plan = plan();
+        assert!(!plan.is_empty(), "fixture must schedule some faults");
+        let trace = Arc::new(Trace::new());
+        emit_fault_plan(&plan, &Tracer::recording(Arc::clone(&trace)));
+        let counts = trace.counts();
+        assert_eq!(
+            counts.get("fault_slip_planned").copied().unwrap_or(0),
+            plan.slip_count() as u64
+        );
+        assert_eq!(
+            counts.get("fault_drop_planned").copied().unwrap_or(0),
+            plan.drop_count() as u64
+        );
+        assert_eq!(
+            counts.get("fault_outage_planned").copied().unwrap_or(0),
+            plan.outages().len() as u64
+        );
+        // Identical plans render identical headers.
+        let again = Arc::new(Trace::new());
+        emit_fault_plan(&plan, &Tracer::recording(Arc::clone(&again)));
+        assert_eq!(trace.render(), again.render());
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing() {
+        emit_fault_plan(&plan(), &Tracer::disabled());
+    }
+}

@@ -1,0 +1,581 @@
+//! Structured trace events.
+//!
+//! One [`TraceEvent`] is a sim-time stamp plus an [`EventKind`] payload.
+//! Payload fields are deliberately primitive — ids, times, floats — so
+//! every crate in the stack can emit them without depending on the rich
+//! planning types, and so rendering stays trivially deterministic.
+//!
+//! # Rendering
+//!
+//! [`TraceEvent::render_into`] writes one line per event:
+//!
+//! ```text
+//! t=<sim time> <kind> key=value key=value ...
+//! ```
+//!
+//! Floats use Rust's shortest-round-trip `Display`, which is a pure
+//! function of the bits, and [`SimTime::MAX`] (an unbounded search
+//! boundary) renders as `max` — so two runs that compute identical
+//! values render identical bytes.
+
+use std::fmt::Write as _;
+
+use ivdss_catalog::ids::{SiteId, TableId};
+use ivdss_costmodel::query::QueryId;
+use ivdss_simkernel::time::{SimDuration, SimTime};
+
+/// How a memoized search wave resolved against the [`PhaseMemo`]
+/// frontier store (or `Off` when no memo was consulted — e.g. the
+/// floored outage re-plan, where the memo would be unsound).
+///
+/// [`PhaseMemo`]: https://docs.rs/ivdss-core
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoProbe {
+    /// No memo in play for this search.
+    Off,
+    /// The wave's phase had a recorded frontier; only it was evaluated.
+    Hit,
+    /// First visit to this phase; every subset was evaluated.
+    Miss,
+}
+
+impl MemoProbe {
+    fn label(self) -> &'static str {
+        match self {
+            MemoProbe::Off => "off",
+            MemoProbe::Hit => "hit",
+            MemoProbe::Miss => "miss",
+        }
+    }
+}
+
+/// The admission decision taken for one submitted query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// Admitted into the queue with capacity to spare.
+    Admitted,
+    /// Admitted, but the queue was full: the lowest-marginal-IV entry
+    /// (under §3.3 aging) was shed to make room.
+    AdmittedAfterShedding,
+    /// The arrival itself carried the lowest marginal IV and was shed.
+    Rejected,
+}
+
+impl AdmissionVerdict {
+    fn label(self) -> &'static str {
+        match self {
+            AdmissionVerdict::Admitted => "admitted",
+            AdmissionVerdict::AdmittedAfterShedding => "admitted_shed",
+            AdmissionVerdict::Rejected => "rejected",
+        }
+    }
+}
+
+/// The payload of one trace event. See each variant for the emission
+/// site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A query arrived at the serving engine.
+    Submitted {
+        /// The arriving query.
+        query: QueryId,
+        /// Its business value.
+        business_value: f64,
+    },
+    /// Admission control decided the arriving query's fate.
+    Admission {
+        /// The arriving query.
+        query: QueryId,
+        /// The decision.
+        verdict: AdmissionVerdict,
+        /// The shed victim (the arrival itself for
+        /// [`AdmissionVerdict::Rejected`]).
+        shed: Option<QueryId>,
+        /// Marginal IV (aged, per §3.3) the victim carried when shed.
+        shed_marginal_iv: Option<f64>,
+        /// Queue depth after the decision.
+        depth: usize,
+    },
+    /// A replica synchronization completed and was delivered to online
+    /// consumers; `completed_at` is the completion instant on the
+    /// timeline, the event stamp is when the cursor observed it.
+    SyncDelivered {
+        /// The refreshed table.
+        table: TableId,
+        /// When the synchronization completed.
+        completed_at: SimTime,
+    },
+    /// A fault revision (sync slip or drop) was applied to the engine's
+    /// timeline belief.
+    RevisionApplied {
+        /// The revised table.
+        table: TableId,
+        /// The nominally scheduled completion.
+        scheduled: SimTime,
+        /// The corrected completion (`None` = dropped).
+        new_time: Option<SimTime>,
+        /// Plan-cache entries evicted by the revision.
+        evicted: usize,
+    },
+    /// An injected site-outage window opened.
+    OutageStarted {
+        /// The site taken down.
+        site: SiteId,
+        /// When it recovers.
+        until: SimTime,
+    },
+    /// Synchronization events evicted plan-cache entries.
+    CacheInvalidated {
+        /// Entries evicted.
+        evicted: usize,
+    },
+    /// The dispatch path consulted the plan cache.
+    CacheLookup {
+        /// The query being planned.
+        query: QueryId,
+        /// `true` on a hit.
+        hit: bool,
+    },
+    /// The chosen plan spanned a site inside an outage and was
+    /// re-planned with the release floors visible (memo bypassed).
+    Replanned {
+        /// The re-planned query.
+        query: QueryId,
+        /// Sites under a release floor at re-plan time.
+        floored_sites: usize,
+    },
+    /// Injected cost jitter applied at delivery.
+    JitterApplied {
+        /// The jittered query.
+        query: QueryId,
+        /// The multiplicative cost factor (≥ 1).
+        factor: f64,
+    },
+    /// A query was dispatched and delivered: the full
+    /// dispatch→completion span with its per-stage breakdown.
+    Completed {
+        /// The delivered query.
+        query: QueryId,
+        /// Time spent in the admission queue before dispatch.
+        waited: SimDuration,
+        /// The plan's release time.
+        release: SimTime,
+        /// When the local federation server actually started serving it
+        /// (release plus calendar queuing).
+        service_start: SimTime,
+        /// When the result was delivered.
+        finish: SimTime,
+        /// Computational latency of the delivered evaluation.
+        cl: SimDuration,
+        /// Synchronization latency of the delivered evaluation.
+        sl: SimDuration,
+        /// IV the planner promised when the plan was chosen.
+        planned_iv: f64,
+        /// IV actually delivered against live calendars (and faults).
+        delivered_iv: f64,
+        /// Fault-free planning bound minus delivered IV, clamped at 0.
+        iv_lost: f64,
+        /// `true` if an outage forced a dispatch-time re-plan.
+        replanned: bool,
+    },
+    /// A scatter-and-gather search began.
+    SearchStarted {
+        /// The query being planned.
+        query: QueryId,
+        /// Earliest admissible release (`max(submitted, not_before)`).
+        release_floor: SimTime,
+        /// Local-subset candidates per wave (2^replicated tables).
+        subsets: usize,
+        /// `true` when a [`PhaseMemo`] is consulted.
+        ///
+        /// [`PhaseMemo`]: https://docs.rs/ivdss-core
+        memo: bool,
+    },
+    /// One search wave (the scatter at the release floor, or a gather
+    /// wave at a synchronization point) was evaluated.
+    SearchWave {
+        /// The query being planned.
+        query: QueryId,
+        /// The wave's release time.
+        wave: SimTime,
+        /// Candidates actually evaluated at this wave.
+        candidates: usize,
+        /// How the wave resolved against the memo.
+        memo: MemoProbe,
+    },
+    /// The incumbent improved: a new bound-trajectory step.
+    SearchBound {
+        /// The query being planned.
+        query: QueryId,
+        /// The release time of the improving candidate.
+        at: SimTime,
+        /// The new incumbent IV.
+        incumbent_iv: f64,
+        /// The tightened search boundary.
+        boundary: SimTime,
+    },
+    /// The search finished.
+    SearchFinished {
+        /// The planned query.
+        query: QueryId,
+        /// Candidate plans evaluated.
+        explored: usize,
+        /// Gather waves visited.
+        waves: usize,
+        /// Candidate evaluations skipped thanks to memoized frontiers.
+        pruned: usize,
+        /// The final boundary.
+        boundary: SimTime,
+        /// The chosen plan's release time.
+        release: SimTime,
+        /// The chosen plan's IV.
+        iv: f64,
+    },
+    /// A fault plan scheduled a synchronization slip (trace header
+    /// emitted before replay; the stamp is the reveal time).
+    FaultSlipPlanned {
+        /// The table whose sync slips.
+        table: TableId,
+        /// The nominal completion.
+        scheduled: SimTime,
+        /// The late completion.
+        new_time: SimTime,
+    },
+    /// A fault plan scheduled a synchronization drop.
+    FaultDropPlanned {
+        /// The table whose sync is dropped.
+        table: TableId,
+        /// The nominal completion that never lands.
+        scheduled: SimTime,
+    },
+    /// A fault plan scheduled a site outage.
+    FaultOutagePlanned {
+        /// The site taken down.
+        site: SiteId,
+        /// Window end (exclusive).
+        end: SimTime,
+    },
+    /// A generic named span (e.g. one experiment point in a sweep). The
+    /// event stamp is the span's end.
+    Span {
+        /// Span name (static so rendering never allocates labels).
+        name: &'static str,
+        /// When the span began.
+        start: SimTime,
+    },
+}
+
+impl EventKind {
+    /// The event's kind label, as rendered and as counted by
+    /// [`Trace::counts`](crate::trace::Trace::counts).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Submitted { .. } => "submitted",
+            EventKind::Admission { .. } => "admission",
+            EventKind::SyncDelivered { .. } => "sync_delivered",
+            EventKind::RevisionApplied { .. } => "revision_applied",
+            EventKind::OutageStarted { .. } => "outage_started",
+            EventKind::CacheInvalidated { .. } => "cache_invalidated",
+            EventKind::CacheLookup { .. } => "cache_lookup",
+            EventKind::Replanned { .. } => "replanned",
+            EventKind::JitterApplied { .. } => "jitter",
+            EventKind::Completed { .. } => "completed",
+            EventKind::SearchStarted { .. } => "search_started",
+            EventKind::SearchWave { .. } => "search_wave",
+            EventKind::SearchBound { .. } => "search_bound",
+            EventKind::SearchFinished { .. } => "search_finished",
+            EventKind::FaultSlipPlanned { .. } => "fault_slip_planned",
+            EventKind::FaultDropPlanned { .. } => "fault_drop_planned",
+            EventKind::FaultOutagePlanned { .. } => "fault_outage_planned",
+            EventKind::Span { .. } => "span",
+        }
+    }
+}
+
+/// One sim-time-stamped trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When the event was emitted, on the sim clock.
+    pub at: SimTime,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+/// Renders a time deterministically; [`SimTime::MAX`] (unbounded
+/// boundary) renders as `max`.
+fn fmt_time(t: SimTime) -> String {
+    if t == SimTime::MAX {
+        "max".to_string()
+    } else {
+        format!("{}", t.value())
+    }
+}
+
+impl TraceEvent {
+    /// Appends this event's line (terminated by `\n`) to `out`.
+    pub fn render_into(&self, out: &mut String) {
+        let _ = write!(out, "t={} {}", fmt_time(self.at), self.kind.name());
+        match &self.kind {
+            EventKind::Submitted {
+                query,
+                business_value,
+            } => {
+                let _ = write!(out, " query={} bv={business_value}", query.raw());
+            }
+            EventKind::Admission {
+                query,
+                verdict,
+                shed,
+                shed_marginal_iv,
+                depth,
+            } => {
+                let _ = write!(out, " query={} verdict={}", query.raw(), verdict.label());
+                if let Some(victim) = shed {
+                    let _ = write!(out, " shed={}", victim.raw());
+                }
+                if let Some(iv) = shed_marginal_iv {
+                    let _ = write!(out, " shed_marginal_iv={iv}");
+                }
+                let _ = write!(out, " depth={depth}");
+            }
+            EventKind::SyncDelivered {
+                table,
+                completed_at,
+            } => {
+                let _ = write!(
+                    out,
+                    " table={} completed_at={}",
+                    table.index(),
+                    fmt_time(*completed_at)
+                );
+            }
+            EventKind::RevisionApplied {
+                table,
+                scheduled,
+                new_time,
+                evicted,
+            } => {
+                let _ = write!(
+                    out,
+                    " table={} scheduled={}",
+                    table.index(),
+                    fmt_time(*scheduled)
+                );
+                match new_time {
+                    Some(t) => {
+                        let _ = write!(out, " kind=slip new_time={}", fmt_time(*t));
+                    }
+                    None => {
+                        let _ = write!(out, " kind=drop");
+                    }
+                }
+                let _ = write!(out, " evicted={evicted}");
+            }
+            EventKind::OutageStarted { site, until } => {
+                let _ = write!(out, " site={} until={}", site.index(), fmt_time(*until));
+            }
+            EventKind::CacheInvalidated { evicted } => {
+                let _ = write!(out, " evicted={evicted}");
+            }
+            EventKind::CacheLookup { query, hit } => {
+                let _ = write!(
+                    out,
+                    " query={} outcome={}",
+                    query.raw(),
+                    if *hit { "hit" } else { "miss" }
+                );
+            }
+            EventKind::Replanned {
+                query,
+                floored_sites,
+            } => {
+                let _ = write!(out, " query={} floored_sites={floored_sites}", query.raw());
+            }
+            EventKind::JitterApplied { query, factor } => {
+                let _ = write!(out, " query={} factor={factor}", query.raw());
+            }
+            EventKind::Completed {
+                query,
+                waited,
+                release,
+                service_start,
+                finish,
+                cl,
+                sl,
+                planned_iv,
+                delivered_iv,
+                iv_lost,
+                replanned,
+            } => {
+                let _ = write!(
+                    out,
+                    " query={} waited={} release={} service_start={} finish={} cl={} sl={} \
+                     planned_iv={planned_iv} delivered_iv={delivered_iv} iv_lost={iv_lost} \
+                     replanned={replanned}",
+                    query.raw(),
+                    waited.value(),
+                    fmt_time(*release),
+                    fmt_time(*service_start),
+                    fmt_time(*finish),
+                    cl.value(),
+                    sl.value(),
+                );
+            }
+            EventKind::SearchStarted {
+                query,
+                release_floor,
+                subsets,
+                memo,
+            } => {
+                let _ = write!(
+                    out,
+                    " query={} release_floor={} subsets={subsets} memo={}",
+                    query.raw(),
+                    fmt_time(*release_floor),
+                    if *memo { "on" } else { "off" }
+                );
+            }
+            EventKind::SearchWave {
+                query,
+                wave,
+                candidates,
+                memo,
+            } => {
+                let _ = write!(
+                    out,
+                    " query={} wave={} candidates={candidates} memo={}",
+                    query.raw(),
+                    fmt_time(*wave),
+                    memo.label()
+                );
+            }
+            EventKind::SearchBound {
+                query,
+                at,
+                incumbent_iv,
+                boundary,
+            } => {
+                let _ = write!(
+                    out,
+                    " query={} at={} incumbent_iv={incumbent_iv} boundary={}",
+                    query.raw(),
+                    fmt_time(*at),
+                    fmt_time(*boundary)
+                );
+            }
+            EventKind::SearchFinished {
+                query,
+                explored,
+                waves,
+                pruned,
+                boundary,
+                release,
+                iv,
+            } => {
+                let _ = write!(
+                    out,
+                    " query={} explored={explored} waves={waves} pruned={pruned} boundary={} \
+                     release={} iv={iv}",
+                    query.raw(),
+                    fmt_time(*boundary),
+                    fmt_time(*release),
+                );
+            }
+            EventKind::FaultSlipPlanned {
+                table,
+                scheduled,
+                new_time,
+            } => {
+                let _ = write!(
+                    out,
+                    " table={} scheduled={} new_time={}",
+                    table.index(),
+                    fmt_time(*scheduled),
+                    fmt_time(*new_time)
+                );
+            }
+            EventKind::FaultDropPlanned { table, scheduled } => {
+                let _ = write!(
+                    out,
+                    " table={} scheduled={}",
+                    table.index(),
+                    fmt_time(*scheduled)
+                );
+            }
+            EventKind::FaultOutagePlanned { site, end } => {
+                let _ = write!(out, " site={} end={}", site.index(), fmt_time(*end));
+            }
+            EventKind::Span { name, start } => {
+                let _ = write!(out, " name={name} start={}", fmt_time(*start));
+            }
+        }
+        out.push('\n');
+    }
+
+    /// Renders this event as its own line (convenience over
+    /// [`TraceEvent::render_into`]).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_deterministic_and_named() {
+        let e = TraceEvent {
+            at: SimTime::new(2.5),
+            kind: EventKind::CacheLookup {
+                query: QueryId::new(7),
+                hit: true,
+            },
+        };
+        assert_eq!(e.render(), "t=2.5 cache_lookup query=7 outcome=hit\n");
+        assert_eq!(e.kind.name(), "cache_lookup");
+        assert_eq!(e.render(), e.clone().render());
+    }
+
+    #[test]
+    fn unbounded_boundary_renders_as_max() {
+        let e = TraceEvent {
+            at: SimTime::ZERO,
+            kind: EventKind::SearchBound {
+                query: QueryId::new(0),
+                at: SimTime::ZERO,
+                incumbent_iv: 0.5,
+                boundary: SimTime::MAX,
+            },
+        };
+        assert!(e.render().ends_with("boundary=max\n"), "{}", e.render());
+    }
+
+    #[test]
+    fn drop_and_slip_revisions_render_distinctly() {
+        let slip = TraceEvent {
+            at: SimTime::new(4.0),
+            kind: EventKind::RevisionApplied {
+                table: TableId::new(1),
+                scheduled: SimTime::new(4.0),
+                new_time: Some(SimTime::new(6.0)),
+                evicted: 3,
+            },
+        };
+        let drop = TraceEvent {
+            at: SimTime::new(4.0),
+            kind: EventKind::RevisionApplied {
+                table: TableId::new(1),
+                scheduled: SimTime::new(4.0),
+                new_time: None,
+                evicted: 0,
+            },
+        };
+        assert!(slip.render().contains("kind=slip new_time=6"));
+        assert!(drop.render().contains("kind=drop"));
+    }
+}

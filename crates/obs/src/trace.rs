@@ -1,0 +1,316 @@
+//! The event sink ([`Trace`]) and the cheap emission handle
+//! ([`Tracer`]) instrumented code holds.
+//!
+//! A [`Trace`] is an append-only, in-emission-order event log behind a
+//! mutex (instrumented call sites take `&self`, and the engine shares
+//! one trace across crates). Determinism does not come from the lock —
+//! it comes from the discipline that events are only emitted from
+//! sequential code paths, so the emission order is a pure function of
+//! the run's inputs. The golden-trace suite enforces the consequence:
+//! identical seeded runs render byte-identical traces.
+//!
+//! [`Tracer`] is the handle threaded through constructors: either
+//! disabled (the default — one branch per would-be event, the closure
+//! building the event never runs) or recording into a shared
+//! `Arc<Trace>`.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use ivdss_simkernel::time::SimTime;
+
+use crate::event::{EventKind, TraceEvent};
+use crate::hist::FixedHistogram;
+
+/// Bucket layout of the trace-derived latency histograms: 24 ten-unit
+/// buckets over `[0, 240)`, matching the serve metrics registry.
+pub const TRACE_LATENCY_HIGH: f64 = 240.0;
+/// Bucket count of the trace-derived latency histograms.
+pub const TRACE_LATENCY_BINS: usize = 24;
+/// Upper bound of the trace-derived IV histograms (unit business
+/// value; larger values overflow explicitly).
+pub const TRACE_IV_HIGH: f64 = 1.0;
+/// Bucket count of the trace-derived IV histograms.
+pub const TRACE_IV_BINS: usize = 20;
+
+/// An append-only, sim-time-stamped structured event log.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends one event.
+    pub fn emit(&self, event: TraceEvent) {
+        self.lock().push(event);
+    }
+
+    /// Events emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` if nothing has been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// A copy of the full event log, in emission order.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().clone()
+    }
+
+    /// Per-kind event counts (deterministically ordered by kind name).
+    #[must_use]
+    pub fn counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = BTreeMap::new();
+        for event in self.lock().iter() {
+            *counts.entry(event.kind.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Renders the whole trace, one line per event in emission order.
+    /// This is the byte-identical artifact the golden tests snapshot.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let events = self.lock();
+        let mut out = String::with_capacity(events.len() * 64);
+        for event in events.iter() {
+            event.render_into(&mut out);
+        }
+        out
+    }
+
+    /// Builds the fixed-boundary latency/IV histograms from the
+    /// `completed` events currently in the trace. Histograms from
+    /// different traces (e.g. shards of a sweep) merge exactly via
+    /// [`TraceHistograms::merge`].
+    #[must_use]
+    pub fn histograms(&self) -> TraceHistograms {
+        let mut h = TraceHistograms::new();
+        for event in self.lock().iter() {
+            if let EventKind::Completed {
+                cl,
+                sl,
+                delivered_iv,
+                iv_lost,
+                ..
+            } = &event.kind
+            {
+                h.cl.record(cl.value());
+                h.sl.record(sl.value());
+                h.delivered_iv.record(*delivered_iv);
+                h.iv_lost.record(*iv_lost);
+            }
+        }
+        h
+    }
+
+    /// Prometheus-style text exposition of the trace: per-kind event
+    /// counters followed by the derived latency/IV histograms. Designed
+    /// to be appended to the serve metrics dump.
+    #[must_use]
+    pub fn exposition(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (kind, count) in self.counts() {
+            let _ = writeln!(out, "obs_events_total{{kind=\"{kind}\"}} {count}");
+        }
+        self.histograms().expose(&mut out);
+        out
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<TraceEvent>> {
+        // Poisoning can only follow a panic while pushing/cloning,
+        // which already aborts the run being observed.
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Trace-derived fixed-boundary histograms with exact merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHistograms {
+    /// Computational latency of completions.
+    pub cl: FixedHistogram,
+    /// Synchronization latency of completions.
+    pub sl: FixedHistogram,
+    /// Delivered IV of completions.
+    pub delivered_iv: FixedHistogram,
+    /// IV lost to degradation per completion.
+    pub iv_lost: FixedHistogram,
+}
+
+impl Default for TraceHistograms {
+    fn default() -> Self {
+        TraceHistograms::new()
+    }
+}
+
+impl TraceHistograms {
+    /// Empty histograms with the standard trace bucket layout.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceHistograms {
+            cl: FixedHistogram::new(0.0, TRACE_LATENCY_HIGH, TRACE_LATENCY_BINS),
+            sl: FixedHistogram::new(0.0, TRACE_LATENCY_HIGH, TRACE_LATENCY_BINS),
+            delivered_iv: FixedHistogram::new(0.0, TRACE_IV_HIGH, TRACE_IV_BINS),
+            iv_lost: FixedHistogram::new(0.0, TRACE_IV_HIGH, TRACE_IV_BINS),
+        }
+    }
+
+    /// Exactly merges another shard's histograms into this one.
+    pub fn merge(&mut self, other: &TraceHistograms) {
+        self.cl.merge(&other.cl);
+        self.sl.merge(&other.sl);
+        self.delivered_iv.merge(&other.delivered_iv);
+        self.iv_lost.merge(&other.iv_lost);
+    }
+
+    /// Appends the Prometheus exposition of all four histograms.
+    pub fn expose(&self, out: &mut String) {
+        self.cl.expose("obs_cl", out);
+        self.sl.expose("obs_sl", out);
+        self.delivered_iv.expose("obs_delivered_iv", out);
+        self.iv_lost.expose("obs_iv_lost", out);
+    }
+}
+
+/// The emission handle instrumented code holds: disabled (free) or
+/// recording into a shared [`Trace`].
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    trace: Option<Arc<Trace>>,
+}
+
+impl Tracer {
+    /// A tracer that drops everything without constructing it.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer { trace: None }
+    }
+
+    /// A tracer recording into `trace`.
+    #[must_use]
+    pub fn recording(trace: Arc<Trace>) -> Self {
+        Tracer { trace: Some(trace) }
+    }
+
+    /// `true` if events will actually be recorded. Instrumentation
+    /// with non-trivial setup (e.g. collecting candidate lists) should
+    /// guard on this.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The shared trace, if recording.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Arc<Trace>> {
+        self.trace.as_ref()
+    }
+
+    /// Emits the event built by `build`, stamped `at` — or does
+    /// nothing (without running `build`) when disabled.
+    pub fn emit_with(&self, at: SimTime, build: impl FnOnce() -> EventKind) {
+        if let Some(trace) = &self.trace {
+            trace.emit(TraceEvent { at, kind: build() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivdss_costmodel::query::QueryId;
+    use ivdss_simkernel::time::SimDuration;
+
+    fn completed(iv: f64, iv_lost: f64) -> EventKind {
+        EventKind::Completed {
+            query: QueryId::new(1),
+            waited: SimDuration::ZERO,
+            release: SimTime::ZERO,
+            service_start: SimTime::ZERO,
+            finish: SimTime::new(2.0),
+            cl: SimDuration::new(2.0),
+            sl: SimDuration::new(30.0),
+            planned_iv: iv,
+            delivered_iv: iv,
+            iv_lost,
+            replanned: false,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_skips_the_closure() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        tracer.emit_with(SimTime::ZERO, || panic!("must not be built"));
+    }
+
+    #[test]
+    fn recording_tracer_appends_in_order() {
+        let trace = Arc::new(Trace::new());
+        let tracer = Tracer::recording(Arc::clone(&trace));
+        assert!(tracer.enabled());
+        tracer.emit_with(SimTime::new(1.0), || EventKind::CacheInvalidated {
+            evicted: 1,
+        });
+        tracer.emit_with(SimTime::new(2.0), || completed(0.5, 0.0));
+        let events = trace.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, SimTime::new(1.0));
+        assert_eq!(trace.counts()["completed"], 1);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn histograms_and_exposition_derive_from_completions() {
+        let trace = Trace::new();
+        trace.emit(TraceEvent {
+            at: SimTime::new(2.0),
+            kind: completed(0.5, 0.25),
+        });
+        trace.emit(TraceEvent {
+            at: SimTime::new(3.0),
+            kind: completed(0.9, 0.0),
+        });
+        let h = trace.histograms();
+        assert_eq!(h.delivered_iv.count(), 2);
+        assert_eq!(h.iv_lost.count(), 2);
+        assert_eq!(h.cl.bins()[0], 2, "cl=2 lands in the first bucket");
+        let text = trace.exposition();
+        assert!(text.contains("obs_events_total{kind=\"completed\"} 2"));
+        assert!(text.contains("obs_delivered_iv_count 2"));
+        assert!(text.contains("obs_iv_lost_sum 0.25"));
+    }
+
+    #[test]
+    fn shard_merge_equals_single_trace() {
+        let a = Trace::new();
+        let b = Trace::new();
+        let whole = Trace::new();
+        for (t, iv) in [(&a, 0.2), (&b, 0.8)] {
+            let e = TraceEvent {
+                at: SimTime::ZERO,
+                kind: completed(iv, 0.0),
+            };
+            t.emit(e.clone());
+            whole.emit(e);
+        }
+        let mut merged = a.histograms();
+        merged.merge(&b.histograms());
+        assert_eq!(merged, whole.histograms());
+    }
+}

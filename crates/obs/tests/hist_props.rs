@@ -1,0 +1,180 @@
+//! Property suite for [`FixedHistogram`] — the exactness claims the
+//! crate docs make, checked over ~200 seeded cases each:
+//!
+//! * merged shards report *exactly* the quantiles of a single-pass
+//!   histogram over the union of the samples;
+//! * counts are conserved under any split/merge (and merge grouping
+//!   does not matter);
+//! * bin placement is exact at every representable bucket boundary.
+
+use ivdss_obs::FixedHistogram;
+use proptest::prelude::*;
+
+/// Random-but-valid histogram bounds from a raw `(low, width, bins)`
+/// draw: finite `low < high`, 1..=32 bins. (The vendored proptest
+/// stand-in has no `prop_map`, so derivation happens in the test body.)
+fn make_bounds(low: f64, width: f64, bins: usize) -> (f64, f64, usize) {
+    (low, low + width, bins)
+}
+
+/// Samples spanning well past the bounds so under/overflow is exercised.
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-200.0..200.0f64, 0..120)
+}
+
+fn record_all(h: &mut FixedHistogram, xs: &[f64]) {
+    for &x in xs {
+        h.record(x);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Splitting a sample stream into two shards and merging their
+    /// histograms reproduces the single-pass histogram exactly:
+    /// identical bins, under/overflow, counts and every nearest-rank
+    /// quantile. (The floating `sum` is added shard-at-a-time, so it is
+    /// compared to relative precision, not bitwise.)
+    #[test]
+    fn merge_equals_single_pass(
+        low in -50.0..50.0f64,
+        width in 0.5..75.0f64,
+        bins in 1usize..33,
+        xs in samples(),
+        split_frac in 0.0..1.0f64,
+    ) {
+        let (low, high, bins) = make_bounds(low, width, bins);
+        let split = ((xs.len() as f64) * split_frac) as usize;
+        let (left, right) = xs.split_at(split);
+
+        let mut a = FixedHistogram::new(low, high, bins);
+        let mut b = FixedHistogram::new(low, high, bins);
+        let mut single = FixedHistogram::new(low, high, bins);
+        record_all(&mut a, left);
+        record_all(&mut b, right);
+        record_all(&mut single, &xs);
+
+        a.merge(&b);
+        prop_assert_eq!(a.bins(), single.bins());
+        prop_assert_eq!(a.underflow(), single.underflow());
+        prop_assert_eq!(a.overflow(), single.overflow());
+        prop_assert_eq!(a.count(), single.count());
+        prop_assert!(
+            (a.sum() - single.sum()).abs() <= 1e-9 * (1.0 + single.sum().abs()),
+            "merged sum {} vs single-pass {}", a.sum(), single.sum()
+        );
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(a.quantile(q), single.quantile(q), "quantile {}", q);
+        }
+    }
+
+    /// Counts are conserved: every recorded sample lands in exactly one
+    /// tally, so bins + underflow + overflow == count == samples, and
+    /// any merge grouping of three shards agrees tally-for-tally.
+    #[test]
+    fn counts_conserved_under_split_and_merge(
+        low in -50.0..50.0f64,
+        width in 0.5..75.0f64,
+        bins in 1usize..33,
+        xs in samples(),
+        cut_a in 0.0..1.0f64,
+        cut_b in 0.0..1.0f64,
+    ) {
+        let (low, high, bins) = make_bounds(low, width, bins);
+        let i = ((xs.len() as f64) * cut_a.min(cut_b)) as usize;
+        let j = ((xs.len() as f64) * cut_a.max(cut_b)) as usize;
+        let shards = [&xs[..i], &xs[i..j], &xs[j..]];
+
+        let mut hists = shards.map(|s| {
+            let mut h = FixedHistogram::new(low, high, bins);
+            record_all(&mut h, s);
+            h
+        });
+        for (h, s) in hists.iter().zip(shards) {
+            let tallied: u64 = h.bins().iter().sum::<u64>() + h.underflow() + h.overflow();
+            prop_assert_eq!(tallied, h.count());
+            prop_assert_eq!(h.count(), s.len() as u64);
+        }
+
+        // ((a ∪ b) ∪ c) vs (a ∪ (b ∪ c)): grouping is irrelevant.
+        let [a, b, c] = &mut hists;
+        let mut left_assoc = a.clone();
+        left_assoc.merge(b);
+        left_assoc.merge(c);
+        let mut right_inner = b.clone();
+        right_inner.merge(c);
+        let mut right_assoc = a.clone();
+        right_assoc.merge(&right_inner);
+        prop_assert_eq!(left_assoc.bins(), right_assoc.bins());
+        prop_assert_eq!(left_assoc.underflow(), right_assoc.underflow());
+        prop_assert_eq!(left_assoc.overflow(), right_assoc.overflow());
+        prop_assert_eq!(left_assoc.count(), xs.len() as u64);
+    }
+
+    /// Bucket boundaries are exact: a sample bitwise-equal to an
+    /// interior edge opens that edge's bin, the final edge is
+    /// exclusive (overflow), and anything below the first edge is
+    /// underflow — for *every* edge of an arbitrarily-bounded
+    /// histogram, not just friendly round numbers.
+    #[test]
+    fn bucket_boundaries_are_exact(
+        low in -50.0..50.0f64,
+        width in 0.5..75.0f64,
+        bins in 1usize..33,
+    ) {
+        let (low, high, bins) = make_bounds(low, width, bins);
+        let template = FixedHistogram::new(low, high, bins);
+        let edges = template.edges().to_vec();
+        prop_assert_eq!(edges.len(), bins + 1);
+        prop_assert_eq!(edges[bins], high);
+
+        for (i, &edge) in edges.iter().enumerate() {
+            let mut h = template.clone();
+            h.record(edge);
+            if i < bins {
+                prop_assert_eq!(h.bins()[i], 1, "edge {} must open bin {}", edge, i);
+                prop_assert_eq!(h.overflow(), 0);
+            } else {
+                prop_assert_eq!(h.overflow(), 1, "the last edge is exclusive");
+                prop_assert_eq!(h.bins().iter().sum::<u64>(), 0);
+            }
+            prop_assert_eq!(h.underflow(), 0);
+            prop_assert_eq!(h.count(), 1);
+        }
+
+        let mut h = template.clone();
+        h.record(edges[0] - 1.0);
+        prop_assert_eq!(h.underflow(), 1);
+    }
+
+    /// Quantiles are monotone in `q` and land on bucket bounds (or the
+    /// first edge / +∞ for under/overflow).
+    #[test]
+    fn quantiles_are_monotone_bucket_bounds(
+        low in -50.0..50.0f64,
+        width in 0.5..75.0f64,
+        bins in 1usize..33,
+        xs in samples(),
+        q1 in 0.0..1.0f64,
+        q2 in 0.0..1.0f64,
+    ) {
+        let (low, high, bins) = make_bounds(low, width, bins);
+        let mut h = FixedHistogram::new(low, high, bins);
+        record_all(&mut h, &xs);
+        let (lo_q, hi_q) = (q1.min(q2), q1.max(q2));
+        match (h.quantile(lo_q), h.quantile(hi_q)) {
+            (None, None) => prop_assert!(xs.is_empty()),
+            (Some(a), Some(b)) => {
+                prop_assert!(a <= b, "quantiles must be monotone: {} > {}", a, b);
+                for v in [a, b] {
+                    prop_assert!(
+                        v == f64::INFINITY || h.edges().contains(&v),
+                        "quantile {} is not a bucket bound", v
+                    );
+                }
+            }
+            other => prop_assert!(false, "inconsistent emptiness: {:?}", other),
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! [`Schedule::completions_in`]: crate::schedule::Schedule::completions_in
 
 use ivdss_catalog::ids::TableId;
+use ivdss_obs::{EventKind, Tracer};
 use ivdss_simkernel::time::SimTime;
 
 use crate::timelines::SyncTimelines;
@@ -93,6 +94,27 @@ impl SyncEventCursor {
         }
         events.sort();
         self.position = now;
+        events
+    }
+
+    /// [`SyncEventCursor::advance_to`] with observability: every
+    /// delivered completion is also emitted as a `sync_delivered` trace
+    /// event, stamped at the observation instant `now` (the payload
+    /// carries the completion time on the timeline). With a disabled
+    /// tracer this is exactly `advance_to`.
+    pub fn advance_observed(
+        &mut self,
+        timelines: &SyncTimelines,
+        now: SimTime,
+        tracer: &Tracer,
+    ) -> Vec<SyncEvent> {
+        let events = self.advance_to(timelines, now);
+        for event in &events {
+            tracer.emit_with(now, || EventKind::SyncDelivered {
+                table: event.table,
+                completed_at: event.at,
+            });
+        }
         events
     }
 }
@@ -307,6 +329,24 @@ mod tests {
         let mut cursor = RevisionCursor::new(SimTime::new(5.0));
         assert!(cursor.advance_to(&revisions, SimTime::new(3.0)).is_empty());
         assert_eq!(cursor.position(), SimTime::new(5.0));
+    }
+
+    #[test]
+    fn observed_advance_mirrors_events_into_the_trace() {
+        use ivdss_obs::Trace;
+        use std::sync::Arc;
+
+        let tl = timelines();
+        let trace = Arc::new(Trace::new());
+        let tracer = Tracer::recording(Arc::clone(&trace));
+        let mut observed = SyncEventCursor::new(SimTime::ZERO);
+        let mut plain = SyncEventCursor::new(SimTime::ZERO);
+        let events = observed.advance_observed(&tl, SimTime::new(10.0), &tracer);
+        assert_eq!(events, plain.advance_to(&tl, SimTime::new(10.0)));
+        assert_eq!(trace.len(), events.len());
+        let rendered = trace.render();
+        assert!(rendered.contains("t=10 sync_delivered table=0 completed_at=5"));
+        assert!(rendered.contains("t=10 sync_delivered table=1 completed_at=10"));
     }
 
     #[test]

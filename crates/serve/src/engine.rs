@@ -64,6 +64,9 @@ use ivdss_costmodel::model::CostModel;
 use ivdss_costmodel::query::QueryId;
 use ivdss_faults::{FaultPlan, JitteredCostModel};
 use ivdss_mqo::workload::live_batch_windows;
+use ivdss_obs::{
+    AdmissionVerdict, AuditLog, EventKind, PlanAudit, PlanSource, SearchAudit, Tracer,
+};
 use ivdss_replication::events::{RevisionCursor, SyncEventCursor};
 use ivdss_replication::timelines::SyncTimelines;
 use ivdss_simkernel::time::{SimDuration, SimTime};
@@ -92,6 +95,9 @@ pub struct ServeConfig {
     /// Maximum local-server backlog tolerated before dispatch defers
     /// and queries wait in the admission queue.
     pub dispatch_backlog: SimDuration,
+    /// Plan-decision audits retained (most recent first to go; `0`
+    /// disables audit collection entirely).
+    pub audit_capacity: usize,
 }
 
 impl ServeConfig {
@@ -106,6 +112,7 @@ impl ServeConfig {
             aging: AgingPolicy::DISABLED,
             use_cache: true,
             dispatch_backlog: SimDuration::new(f64::INFINITY),
+            audit_capacity: 256,
         }
     }
 }
@@ -199,6 +206,12 @@ pub struct ServeEngine<'a, C: Clock> {
     /// [`NoQueues`] planning and nominal-bound paths — never the
     /// floored outage re-plan).
     memo: PhaseMemo,
+    /// Structured-event emission handle (disabled unless a trace is
+    /// attached via [`ServeEngine::with_tracer`]).
+    tracer: Tracer,
+    /// Per-query plan-decision audits, bounded by
+    /// [`ServeConfig::audit_capacity`].
+    audits: AuditLog,
 }
 
 impl<'a, C: Clock> ServeEngine<'a, C> {
@@ -228,6 +241,8 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             faults: None,
             planner: ParallelPlanner::new(Arc::new(PlannerPool::sequential())),
             memo: PhaseMemo::new(),
+            tracer: Tracer::disabled(),
+            audits: AuditLog::new(config.audit_capacity),
         }
     }
 
@@ -239,6 +254,19 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
     #[must_use]
     pub fn with_planner_pool(mut self, pool: Arc<PlannerPool>) -> Self {
         self.planner = ParallelPlanner::new(pool);
+        self
+    }
+
+    /// Attaches a structured-event tracer (builder-style). The engine
+    /// then emits the full pipeline trace — submissions, admission
+    /// verdicts, sync deliveries, fault revisions, cache and search
+    /// activity, dispatch→completion spans — into the tracer's shared
+    /// [`Trace`](ivdss_obs::Trace). Identical seeded runs emit
+    /// byte-identical traces; a disabled tracer (the default) costs one
+    /// branch per would-be event.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -322,10 +350,42 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
         &self.memo
     }
 
+    /// The engine's emission handle (disabled unless attached via
+    /// [`ServeEngine::with_tracer`]).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The retained plan-decision audits.
+    #[must_use]
+    pub fn audits(&self) -> &AuditLog {
+        &self.audits
+    }
+
+    /// The most recent plan-decision audit for `query` — *why* the
+    /// engine dispatched the plan it did.
+    #[must_use]
+    pub fn plan_audit(&self, query: QueryId) -> Option<&PlanAudit> {
+        self.audits.get(query)
+    }
+
     /// Freezes the metrics at the current time.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot(self.clock.now())
+    }
+
+    /// Prometheus-style text exposition: the serve metrics dump,
+    /// followed — when a tracer is attached — by the trace's per-kind
+    /// event counters and its derived latency/IV histograms.
+    #[must_use]
+    pub fn exposition(&self) -> String {
+        let mut out = self.snapshot().to_text();
+        if let Some(trace) = self.tracer.trace() {
+            out.push_str(&trace.exposition());
+        }
+        out
     }
 
     /// Release floors of the sites currently inside an injected outage
@@ -359,18 +419,35 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
                     } else {
                         self.metrics.record_fault_drop();
                     }
+                    self.tracer.emit_with(now, || EventKind::RevisionApplied {
+                        table: revision.table,
+                        scheduled: revision.scheduled,
+                        new_time: revision.new_time,
+                        evicted,
+                    });
                 }
             }
             let outages = faults.plan.outages();
             while faults.next_outage < outages.len() && outages[faults.next_outage].start <= now {
+                let outage = outages[faults.next_outage];
                 faults.next_outage += 1;
                 self.metrics.record_fault_outage();
+                self.tracer.emit_with(now, || EventKind::OutageStarted {
+                    site: outage.site,
+                    until: outage.end,
+                });
             }
         }
-        let events = self.cursor.advance_to(&self.timelines, now);
+        let events = self
+            .cursor
+            .advance_observed(&self.timelines, now, &self.tracer);
         if !events.is_empty() {
             let evicted = self.cache.apply_sync_events(&events);
             self.metrics.record_cache_invalidations(evicted as u64);
+            if evicted > 0 {
+                self.tracer
+                    .emit_with(now, || EventKind::CacheInvalidated { evicted });
+            }
         }
         self.metrics.set_cache_size(self.cache.len());
     }
@@ -409,13 +486,18 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
         let floors = self.current_floors(now);
         let floored = SiteFloors::new(&NoQueues, floors);
         let submitted_id = request.id();
+        let business_value = request.business_value.value();
+        self.tracer.emit_with(now, || EventKind::Submitted {
+            query: submitted_id,
+            business_value,
+        });
         let outcome = self
             .queue
             .offer(&planning_ctx!(self, &floored), request, now);
-        let shed = match outcome {
+        let (shed, verdict, shed_marginal_iv) = match outcome {
             AdmitOutcome::Admitted => {
                 self.metrics.record_admitted();
-                None
+                (None, AdmissionVerdict::Admitted, None)
             }
             AdmitOutcome::AdmittedAfterShedding {
                 shed,
@@ -423,14 +505,30 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             } => {
                 self.metrics.record_admitted();
                 self.metrics.record_shed(shed_marginal_iv);
-                Some(shed)
+                (
+                    Some(shed),
+                    AdmissionVerdict::AdmittedAfterShedding,
+                    Some(shed_marginal_iv),
+                )
             }
             AdmitOutcome::Rejected { marginal_iv } => {
                 // The arrival itself was the lowest-value query.
                 self.metrics.record_shed(marginal_iv);
-                Some(submitted_id)
+                (
+                    Some(submitted_id),
+                    AdmissionVerdict::Rejected,
+                    Some(marginal_iv),
+                )
             }
         };
+        let depth = self.queue.len();
+        self.tracer.emit_with(now, || EventKind::Admission {
+            query: submitted_id,
+            verdict,
+            shed,
+            shed_marginal_iv,
+            depth,
+        });
         let completed = self.pump(now, false)?;
         Ok(SubmitReport { shed, completed })
     }
@@ -470,24 +568,43 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
     /// Plans and dispatches one query against the live calendars.
     fn dispatch(&mut self, queued: QueuedQuery, now: SimTime) -> Result<Completion, PlanError> {
         let request = queued.request;
+        let query = request.id();
+        let collect_audit = !self.audits.is_disabled();
+        let mut search_audit: Option<SearchAudit> = None;
+        let mut source;
         let planned = if self.config.use_cache {
             let (eval, outcome) = self.cache.plan(&planning_ctx!(self), &request)?;
+            let hit = matches!(outcome, CacheOutcome::Hit);
+            self.tracer
+                .emit_with(now, || EventKind::CacheLookup { query, hit });
             match outcome {
                 CacheOutcome::Hit => self.metrics.record_cache_hit(),
                 CacheOutcome::Miss => self.metrics.record_cache_miss(),
             }
             self.metrics.set_cache_size(self.cache.len());
+            source = if hit {
+                PlanSource::CacheHit
+            } else {
+                PlanSource::CacheMiss
+            };
             eval
         } else {
             // NoQueues context → the sync-phase memo is sound here.
-            self.planner
-                .search_memoized(
+            source = PlanSource::FreshSearch;
+            let mut audit = collect_audit.then(SearchAudit::default);
+            let best = self
+                .planner
+                .search_memoized_observed(
                     &planning_ctx!(self),
                     &request,
                     request.submitted_at,
                     &self.memo,
+                    &self.tracer,
+                    audit.as_mut(),
                 )?
-                .best
+                .best;
+            search_audit = audit;
+            best
         };
 
         // Outage-aware re-planning: if the chosen plan would span a site
@@ -510,12 +627,28 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             if hits_outage {
                 replanned = true;
                 self.metrics.record_fault_replan();
+                let floored_sites = floors.len();
+                self.tracer.emit_with(now, || EventKind::Replanned {
+                    query,
+                    floored_sites,
+                });
+                source = PlanSource::OutageReplan;
                 let floored = SiteFloors::new(&NoQueues, floors.clone());
                 // Floors are time-dependent queue state → memo unsound;
                 // the pool still parallelizes the candidate evaluation.
-                self.planner
-                    .search_from(&planning_ctx!(self, &floored), &request, now)?
-                    .best
+                let mut audit = collect_audit.then(SearchAudit::default);
+                let best = self
+                    .planner
+                    .search_from_observed(
+                        &planning_ctx!(self, &floored),
+                        &request,
+                        now,
+                        &self.tracer,
+                        audit.as_mut(),
+                    )?
+                    .best;
+                search_audit = audit;
+                best
             } else {
                 planned
             }
@@ -528,6 +661,11 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
         let jittered;
         let live_model: &dyn CostModel = match &self.faults {
             Some(faults) => {
+                let factor = faults.plan.jitter_factor(query);
+                if factor != 1.0 {
+                    self.tracer
+                        .emit_with(now, || EventKind::JitterApplied { query, factor });
+                }
                 jittered = JitteredCostModel::new(self.model, &faults.plan);
                 &jittered
             }
@@ -594,10 +732,36 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             delivered.latencies.synchronization,
             delivered.information_value.value(),
         );
+        let waited = (now - queued.enqueued_at).clamp_non_negative();
+        self.tracer
+            .emit_with(delivered.finish, || EventKind::Completed {
+                query,
+                waited,
+                release,
+                service_start: delivered.service_start,
+                finish: delivered.finish,
+                cl: delivered.latencies.computational,
+                sl: delivered.latencies.synchronization,
+                planned_iv: planned.information_value.value(),
+                delivered_iv: delivered.information_value.value(),
+                iv_lost,
+                replanned,
+            });
+        if collect_audit {
+            self.audits.push(PlanAudit {
+                query,
+                decided_at: now,
+                source,
+                search: search_audit,
+                chosen_release: planned.execute_at,
+                chosen_local: planned.local_tables.iter().copied().collect(),
+                planned_iv: planned.information_value.value(),
+            });
+        }
         Ok(Completion {
-            query: request.id(),
+            query,
             evaluation: delivered,
-            waited: (now - queued.enqueued_at).clamp_non_negative(),
+            waited,
             iv_lost,
             replanned,
         })

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the paper-core crates (ivdss-core, ivdss-serve).
+#
+# Runs `cargo llvm-cov` over the two crates' test suites, writes a
+# human-readable summary plus the raw JSON under target/coverage/, and
+# fails if total line coverage drops below the gate value — the
+# coverage measured on the branch point this gate landed with, so
+# regressions are caught while improvements ratchet the floor upward.
+#
+# Usage:
+#   scripts/coverage.sh                      # gate at the default floor
+#   COVERAGE_THRESHOLD=83.5 scripts/coverage.sh
+#
+# Requires cargo-llvm-cov (CI installs it; locally:
+# `cargo install cargo-llvm-cov` plus the llvm-tools-preview component).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Branch-point line coverage of ivdss-core + ivdss-serve. Raise this
+# whenever a PR meaningfully improves coverage; never lower it to make
+# a red build green.
+THRESHOLD="${COVERAGE_THRESHOLD:-80.0}"
+
+if ! cargo llvm-cov --version >/dev/null 2>&1; then
+  echo "error: cargo-llvm-cov is not installed." >&2
+  echo "  rustup component add llvm-tools-preview" >&2
+  echo "  cargo install cargo-llvm-cov" >&2
+  exit 2
+fi
+
+OUT_DIR="target/coverage"
+mkdir -p "$OUT_DIR"
+
+echo "==> cargo llvm-cov (ivdss-core + ivdss-serve)"
+cargo llvm-cov --package ivdss-core --package ivdss-serve \
+  --json --summary-only --output-path "$OUT_DIR/coverage.json"
+
+python3 - "$OUT_DIR/coverage.json" "$THRESHOLD" "$OUT_DIR/summary.txt" <<'EOF'
+import json
+import sys
+
+report_path, threshold, summary_path = sys.argv[1], float(sys.argv[2]), sys.argv[3]
+with open(report_path) as f:
+    totals = json.load(f)["data"][0]["totals"]
+
+lines = []
+for metric in ("lines", "functions", "regions"):
+    if metric in totals:
+        t = totals[metric]
+        lines.append(
+            f"{metric:<10} {t['covered']:>6}/{t['count']:<6} {t['percent']:6.2f}%"
+        )
+line_pct = totals["lines"]["percent"]
+lines.append(f"gate: line coverage {line_pct:.2f}% vs floor {threshold:.2f}%")
+summary = "\n".join(lines) + "\n"
+sys.stdout.write(summary)
+with open(summary_path, "w") as f:
+    f.write(summary)
+
+if line_pct < threshold:
+    sys.stderr.write(
+        f"FAIL: line coverage {line_pct:.2f}% is below the gate "
+        f"({threshold:.2f}%) — add tests, don't lower the floor.\n"
+    )
+    sys.exit(1)
+print("coverage gate passed")
+EOF

@@ -25,6 +25,7 @@
 //! | [`mqo`] | Workload formation and GA-driven multi-query (order) optimization |
 //! | [`workloads`] | The 22 TPC-H query footprints, synthetic query generators, arrival streams |
 //! | [`faults`] | Deterministic fault injection: seeded sync slips/drops, site outages, cost jitter |
+//! | [`obs`] | Deterministic observability: sim-time-stamped structured traces, plan-decision audits, exact fixed-boundary histograms, Prometheus text exposition |
 //! | [`serve`] | Online query-serving engine: IV-aware admission, sync-phase plan caching, calendar dispatch, metrics |
 //! | [`dsim`] | End-to-end DSS simulator and the per-figure experiment drivers |
 //!
@@ -65,6 +66,7 @@ pub use ivdss_dsim as dsim;
 pub use ivdss_faults as faults;
 pub use ivdss_ga as ga;
 pub use ivdss_mqo as mqo;
+pub use ivdss_obs as obs;
 pub use ivdss_replication as replication;
 pub use ivdss_serve as serve;
 pub use ivdss_simkernel as simkernel;
@@ -93,6 +95,10 @@ pub mod prelude {
     pub use ivdss_ga::{optimize_permutation, GaConfig, Permutation};
     pub use ivdss_mqo::{
         form_workloads, FifoScheduler, MqoScheduler, WorkloadEvaluator, WorkloadScheduler,
+    };
+    pub use ivdss_obs::{
+        AuditLog, EventKind, FixedHistogram, PlanAudit, PlanSource, SearchAudit, Trace, TraceEvent,
+        TraceHistograms, Tracer,
     };
     pub use ivdss_replication::{
         RevisionCursor, Schedule, SyncEvent, SyncEventCursor, SyncMode, SyncTimelines,
