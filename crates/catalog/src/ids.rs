@@ -67,6 +67,45 @@ impl From<u32> for SiteId {
     }
 }
 
+/// Identifier of a serving shard: one federation server in a scaled-out
+/// cluster, owning a slice of the replica set. Distinct from [`SiteId`]
+/// — sites hold *base* tables, shards hold *replicas* — so a routing
+/// decision can never confuse the two address spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(u32);
+
+impl ShardId {
+    /// Creates a shard id from a raw index.
+    #[must_use]
+    pub const fn new(raw: u32) -> Self {
+        ShardId(raw)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw value, for rendering into trace lines.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+impl From<u32> for ShardId {
+    fn from(raw: u32) -> Self {
+        ShardId::new(raw)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,17 +114,21 @@ mod tests {
     fn ids_display_distinctly() {
         assert_eq!(TableId::new(3).to_string(), "T3");
         assert_eq!(SiteId::new(3).to_string(), "S3");
+        assert_eq!(ShardId::new(3).to_string(), "D3");
     }
 
     #[test]
     fn ids_round_trip() {
         assert_eq!(TableId::from(7u32).index(), 7);
         assert_eq!(SiteId::from(7u32).index(), 7);
+        assert_eq!(ShardId::from(7u32).index(), 7);
+        assert_eq!(ShardId::new(7).raw(), 7);
     }
 
     #[test]
     fn ids_are_ordered() {
         assert!(TableId::new(1) < TableId::new(2));
         assert!(SiteId::new(0) < SiteId::new(9));
+        assert!(ShardId::new(0) < ShardId::new(9));
     }
 }

@@ -34,14 +34,16 @@ pub mod catalog;
 pub mod ids;
 pub mod placement;
 pub mod replica;
+pub mod sharding;
 pub mod synthetic;
 pub mod table;
 pub mod tpch;
 
 pub use catalog::{Catalog, CatalogError};
-pub use ids::{SiteId, TableId};
+pub use ids::{ShardId, SiteId, TableId};
 pub use placement::{place_tables, tables_per_site, PlacementStrategy};
 pub use replica::{ReplicaSpec, ReplicationPlan};
+pub use sharding::{ShardAssignment, ShardStrategy};
 pub use synthetic::{synthetic_catalog, SyntheticConfig};
 pub use table::TableMeta;
 pub use tpch::{tpch_catalog, tpch_tables, TpchConfig, TpchTable};

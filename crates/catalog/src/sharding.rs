@@ -1,0 +1,261 @@
+//! Assigning replicated tables to serving shards.
+//!
+//! The paper's hybrid architecture keeps every replica on one federation
+//! server. Scaling that server out means *sharding* the replica set:
+//! each shard owns a subset of the replicated tables, maintains their
+//! synchronization timelines on its own calendar, and serves the queries
+//! whose footprints its replicas cover. Base tables are untouched — they
+//! stay at their remote [`SiteId`](crate::ids::SiteId)s and remain
+//! reachable from every shard, which is what makes partial-coverage
+//! routing (remote-base fallback) safe.
+//!
+//! [`ShardAssignment::partition`] is the deterministic analogue of
+//! [`place_tables`](crate::placement::place_tables) one level up: where
+//! placement scatters *base* tables over *sites*, sharding scatters
+//! *replicas* over *shards*.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::catalog::Catalog;
+use crate::ids::{ShardId, TableId};
+
+/// How replicated tables are distributed over shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShardStrategy {
+    /// Replicas are spread evenly (round-robin over a seeded
+    /// permutation), balancing sync load per shard.
+    #[default]
+    Balanced,
+    /// Replicas are grouped by the *site* their base table lives at, and
+    /// site groups are dealt to shards round-robin. Queries whose
+    /// footprints follow site locality then tend to be fully covered by
+    /// one shard.
+    BySite,
+}
+
+/// The ownership map of a sharded replica set: which shard maintains
+/// (and synchronizes) each replicated table.
+///
+/// Non-replicated tables are deliberately absent — they have no replica
+/// to own, and every shard reaches them remotely.
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_catalog::ids::TableId;
+/// use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+/// use ivdss_catalog::sharding::{ShardAssignment, ShardStrategy};
+/// use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let base = synthetic_catalog(&SyntheticConfig {
+///     tables: 8, sites: 3, replicated_tables: 0, ..SyntheticConfig::default()
+/// })?;
+/// let mut plan = ReplicationPlan::new();
+/// for i in 0..4 {
+///     plan.add(TableId::new(i), ReplicaSpec::new(8.0));
+/// }
+/// let catalog = base.with_replication(plan)?;
+/// let shards = ShardAssignment::partition(&catalog, 2, ShardStrategy::Balanced, 7);
+/// assert_eq!(shards.n_shards(), 2);
+/// // Every replicated table has exactly one owner.
+/// assert_eq!(shards.len(), 4);
+/// assert!(shards.owner(TableId::new(0)).is_some());
+/// assert!(shards.owner(TableId::new(7)).is_none(), "not replicated");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    n_shards: usize,
+    owner: BTreeMap<TableId, ShardId>,
+}
+
+impl ShardAssignment {
+    /// Partitions the catalog's replicated tables over `n_shards`
+    /// shards. Deterministic for a given `(catalog, n_shards, strategy,
+    /// seed)`; a 1-shard partition owns everything, so a 1-shard cluster
+    /// degenerates exactly to the single-server architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards == 0`.
+    #[must_use]
+    pub fn partition(
+        catalog: &Catalog,
+        n_shards: usize,
+        strategy: ShardStrategy,
+        seed: u64,
+    ) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        let replicated: Vec<TableId> = catalog.replication().iter().map(|(t, _)| t).collect();
+        let mut owner = BTreeMap::new();
+        match strategy {
+            ShardStrategy::Balanced => {
+                let mut order = replicated;
+                let mut rng = StdRng::seed_from_u64(seed);
+                order.shuffle(&mut rng);
+                for (pos, table) in order.into_iter().enumerate() {
+                    owner.insert(table, ShardId::new((pos % n_shards) as u32));
+                }
+            }
+            ShardStrategy::BySite => {
+                // Group by base site (BTreeMap → site order is stable),
+                // then deal whole groups to shards round-robin.
+                let mut groups: BTreeMap<u32, Vec<TableId>> = BTreeMap::new();
+                for table in replicated {
+                    let site = catalog.site_of(table);
+                    groups.entry(site.index() as u32).or_default().push(table);
+                }
+                for (pos, (_, tables)) in groups.into_iter().enumerate() {
+                    let shard = ShardId::new((pos % n_shards) as u32);
+                    for table in tables {
+                        owner.insert(table, shard);
+                    }
+                }
+            }
+        }
+        ShardAssignment { n_shards, owner }
+    }
+
+    /// Number of shards in the partition (shards may own zero tables).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Replicated tables under ownership.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// `true` if no table is owned (an unreplicated catalog).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+
+    /// The shard owning `table`'s replica, or `None` if the table is not
+    /// replicated.
+    #[must_use]
+    pub fn owner(&self, table: TableId) -> Option<ShardId> {
+        self.owner.get(&table).copied()
+    }
+
+    /// The replicated tables owned by `shard`, in table order.
+    #[must_use]
+    pub fn owned_by(&self, shard: ShardId) -> Vec<TableId> {
+        self.owner
+            .iter()
+            .filter(|(_, &s)| s == shard)
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// Iterates `(table, owner)` pairs in table order.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, ShardId)> + '_ {
+        self.owner.iter().map(|(&t, &s)| (t, s))
+    }
+
+    /// All shard ids of the partition, in order.
+    pub fn shards(&self) -> impl Iterator<Item = ShardId> {
+        (0..self.n_shards).map(|i| ShardId::new(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::{ReplicaSpec, ReplicationPlan};
+    use crate::synthetic::{synthetic_catalog, SyntheticConfig};
+
+    fn fixture(tables: usize, replicated: usize) -> Catalog {
+        let base = synthetic_catalog(&SyntheticConfig {
+            tables,
+            sites: 3,
+            replicated_tables: 0,
+            seed: 5,
+            ..SyntheticConfig::default()
+        })
+        .unwrap();
+        let mut plan = ReplicationPlan::new();
+        for i in 0..replicated {
+            plan.add(TableId::new(i as u32), ReplicaSpec::new(8.0));
+        }
+        base.with_replication(plan).unwrap()
+    }
+
+    #[test]
+    fn every_replicated_table_has_exactly_one_owner() {
+        let catalog = fixture(10, 6);
+        for strategy in [ShardStrategy::Balanced, ShardStrategy::BySite] {
+            let shards = ShardAssignment::partition(&catalog, 3, strategy, 42);
+            assert_eq!(shards.len(), 6);
+            for (table, _) in catalog.replication().iter() {
+                assert!(shards.owner(table).is_some(), "{table} unowned");
+            }
+            let total: usize = shards.shards().map(|s| shards.owned_by(s).len()).sum();
+            assert_eq!(total, 6, "owned_by partitions the replica set");
+        }
+    }
+
+    #[test]
+    fn balanced_spreads_evenly() {
+        let catalog = fixture(12, 9);
+        let shards = ShardAssignment::partition(&catalog, 3, ShardStrategy::Balanced, 7);
+        for shard in shards.shards() {
+            assert_eq!(shards.owned_by(shard).len(), 3);
+        }
+    }
+
+    #[test]
+    fn by_site_keeps_site_groups_together() {
+        let catalog = fixture(10, 6);
+        let shards = ShardAssignment::partition(&catalog, 3, ShardStrategy::BySite, 7);
+        for (table, owner) in shards.iter() {
+            let site = catalog.site_of(table);
+            for (other, other_owner) in shards.iter() {
+                if catalog.site_of(other) == site {
+                    assert_eq!(owner, other_owner, "{table} and {other} share a site");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let catalog = fixture(8, 5);
+        let shards = ShardAssignment::partition(&catalog, 1, ShardStrategy::Balanced, 3);
+        assert_eq!(shards.owned_by(ShardId::new(0)).len(), 5);
+    }
+
+    #[test]
+    fn partition_is_deterministic_per_seed() {
+        let catalog = fixture(10, 6);
+        let a = ShardAssignment::partition(&catalog, 3, ShardStrategy::Balanced, 9);
+        let b = ShardAssignment::partition(&catalog, 3, ShardStrategy::Balanced, 9);
+        let c = ShardAssignment::partition(&catalog, 3, ShardStrategy::Balanced, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let catalog = fixture(4, 2);
+        let _ = ShardAssignment::partition(&catalog, 0, ShardStrategy::Balanced, 0);
+    }
+
+    #[test]
+    fn unreplicated_tables_have_no_owner() {
+        let catalog = fixture(8, 3);
+        let shards = ShardAssignment::partition(&catalog, 2, ShardStrategy::Balanced, 1);
+        assert!(shards.owner(TableId::new(7)).is_none());
+        assert!(!shards.is_empty());
+    }
+}

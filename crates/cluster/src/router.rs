@@ -1,0 +1,248 @@
+//! Footprint-based query routing.
+//!
+//! A query goes to the live shard whose owned replicas cover the most
+//! of its *replicated* footprint (ties break toward the lowest shard
+//! id, so routing is a pure function of the catalog, the assignment
+//! and the down-set). Whatever replicated tables the chosen shard does
+//! *not* own are reported as `missing`: that shard's restricted
+//! timelines have no replica for them, so its planner falls back to
+//! remote base reads for exactly those tables — partial coverage is a
+//! degradation in IV, never an error.
+//!
+//! Queries whose footprint touches no replicated table have no shard
+//! affinity at all; they are spread deterministically by query id.
+
+use std::collections::BTreeSet;
+
+use ivdss_catalog::catalog::Catalog;
+use ivdss_catalog::ids::{ShardId, TableId};
+use ivdss_catalog::sharding::ShardAssignment;
+use ivdss_costmodel::query::QueryId;
+
+/// Where a query was sent and how well the shard covers it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// The chosen shard.
+    pub shard: ShardId,
+    /// Replicated footprint tables the shard owns a replica of.
+    pub covered: usize,
+    /// Replicated footprint tables the shard does *not* own: it serves
+    /// them via remote base reads (the explicit partial-coverage
+    /// fallback).
+    pub missing: Vec<TableId>,
+}
+
+impl RouteDecision {
+    /// `true` if the shard owns a replica of every replicated table in
+    /// the query's footprint.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.missing.is_empty()
+    }
+}
+
+/// The cluster front door's routing table: a shard assignment consulted
+/// per query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    assignment: ShardAssignment,
+}
+
+impl ShardRouter {
+    /// Creates a router over a shard assignment.
+    #[must_use]
+    pub fn new(assignment: ShardAssignment) -> Self {
+        ShardRouter { assignment }
+    }
+
+    /// The underlying assignment.
+    #[must_use]
+    pub fn assignment(&self) -> &ShardAssignment {
+        &self.assignment
+    }
+
+    /// Routes a query by footprint. Returns `None` only when every
+    /// shard is down.
+    ///
+    /// Selection: among live shards, maximize owned coverage of the
+    /// replicated footprint; break ties toward the lowest shard id.
+    /// A footprint with no replicated tables is spread by
+    /// `query id % live shards` (any shard serves it identically from
+    /// base tables).
+    #[must_use]
+    pub fn route(
+        &self,
+        catalog: &Catalog,
+        query: QueryId,
+        footprint: &[TableId],
+        down: &BTreeSet<ShardId>,
+    ) -> Option<RouteDecision> {
+        let live: Vec<ShardId> = self
+            .assignment
+            .shards()
+            .filter(|s| !down.contains(s))
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        let replicated: Vec<TableId> = footprint
+            .iter()
+            .copied()
+            .filter(|t| catalog.is_replicated(*t))
+            .collect();
+        if replicated.is_empty() {
+            let shard = live[(query.raw() as usize) % live.len()];
+            return Some(RouteDecision {
+                shard,
+                covered: 0,
+                missing: Vec::new(),
+            });
+        }
+        let coverage = |shard: ShardId| {
+            replicated
+                .iter()
+                .filter(|t| self.assignment.owner(**t) == Some(shard))
+                .count()
+        };
+        let shard = live
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                // Max coverage; on ties the *lowest* id must win, so
+                // reverse the id ordering fed to `max_by`.
+                coverage(*a).cmp(&coverage(*b)).then_with(|| b.cmp(a))
+            })
+            .expect("live is non-empty");
+        let missing: Vec<TableId> = replicated
+            .iter()
+            .copied()
+            .filter(|t| self.assignment.owner(*t) != Some(shard))
+            .collect();
+        Some(RouteDecision {
+            shard,
+            covered: replicated.len() - missing.len(),
+            missing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivdss_catalog::ids::SiteId;
+    use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+    use ivdss_catalog::sharding::ShardStrategy;
+    use ivdss_catalog::table::TableMeta;
+
+    /// 3 sites × 2 tables; the first table of each site is replicated.
+    /// Table `2·site + k` lives at site `site`.
+    fn catalog() -> Catalog {
+        let mut tables = Vec::new();
+        let mut placement = Vec::new();
+        let mut plan = ReplicationPlan::new();
+        for site in 0..3u32 {
+            for k in 0..2u32 {
+                let id = TableId::new(site * 2 + k);
+                tables.push(TableMeta::new(id, format!("t{site}_{k}"), 1000, 100));
+                placement.push(SiteId::new(site));
+                if k == 0 {
+                    plan.add(id, ReplicaSpec::new(10.0));
+                }
+            }
+        }
+        Catalog::new(tables, 3, placement, plan).expect("test catalog is valid")
+    }
+
+    fn t(site: u32, k: u32) -> TableId {
+        TableId::new(site * 2 + k)
+    }
+
+    #[test]
+    fn routes_to_the_covering_shard() {
+        let cat = catalog();
+        let assignment = ShardAssignment::partition(&cat, 3, ShardStrategy::BySite, 7);
+        let router = ShardRouter::new(assignment);
+        let table = t(1, 0);
+        let owner = router.assignment().owner(table).expect("replicated");
+        let d = router
+            .route(&cat, QueryId::new(1), &[table], &BTreeSet::new())
+            .expect("live shards exist");
+        assert_eq!(d.shard, owner);
+        assert_eq!(d.covered, 1);
+        assert!(d.is_full());
+    }
+
+    #[test]
+    fn partial_coverage_reports_missing_tables() {
+        let cat = catalog();
+        // BySite puts each site's replica on its own shard, so a query
+        // spanning two sites' replicas can only be partially covered.
+        let assignment = ShardAssignment::partition(&cat, 3, ShardStrategy::BySite, 7);
+        let router = ShardRouter::new(assignment);
+        let d = router
+            .route(&cat, QueryId::new(2), &[t(0, 0), t(1, 0)], &BTreeSet::new())
+            .expect("live shards exist");
+        assert_eq!(d.covered, 1);
+        assert_eq!(d.missing.len(), 1);
+        assert!(!d.is_full());
+        let missing_owner = router.assignment().owner(d.missing[0]);
+        assert_ne!(missing_owner, Some(d.shard), "missing = not owned here");
+    }
+
+    #[test]
+    fn down_shards_are_excluded_and_fallback_is_partial() {
+        let cat = catalog();
+        let assignment = ShardAssignment::partition(&cat, 3, ShardStrategy::BySite, 7);
+        let router = ShardRouter::new(assignment);
+        let table = t(1, 0);
+        let owner = router.assignment().owner(table).expect("replicated");
+        let down: BTreeSet<ShardId> = [owner].into_iter().collect();
+        let d = router
+            .route(&cat, QueryId::new(3), &[table], &down)
+            .expect("two shards still live");
+        assert_ne!(d.shard, owner);
+        assert_eq!(d.covered, 0);
+        assert_eq!(d.missing, vec![table], "served via remote base elsewhere");
+    }
+
+    #[test]
+    fn unreplicated_footprints_spread_by_query_id() {
+        let cat = catalog();
+        let assignment = ShardAssignment::partition(&cat, 2, ShardStrategy::Balanced, 7);
+        let router = ShardRouter::new(assignment);
+        let table = t(0, 1); // never replicated
+        let d0 = router
+            .route(&cat, QueryId::new(0), &[table], &BTreeSet::new())
+            .expect("live");
+        let d1 = router
+            .route(&cat, QueryId::new(1), &[table], &BTreeSet::new())
+            .expect("live");
+        assert_ne!(d0.shard, d1.shard, "consecutive ids alternate shards");
+        assert!(d0.is_full() && d1.is_full());
+    }
+
+    #[test]
+    fn all_shards_down_routes_nowhere() {
+        let cat = catalog();
+        let assignment = ShardAssignment::partition(&cat, 2, ShardStrategy::Balanced, 7);
+        let router = ShardRouter::new(assignment);
+        let down: BTreeSet<ShardId> = router.assignment().shards().collect();
+        assert_eq!(router.route(&cat, QueryId::new(4), &[t(0, 0)], &down), None);
+    }
+
+    #[test]
+    fn ties_break_toward_the_lowest_shard_id() {
+        let cat = catalog();
+        let assignment = ShardAssignment::partition(&cat, 3, ShardStrategy::BySite, 7);
+        let router = ShardRouter::new(assignment);
+        // Both owners cover exactly one table: the lower shard id wins.
+        let owners: Vec<ShardId> = [t(0, 0), t(1, 0)]
+            .iter()
+            .map(|table| router.assignment().owner(*table).expect("replicated"))
+            .collect();
+        let d = router
+            .route(&cat, QueryId::new(5), &[t(0, 0), t(1, 0)], &BTreeSet::new())
+            .expect("live");
+        assert_eq!(d.shard, *owners.iter().min().expect("non-empty"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Cluster chaos suite: a single-shard outage mid-run loses nothing.
+//!
+//! Over a band of seeds, a 3-shard cluster with faults armed takes a
+//! full-shard outage while queues are non-empty. Two families of
+//! assertions:
+//!
+//! 1. **Conservation** — every submitted query is either completed
+//!    somewhere or shed with its IV accounted; nothing disappears when
+//!    a shard goes down (its queue is failed over to the survivors).
+//! 2. **Reconciliation** — the shared trace and the metrics registries
+//!    are two views of the same run and must agree *bit for bit*:
+//!    per-shard completion counts, delivered-IV sums, fault-degradation
+//!    IV sums (`f64::to_bits` equality, same accumulation order), and
+//!    the cluster counters (routing, steals, failover) against their
+//!    event counts.
+
+use std::sync::Arc;
+
+use ivdss_catalog::ids::ShardId;
+use ivdss_catalog::placement::PlacementStrategy;
+use ivdss_catalog::sharding::{ShardAssignment, ShardStrategy};
+use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+use ivdss_cluster::{
+    Cluster, ClusterConfig, ClusterSnapshot, ShardOutage, ShardRouter, ShardTimelines,
+};
+use ivdss_core::value::DiscountRates;
+use ivdss_costmodel::model::StylizedCostModel;
+use ivdss_faults::{FaultConfig, FaultPlan};
+use ivdss_obs::{AdmissionVerdict, EventKind, Trace, TraceEvent, Tracer};
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+use ivdss_serve::clock::DesClock;
+use ivdss_serve::engine::ServeConfig;
+use ivdss_simkernel::rng::SeedFactory;
+use ivdss_simkernel::time::{SimDuration, SimTime};
+use ivdss_workloads::stream::ArrivalStream;
+use ivdss_workloads::synthetic::{random_queries, RandomQueryConfig};
+
+const SEEDS: u64 = 20;
+const SHARDS: usize = 3;
+const QUERIES: usize = 24;
+
+/// One seeded chaos run; returns the final snapshot and the trace.
+fn run_chaos(seed: u64) -> (ClusterSnapshot, Vec<TraceEvent>) {
+    let seeds = SeedFactory::new(seed);
+    let catalog = synthetic_catalog(&SyntheticConfig {
+        tables: 9,
+        sites: 3,
+        placement: PlacementStrategy::Uniform,
+        replicated_tables: 6,
+        mean_sync_period: 5.0,
+        seed: seeds.seed_for("catalog"),
+        ..SyntheticConfig::default()
+    })
+    .expect("chaos catalog configuration is valid");
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let assignment = ShardAssignment::partition(
+        &catalog,
+        SHARDS,
+        ShardStrategy::BySite,
+        seeds.seed_for("shards"),
+    );
+    let router = ShardRouter::new(assignment);
+    let shard_timelines = ShardTimelines::build(&timelines, &router);
+    let model = StylizedCostModel::paper_fig4();
+    let faults = FaultPlan::generate(
+        &FaultConfig {
+            slip_probability: 0.25,
+            drop_probability: 0.1,
+            slip_delay: (1.0, 6.0),
+            outage_mtbf: 90.0,
+            outage_duration: (4.0, 10.0),
+            jitter: (1.0, 1.3),
+            horizon: SimTime::new(300.0),
+        },
+        &timelines,
+        catalog.site_count(),
+        seeds.seed_for("faults"),
+    );
+    let templates = random_queries(&RandomQueryConfig {
+        queries: 6,
+        tables: 9,
+        max_tables_per_query: 3,
+        weight_range: (0.8, 2.0),
+        seed: seeds.seed_for("queries"),
+    });
+    let mut stream = ArrivalStream::new(templates, 0.5, seeds.seed_for("arrivals"));
+
+    // Zero dispatch tolerance builds real queues, so the mid-run shard
+    // outage evacuates a non-empty queue on most seeds.
+    let mut serve = ServeConfig::new(DiscountRates::new(0.05, 0.01));
+    serve.dispatch_backlog = SimDuration::ZERO;
+
+    let trace = Arc::new(Trace::new());
+    let tracer = Tracer::recording(Arc::clone(&trace));
+    // The down shard rotates with the seed so every shard position gets
+    // hit across the band.
+    let victim = ShardId::new((seed % SHARDS as u64) as u32);
+    let mut cluster = Cluster::new(
+        &catalog,
+        &shard_timelines,
+        &model,
+        router,
+        ClusterConfig { serve, steal: true },
+        DesClock::new(),
+    )
+    .with_tracer(tracer)
+    .with_faults(faults)
+    .with_shard_outages(vec![ShardOutage::new(
+        victim,
+        SimTime::new(3.0),
+        SimTime::new(10.0),
+    )]);
+
+    for _ in 0..QUERIES {
+        cluster
+            .submit(stream.next_request())
+            .expect("chaos submission plans");
+    }
+    cluster.drain().expect("chaos drain plans");
+    (cluster.snapshot(), trace.events())
+}
+
+/// Folds `values` in event order — the same order the engine's metrics
+/// accumulated in — so sums can be compared with `f64::to_bits`.
+fn bitwise_sum(values: impl Iterator<Item = f64>) -> f64 {
+    values.fold(0.0, |acc, v| acc + v)
+}
+
+/// Replays the engine's Welford accumulator (`OnlineStats::sum()` is
+/// `mean * count`) over `values` in event order, reproducing the exact
+/// float operations the metrics registry performed.
+fn welford_sum(values: impl Iterator<Item = f64>) -> f64 {
+    let mut count = 0u64;
+    let mut mean = 0.0f64;
+    for x in values {
+        count += 1;
+        mean += (x - mean) / count as f64;
+    }
+    mean * count as f64
+}
+
+#[test]
+fn single_shard_outage_loses_no_queries_cluster_wide() {
+    let mut total_failover_rerouted = 0u64;
+    for seed in 0..SEEDS {
+        let (snapshot, _) = run_chaos(seed);
+
+        assert_eq!(
+            snapshot.queries_submitted, QUERIES as u64,
+            "seed {seed}: every arrival reaches the front door"
+        );
+        // With two shards always live, nothing is ever unroutable: a
+        // query is completed somewhere or shed with its IV accounted in
+        // the shedding shard's metrics.
+        assert_eq!(snapshot.unroutable_shed, 0, "seed {seed}");
+        assert_eq!(
+            snapshot.queries_completed() + snapshot.queries_shed(),
+            QUERIES as u64,
+            "seed {seed}: completions + shed must cover every submission"
+        );
+        assert_eq!(snapshot.shard_outages, 1, "seed {seed}: one outage fired");
+        assert_eq!(
+            snapshot.failover_shed, 0,
+            "seed {seed}: failover never drops while survivors are live"
+        );
+        total_failover_rerouted += snapshot.failover_rerouted;
+    }
+    assert!(
+        total_failover_rerouted > 0,
+        "the outage band must evacuate non-empty queues somewhere"
+    );
+}
+
+#[test]
+fn trace_and_metrics_reconcile_bit_for_bit() {
+    for seed in 0..SEEDS {
+        let (snapshot, events) = run_chaos(seed);
+
+        // Per-shard reconciliation of the completion stream.
+        for (idx, shard) in snapshot.shards.iter().enumerate() {
+            let tag = Some(ShardId::new(idx as u32));
+            let completions: Vec<(f64, f64)> = events
+                .iter()
+                .filter(|e| e.shard == tag)
+                .filter_map(|e| match &e.kind {
+                    EventKind::Completed {
+                        delivered_iv,
+                        iv_lost,
+                        ..
+                    } => Some((*delivered_iv, *iv_lost)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                completions.len() as u64,
+                shard.queries_completed,
+                "seed {seed} shard {idx}: completion count"
+            );
+            let trace_iv = welford_sum(completions.iter().map(|(iv, _)| *iv));
+            assert_eq!(
+                trace_iv.to_bits(),
+                shard.total_delivered_iv.to_bits(),
+                "seed {seed} shard {idx}: delivered-IV sum must match bit for bit"
+            );
+            let trace_iv_lost = bitwise_sum(completions.iter().map(|(_, lost)| *lost));
+            assert_eq!(
+                trace_iv_lost.to_bits(),
+                shard.faults_iv_lost_total.to_bits(),
+                "seed {seed} shard {idx}: iv-lost sum must match bit for bit"
+            );
+            let shed_events = events
+                .iter()
+                .filter(|e| e.shard == tag)
+                .filter(|e| {
+                    matches!(
+                        &e.kind,
+                        EventKind::Admission { verdict, .. }
+                            if !matches!(verdict, AdmissionVerdict::Admitted)
+                    )
+                })
+                .count();
+            assert_eq!(
+                shed_events as u64, shard.queries_shed,
+                "seed {seed} shard {idx}: one non-admit verdict per shed query"
+            );
+        }
+
+        // Cluster counters against their (unscoped) event counts.
+        let count = |name: &str| events.iter().filter(|e| e.kind.name() == name).count() as u64;
+        assert_eq!(
+            count("shard_routed"),
+            snapshot.routed_full + snapshot.routed_partial,
+            "seed {seed}: routed events"
+        );
+        assert_eq!(
+            count("shard_stolen"),
+            snapshot.steals,
+            "seed {seed}: steals"
+        );
+        assert_eq!(
+            count("shard_outage_started"),
+            snapshot.shard_outages,
+            "seed {seed}: outages"
+        );
+        let (rerouted, shed) = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::ShardFailover { rerouted, shed, .. } => Some((*rerouted, *shed)),
+                _ => None,
+            })
+            .fold((0u64, 0u64), |(r, s), (er, es)| {
+                (r + er as u64, s + es as u64)
+            });
+        assert_eq!(
+            (rerouted, shed),
+            (snapshot.failover_rerouted, snapshot.failover_shed),
+            "seed {seed}: failover accounting"
+        );
+
+        // The cluster-wide aggregates are the shard sums, bit for bit.
+        let shard_iv = bitwise_sum(snapshot.shards.iter().map(|s| s.total_delivered_iv));
+        assert_eq!(
+            shard_iv.to_bits(),
+            snapshot.total_delivered_iv().to_bits(),
+            "seed {seed}: cluster IV is the ordered shard sum"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Golden-trace snapshot of a seeded 3-shard cluster run.
+//!
+//! One fixed scenario — catalog, BySite shard assignment, fault plan,
+//! a mid-run shard outage and a steal-friendly configuration — runs
+//! with one shared recording trace and its rendered, shard-tagged log
+//! is compared **byte for byte** against the checked-in fixture
+//! `tests/fixtures/golden_cluster_trace.txt`. Any change to routing
+//! order, steal decisions, failover accounting, event payloads or
+//! float formatting shows up as a fixture diff that has to be reviewed
+//! and re-blessed deliberately:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p ivdss-cluster --test golden_cluster_trace
+//! ```
+//!
+//! A second in-process run of the identical scenario must also render
+//! identical bytes, so run-to-run determinism is asserted even while a
+//! bless is in progress.
+
+use std::sync::Arc;
+
+use ivdss_catalog::ids::ShardId;
+use ivdss_catalog::placement::PlacementStrategy;
+use ivdss_catalog::sharding::{ShardAssignment, ShardStrategy};
+use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+use ivdss_cluster::{Cluster, ClusterConfig, ShardOutage, ShardRouter, ShardTimelines};
+use ivdss_core::value::DiscountRates;
+use ivdss_costmodel::model::StylizedCostModel;
+use ivdss_faults::{FaultConfig, FaultPlan};
+use ivdss_obs::{Trace, Tracer};
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+use ivdss_serve::clock::DesClock;
+use ivdss_serve::engine::ServeConfig;
+use ivdss_simkernel::rng::SeedFactory;
+use ivdss_simkernel::time::{SimDuration, SimTime};
+use ivdss_workloads::stream::ArrivalStream;
+use ivdss_workloads::synthetic::{random_queries, RandomQueryConfig};
+
+const SEED: u64 = 0xC1u64;
+const SHARDS: usize = 3;
+const QUERIES: usize = 16;
+
+/// Runs the fixed golden scenario once, recording into a fresh trace,
+/// and returns the rendered bytes.
+fn run_golden() -> String {
+    let seeds = SeedFactory::new(SEED);
+    let catalog = synthetic_catalog(&SyntheticConfig {
+        tables: 9,
+        sites: 3,
+        placement: PlacementStrategy::Uniform,
+        replicated_tables: 6,
+        mean_sync_period: 5.0,
+        seed: seeds.seed_for("catalog"),
+        ..SyntheticConfig::default()
+    })
+    .expect("golden catalog configuration is valid");
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let assignment = ShardAssignment::partition(
+        &catalog,
+        SHARDS,
+        ShardStrategy::BySite,
+        seeds.seed_for("shards"),
+    );
+    let router = ShardRouter::new(assignment);
+    let shard_timelines = ShardTimelines::build(&timelines, &router);
+    let model = StylizedCostModel::paper_fig4();
+    let faults = FaultPlan::generate(
+        &FaultConfig {
+            slip_probability: 0.3,
+            drop_probability: 0.1,
+            slip_delay: (1.0, 8.0),
+            outage_mtbf: 120.0,
+            outage_duration: (5.0, 15.0),
+            jitter: (1.0, 1.3),
+            horizon: SimTime::new(200.0),
+        },
+        &timelines,
+        catalog.site_count(),
+        seeds.seed_for("faults"),
+    );
+    let templates = random_queries(&RandomQueryConfig {
+        queries: 6,
+        tables: 9,
+        max_tables_per_query: 3,
+        weight_range: (0.8, 2.0),
+        seed: seeds.seed_for("queries"),
+    });
+    let mut stream = ArrivalStream::new(templates, 0.6, seeds.seed_for("arrivals"));
+
+    // A zero-tolerance dispatch gate and a CL-dominant discount keep
+    // queues building and make idle shards worth stealing for, so the
+    // trace exercises routing, stealing, outage failover and
+    // completion in one run.
+    let mut serve = ServeConfig::new(DiscountRates::new(0.05, 0.01));
+    serve.dispatch_backlog = SimDuration::ZERO;
+
+    let trace = Arc::new(Trace::new());
+    let tracer = Tracer::recording(Arc::clone(&trace));
+    let mut cluster = Cluster::new(
+        &catalog,
+        &shard_timelines,
+        &model,
+        router,
+        ClusterConfig { serve, steal: true },
+        DesClock::new(),
+    )
+    .with_tracer(tracer)
+    .with_faults(faults)
+    .with_shard_outages(vec![ShardOutage::new(
+        ShardId::new(1),
+        SimTime::new(4.0),
+        SimTime::new(12.0),
+    )]);
+
+    for _ in 0..QUERIES {
+        cluster
+            .submit(stream.next_request())
+            .expect("golden submission plans");
+    }
+    cluster.drain().expect("golden drain plans");
+    trace.render()
+}
+
+#[test]
+fn golden_cluster_trace_matches_fixture_byte_for_byte() {
+    let rendered = run_golden();
+
+    // In-process determinism first: two identical runs, identical bytes.
+    let again = run_golden();
+    assert_eq!(
+        rendered.as_bytes(),
+        again.as_bytes(),
+        "two identical seeded cluster runs must render byte-identical traces"
+    );
+
+    // The scenario must exercise the interesting cluster paths, or the
+    // golden file degenerates into a vacuous snapshot.
+    for needle in [
+        "shard_routed",
+        "shard_stolen",
+        "shard_outage_started",
+        "shard_failover",
+        " shard=0 ",
+        " shard=1 ",
+        " shard=2 ",
+        "coverage=full",
+        " submitted ",
+        " completed ",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "golden cluster scenario no longer exercises {needle:?}"
+        );
+    }
+
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden_cluster_trace.txt"
+    );
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::write(fixture, &rendered).expect("bless writes the fixture");
+    }
+    let expected = std::fs::read_to_string(fixture).expect(
+        "golden fixture missing — regenerate with \
+         GOLDEN_BLESS=1 cargo test -p ivdss-cluster --test golden_cluster_trace",
+    );
+    assert!(
+        rendered == expected,
+        "trace diverged from tests/fixtures/golden_cluster_trace.txt \
+         (review the diff, then re-bless with GOLDEN_BLESS=1):\n\
+         rendered {} bytes, fixture {} bytes",
+        rendered.len(),
+        expected.len()
+    );
+}

@@ -1,0 +1,136 @@
+//! Property suite for the shard router, over ~200 random catalogs.
+//!
+//! The contract under test: every query either routes to a live shard
+//! that *fully* covers its replicated footprint, or is explicitly
+//! marked partial — with the uncovered tables enumerated so the shard's
+//! planner serves them through the remote-base fallback. Routing is a
+//! total function whenever any shard is live, deterministic, and
+//! optimal (no live shard covers strictly more than the chosen one).
+
+use std::collections::BTreeSet;
+
+use ivdss_catalog::catalog::Catalog;
+use ivdss_catalog::ids::{ShardId, TableId};
+use ivdss_catalog::placement::PlacementStrategy;
+use ivdss_catalog::sharding::{ShardAssignment, ShardStrategy};
+use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+use ivdss_cluster::ShardRouter;
+use ivdss_costmodel::query::QueryId;
+use proptest::prelude::*;
+
+/// Builds a random-but-valid catalog from raw draws.
+fn build_catalog(tables: usize, sites: usize, replicated_raw: usize, seed: u64) -> Catalog {
+    synthetic_catalog(&SyntheticConfig {
+        tables,
+        sites,
+        placement: PlacementStrategy::Uniform,
+        replicated_tables: replicated_raw % (tables + 1),
+        mean_sync_period: 5.0,
+        seed,
+        ..SyntheticConfig::default()
+    })
+    .expect("synthetic catalog from bounded draws is valid")
+}
+
+/// Decodes a bitmask into a table footprint.
+fn footprint(catalog: &Catalog, mask: u16) -> Vec<TableId> {
+    (0..catalog.table_count())
+        .filter(|i| mask & (1 << (i % 16)) != 0)
+        .map(|i| TableId::new(i as u32))
+        .collect()
+}
+
+/// Decodes a bitmask into a down-set.
+fn down_set(n_shards: usize, mask: u8) -> BTreeSet<ShardId> {
+    (0..n_shards)
+        .filter(|i| mask & (1 << (i % 8)) != 0)
+        .map(|i| ShardId::new(i as u32))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Full-coverage-or-explicit-fallback, optimality, tie-breaking and
+    /// determinism of one routing decision.
+    #[test]
+    fn every_query_routes_fully_or_explicitly_partial(
+        tables in 2usize..12,
+        sites in 1usize..4,
+        replicated_raw in 0usize..12,
+        n_shards in 1usize..5,
+        by_site in any::<bool>(),
+        seed in any::<u64>(),
+        query_raw in any::<u64>(),
+        footprint_mask in any::<u16>(),
+        down_mask in any::<u8>(),
+    ) {
+        let catalog = build_catalog(tables, sites, replicated_raw, seed);
+        let strategy = if by_site { ShardStrategy::BySite } else { ShardStrategy::Balanced };
+        let assignment = ShardAssignment::partition(&catalog, n_shards, strategy, seed);
+        let router = ShardRouter::new(assignment);
+        let query = QueryId::new(query_raw);
+        let tables = footprint(&catalog, footprint_mask);
+        let down = down_set(n_shards, down_mask);
+        let live: Vec<ShardId> = router
+            .assignment()
+            .shards()
+            .filter(|s| !down.contains(s))
+            .collect();
+
+        let decision = router.route(&catalog, query, &tables, &down);
+
+        // Total iff any shard is live.
+        prop_assert_eq!(decision.is_some(), !live.is_empty());
+        let Some(decision) = decision else {
+            continue;
+        };
+
+        // Never routes to a down shard.
+        prop_assert!(!down.contains(&decision.shard));
+
+        let replicated: Vec<TableId> = tables
+            .iter()
+            .copied()
+            .filter(|t| catalog.is_replicated(*t))
+            .collect();
+        let owned = |shard: ShardId| -> usize {
+            replicated
+                .iter()
+                .filter(|t| router.assignment().owner(**t) == Some(shard))
+                .count()
+        };
+
+        // Coverage accounting is exact: covered + missing partitions the
+        // replicated footprint, and `covered` is what the shard owns.
+        prop_assert_eq!(decision.covered + decision.missing.len(), replicated.len());
+        prop_assert_eq!(decision.covered, owned(decision.shard));
+        for table in &decision.missing {
+            prop_assert!(catalog.is_replicated(*table));
+            prop_assert_ne!(router.assignment().owner(*table), Some(decision.shard));
+        }
+        // Full coverage is exactly "nothing missing": either the query
+        // routes to a full-coverage shard, or the partial fallback is
+        // explicit about every table it will read from base.
+        prop_assert_eq!(decision.is_full(), decision.missing.is_empty());
+
+        // Optimality: no live shard owns strictly more of the footprint.
+        for shard in &live {
+            prop_assert!(owned(*shard) <= decision.covered);
+        }
+        // Tie-break: among live shards with maximal coverage the lowest
+        // id wins (unreplicated footprints spread by query id instead).
+        if !replicated.is_empty() {
+            let best = live
+                .iter()
+                .copied()
+                .filter(|s| owned(*s) == decision.covered)
+                .min()
+                .expect("the chosen shard is live and maximal");
+            prop_assert_eq!(decision.shard, best);
+        }
+
+        // Determinism: the same inputs route the same way.
+        prop_assert_eq!(router.route(&catalog, query, &tables, &down), Some(decision));
+    }
+}

@@ -5,6 +5,7 @@
 //! (`cargo run -p ivdss-bench --release --bin figN`).
 
 pub mod chaos;
+pub mod cluster;
 pub mod common;
 pub mod fig4;
 pub mod fig5;
@@ -13,6 +14,10 @@ pub mod fig8;
 pub mod fig9;
 
 pub use chaos::{run_chaos, severity_faults, ChaosConfig, ChaosPoint, ChaosResults};
+pub use cluster::{
+    run_cluster_point, run_cluster_scaling, ClusterScalingConfig, ClusterScalingPoint,
+    ClusterScalingResults, SHARD_COUNTS,
+};
 pub use common::{method_setups, synthetic_hybrid, tpch_hybrid, Method, MethodSetup};
 pub use fig4::{fig4_setup, run_fig4, Fig4Results, Fig4Setup};
 pub use fig5::{fig5_rate_configs, run_fig5, Fig5Cell, Fig5Config, Fig5Results};

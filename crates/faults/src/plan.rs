@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use ivdss_catalog::ids::SiteId;
+use ivdss_catalog::ids::{SiteId, TableId};
 use ivdss_costmodel::query::QueryId;
 use ivdss_replication::events::TimelineRevision;
 use ivdss_replication::timelines::SyncTimelines;
@@ -163,6 +163,27 @@ impl FaultPlan {
             jitter: (1.0, 1.0),
             jitter_seed: 0,
             horizon,
+        }
+    }
+
+    /// This plan scoped to one shard of a sharded replica set: timeline
+    /// revisions are kept only for the `tables` the shard owns (a sync
+    /// slip perturbs exactly the shard maintaining that replica), while
+    /// site outages and cost jitter — shared infrastructure every shard
+    /// reaches — are kept in full.
+    #[must_use]
+    pub fn scoped_to_tables(&self, tables: &[TableId]) -> FaultPlan {
+        FaultPlan {
+            revisions: self
+                .revisions
+                .iter()
+                .filter(|r| tables.contains(&r.table))
+                .copied()
+                .collect(),
+            outages: self.outages.clone(),
+            jitter: self.jitter,
+            jitter_seed: self.jitter_seed,
+            horizon: self.horizon,
         }
     }
 
@@ -430,6 +451,35 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn shard_scoping_splits_revisions_but_keeps_infrastructure_faults() {
+        let tl = timelines();
+        let plan = FaultPlan::generate(&chaos_config(), &tl, 3, 11);
+        let shard0 = plan.scoped_to_tables(&[TableId::new(0)]);
+        let shard1 = plan.scoped_to_tables(&[TableId::new(1)]);
+        // Revisions partition by ownership…
+        assert!(shard0
+            .revisions()
+            .iter()
+            .all(|r| r.table == TableId::new(0)));
+        assert!(shard1
+            .revisions()
+            .iter()
+            .all(|r| r.table == TableId::new(1)));
+        assert_eq!(
+            shard0.revisions().len() + shard1.revisions().len(),
+            plan.revisions().len()
+        );
+        // …while site outages and jitter are shared infrastructure.
+        assert_eq!(shard0.outages(), plan.outages());
+        assert_eq!(shard1.outages(), plan.outages());
+        assert_eq!(
+            shard0.jitter_factor(QueryId::new(9)),
+            plan.jitter_factor(QueryId::new(9))
+        );
+        assert_eq!(shard0.horizon(), plan.horizon());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use std::fmt::Write as _;
 
-use ivdss_catalog::ids::{SiteId, TableId};
+use ivdss_catalog::ids::{ShardId, SiteId, TableId};
 use ivdss_costmodel::query::QueryId;
 use ivdss_simkernel::time::{SimDuration, SimTime};
 
@@ -263,6 +263,45 @@ pub enum EventKind {
         /// When the span began.
         start: SimTime,
     },
+    /// The cluster front door routed a query to a shard.
+    ShardRouted {
+        /// The routed query.
+        query: QueryId,
+        /// The chosen shard.
+        shard: ShardId,
+        /// Replicated footprint tables the shard's replicas cover.
+        covered: usize,
+        /// Replicated footprint tables it does *not* cover — served via
+        /// remote-base fallback (`> 0` marks a partial-coverage route).
+        missing: usize,
+    },
+    /// An idle shard stole a queued query from a backlogged one.
+    ShardStolen {
+        /// The stolen query.
+        query: QueryId,
+        /// The backlogged victim shard.
+        from: ShardId,
+        /// The idle thief shard.
+        to: ShardId,
+    },
+    /// An injected shard-outage window opened: the shard stops serving
+    /// and its queue is failed over.
+    ShardOutageStarted {
+        /// The shard taken down.
+        shard: ShardId,
+        /// When it recovers.
+        until: SimTime,
+    },
+    /// A down shard's queue was failed over to the surviving shards.
+    ShardFailover {
+        /// The shard whose queue was evacuated.
+        shard: ShardId,
+        /// Queries re-admitted elsewhere.
+        rerouted: usize,
+        /// Queries shed during re-admission (their IV is accounted in
+        /// the receiving shard's shed metrics).
+        shed: usize,
+    },
 }
 
 impl EventKind {
@@ -289,6 +328,10 @@ impl EventKind {
             EventKind::FaultDropPlanned { .. } => "fault_drop_planned",
             EventKind::FaultOutagePlanned { .. } => "fault_outage_planned",
             EventKind::Span { .. } => "span",
+            EventKind::ShardRouted { .. } => "shard_routed",
+            EventKind::ShardStolen { .. } => "shard_stolen",
+            EventKind::ShardOutageStarted { .. } => "shard_outage_started",
+            EventKind::ShardFailover { .. } => "shard_failover",
         }
     }
 }
@@ -298,8 +341,25 @@ impl EventKind {
 pub struct TraceEvent {
     /// When the event was emitted, on the sim clock.
     pub at: SimTime,
+    /// The emitting shard, when the event came from one engine of a
+    /// sharded cluster (stamped by a shard-scoped
+    /// [`Tracer`](crate::trace::Tracer)). `None` — the single-server
+    /// case — renders byte-identically to the pre-cluster format.
+    pub shard: Option<ShardId>,
     /// The payload.
     pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// An untagged (single-server) event.
+    #[must_use]
+    pub fn new(at: SimTime, kind: EventKind) -> Self {
+        TraceEvent {
+            at,
+            shard: None,
+            kind,
+        }
+    }
 }
 
 /// Renders a time deterministically; [`SimTime::MAX`] (unbounded
@@ -316,6 +376,9 @@ impl TraceEvent {
     /// Appends this event's line (terminated by `\n`) to `out`.
     pub fn render_into(&self, out: &mut String) {
         let _ = write!(out, "t={} {}", fmt_time(self.at), self.kind.name());
+        if let Some(shard) = self.shard {
+            let _ = write!(out, " shard={}", shard.raw());
+        }
         match &self.kind {
             EventKind::Submitted {
                 query,
@@ -509,6 +572,43 @@ impl TraceEvent {
             EventKind::Span { name, start } => {
                 let _ = write!(out, " name={name} start={}", fmt_time(*start));
             }
+            EventKind::ShardRouted {
+                query,
+                shard,
+                covered,
+                missing,
+            } => {
+                let _ = write!(
+                    out,
+                    " query={} to={} covered={covered} missing={missing} coverage={}",
+                    query.raw(),
+                    shard.raw(),
+                    if *missing == 0 { "full" } else { "partial" }
+                );
+            }
+            EventKind::ShardStolen { query, from, to } => {
+                let _ = write!(
+                    out,
+                    " query={} from={} to={}",
+                    query.raw(),
+                    from.raw(),
+                    to.raw()
+                );
+            }
+            EventKind::ShardOutageStarted { shard, until } => {
+                let _ = write!(out, " shard={} until={}", shard.raw(), fmt_time(*until));
+            }
+            EventKind::ShardFailover {
+                shard,
+                rerouted,
+                shed,
+            } => {
+                let _ = write!(
+                    out,
+                    " shard={} rerouted={rerouted} shed={shed}",
+                    shard.raw()
+                );
+            }
         }
         out.push('\n');
     }
@@ -529,13 +629,13 @@ mod tests {
 
     #[test]
     fn lines_are_deterministic_and_named() {
-        let e = TraceEvent {
-            at: SimTime::new(2.5),
-            kind: EventKind::CacheLookup {
+        let e = TraceEvent::new(
+            SimTime::new(2.5),
+            EventKind::CacheLookup {
                 query: QueryId::new(7),
                 hit: true,
             },
-        };
+        );
         assert_eq!(e.render(), "t=2.5 cache_lookup query=7 outcome=hit\n");
         assert_eq!(e.kind.name(), "cache_lookup");
         assert_eq!(e.render(), e.clone().render());
@@ -543,39 +643,110 @@ mod tests {
 
     #[test]
     fn unbounded_boundary_renders_as_max() {
-        let e = TraceEvent {
-            at: SimTime::ZERO,
-            kind: EventKind::SearchBound {
+        let e = TraceEvent::new(
+            SimTime::ZERO,
+            EventKind::SearchBound {
                 query: QueryId::new(0),
                 at: SimTime::ZERO,
                 incumbent_iv: 0.5,
                 boundary: SimTime::MAX,
             },
-        };
+        );
         assert!(e.render().ends_with("boundary=max\n"), "{}", e.render());
     }
 
     #[test]
     fn drop_and_slip_revisions_render_distinctly() {
-        let slip = TraceEvent {
-            at: SimTime::new(4.0),
-            kind: EventKind::RevisionApplied {
+        let slip = TraceEvent::new(
+            SimTime::new(4.0),
+            EventKind::RevisionApplied {
                 table: TableId::new(1),
                 scheduled: SimTime::new(4.0),
                 new_time: Some(SimTime::new(6.0)),
                 evicted: 3,
             },
-        };
-        let drop = TraceEvent {
-            at: SimTime::new(4.0),
-            kind: EventKind::RevisionApplied {
+        );
+        let drop = TraceEvent::new(
+            SimTime::new(4.0),
+            EventKind::RevisionApplied {
                 table: TableId::new(1),
                 scheduled: SimTime::new(4.0),
                 new_time: None,
                 evicted: 0,
             },
-        };
+        );
         assert!(slip.render().contains("kind=slip new_time=6"));
         assert!(drop.render().contains("kind=drop"));
+    }
+
+    #[test]
+    fn shard_tag_renders_after_the_kind() {
+        let tagged = TraceEvent {
+            at: SimTime::new(2.5),
+            shard: Some(ShardId::new(1)),
+            kind: EventKind::CacheLookup {
+                query: QueryId::new(7),
+                hit: false,
+            },
+        };
+        assert_eq!(
+            tagged.render(),
+            "t=2.5 cache_lookup shard=1 query=7 outcome=miss\n"
+        );
+        // Untagged events keep the pre-cluster byte format.
+        let untagged = TraceEvent::new(tagged.at, tagged.kind.clone());
+        assert_eq!(
+            untagged.render(),
+            "t=2.5 cache_lookup query=7 outcome=miss\n"
+        );
+    }
+
+    #[test]
+    fn cluster_events_render_routing_and_stealing() {
+        let routed = TraceEvent::new(
+            SimTime::new(1.0),
+            EventKind::ShardRouted {
+                query: QueryId::new(3),
+                shard: ShardId::new(2),
+                covered: 2,
+                missing: 1,
+            },
+        );
+        assert_eq!(
+            routed.render(),
+            "t=1 shard_routed query=3 to=2 covered=2 missing=1 coverage=partial\n"
+        );
+        let stolen = TraceEvent::new(
+            SimTime::new(2.0),
+            EventKind::ShardStolen {
+                query: QueryId::new(3),
+                from: ShardId::new(0),
+                to: ShardId::new(2),
+            },
+        );
+        assert_eq!(stolen.render(), "t=2 shard_stolen query=3 from=0 to=2\n");
+        let outage = TraceEvent::new(
+            SimTime::new(3.0),
+            EventKind::ShardOutageStarted {
+                shard: ShardId::new(1),
+                until: SimTime::new(9.0),
+            },
+        );
+        assert_eq!(
+            outage.render(),
+            "t=3 shard_outage_started shard=1 until=9\n"
+        );
+        let failover = TraceEvent::new(
+            SimTime::new(3.0),
+            EventKind::ShardFailover {
+                shard: ShardId::new(1),
+                rerouted: 4,
+                shed: 1,
+            },
+        );
+        assert_eq!(
+            failover.render(),
+            "t=3 shard_failover shard=1 rerouted=4 shed=1\n"
+        );
     }
 }

@@ -17,6 +17,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use ivdss_catalog::ids::ShardId;
 use ivdss_simkernel::time::SimTime;
 
 use crate::event::{EventKind, TraceEvent};
@@ -188,23 +189,50 @@ impl TraceHistograms {
 }
 
 /// The emission handle instrumented code holds: disabled (free) or
-/// recording into a shared [`Trace`].
+/// recording into a shared [`Trace`], optionally stamping every emitted
+/// event with the shard it came from.
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
     trace: Option<Arc<Trace>>,
+    shard: Option<ShardId>,
 }
 
 impl Tracer {
     /// A tracer that drops everything without constructing it.
     #[must_use]
     pub fn disabled() -> Self {
-        Tracer { trace: None }
+        Tracer {
+            trace: None,
+            shard: None,
+        }
     }
 
     /// A tracer recording into `trace`.
     #[must_use]
     pub fn recording(trace: Arc<Trace>) -> Self {
-        Tracer { trace: Some(trace) }
+        Tracer {
+            trace: Some(trace),
+            shard: None,
+        }
+    }
+
+    /// This tracer, re-scoped to stamp every emitted event with `shard`.
+    /// A cluster hands each per-shard engine `tracer.for_shard(id)` over
+    /// one shared trace: the interleaved log stays in emission order
+    /// while every line says which engine produced it.
+    #[must_use]
+    pub fn for_shard(&self, shard: ShardId) -> Self {
+        Tracer {
+            trace: self.trace.clone(),
+            shard: Some(shard),
+        }
+    }
+
+    /// The shard this tracer stamps, if scoped via
+    /// [`Tracer::for_shard`].
+    #[must_use]
+    pub fn shard(&self) -> Option<ShardId> {
+        self.shard
     }
 
     /// `true` if events will actually be recorded. Instrumentation
@@ -225,7 +253,11 @@ impl Tracer {
     /// nothing (without running `build`) when disabled.
     pub fn emit_with(&self, at: SimTime, build: impl FnOnce() -> EventKind) {
         if let Some(trace) = &self.trace {
-            trace.emit(TraceEvent { at, kind: build() });
+            trace.emit(TraceEvent {
+                at,
+                shard: self.shard,
+                kind: build(),
+            });
         }
     }
 }
@@ -278,14 +310,8 @@ mod tests {
     #[test]
     fn histograms_and_exposition_derive_from_completions() {
         let trace = Trace::new();
-        trace.emit(TraceEvent {
-            at: SimTime::new(2.0),
-            kind: completed(0.5, 0.25),
-        });
-        trace.emit(TraceEvent {
-            at: SimTime::new(3.0),
-            kind: completed(0.9, 0.0),
-        });
+        trace.emit(TraceEvent::new(SimTime::new(2.0), completed(0.5, 0.25)));
+        trace.emit(TraceEvent::new(SimTime::new(3.0), completed(0.9, 0.0)));
         let h = trace.histograms();
         assert_eq!(h.delivered_iv.count(), 2);
         assert_eq!(h.iv_lost.count(), 2);
@@ -302,15 +328,31 @@ mod tests {
         let b = Trace::new();
         let whole = Trace::new();
         for (t, iv) in [(&a, 0.2), (&b, 0.8)] {
-            let e = TraceEvent {
-                at: SimTime::ZERO,
-                kind: completed(iv, 0.0),
-            };
+            let e = TraceEvent::new(SimTime::ZERO, completed(iv, 0.0));
             t.emit(e.clone());
             whole.emit(e);
         }
         let mut merged = a.histograms();
         merged.merge(&b.histograms());
         assert_eq!(merged, whole.histograms());
+    }
+
+    #[test]
+    fn shard_scoped_tracer_stamps_events() {
+        let trace = Arc::new(Trace::new());
+        let root = Tracer::recording(Arc::clone(&trace));
+        assert_eq!(root.shard(), None);
+        let shard1 = root.for_shard(ShardId::new(1));
+        assert_eq!(shard1.shard(), Some(ShardId::new(1)));
+        root.emit_with(SimTime::ZERO, || EventKind::CacheInvalidated { evicted: 1 });
+        shard1.emit_with(SimTime::new(1.0), || EventKind::CacheInvalidated {
+            evicted: 2,
+        });
+        let events = trace.events();
+        assert_eq!(events[0].shard, None);
+        assert_eq!(events[1].shard, Some(ShardId::new(1)));
+        assert!(trace
+            .render()
+            .contains("cache_invalidated shard=1 evicted=2"));
     }
 }

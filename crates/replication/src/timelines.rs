@@ -104,6 +104,28 @@ impl SyncTimelines {
         self.schedules.insert(table, schedule)
     }
 
+    /// The timelines restricted to `tables`: schedules of tables outside
+    /// the set are dropped, making them non-replicated from the holder's
+    /// point of view. This is per-shard replica *ownership* — a shard
+    /// holding the restriction plans remote-base access for every table
+    /// it does not own, because [`SyncTimelines::has_replica`] is how
+    /// the planner decides what can be served locally.
+    ///
+    /// Restricting to a superset of the scheduled tables returns an
+    /// identical (`==`) value, so a single-shard restriction degenerates
+    /// exactly to the unsharded timelines.
+    #[must_use]
+    pub fn restricted(&self, tables: &[TableId]) -> SyncTimelines {
+        SyncTimelines {
+            schedules: self
+                .schedules
+                .iter()
+                .filter(|(t, _)| tables.contains(t))
+                .map(|(t, s)| (*t, s.clone()))
+                .collect(),
+        }
+    }
+
     /// Returns `true` if `table` has a replica schedule.
     #[must_use]
     pub fn has_replica(&self, table: TableId) -> bool {
@@ -452,6 +474,26 @@ mod tests {
             tl.next_sync(table, SimTime::new(20.0)),
             Some(SimTime::new(25.0))
         );
+    }
+
+    #[test]
+    fn restricted_drops_unowned_tables() {
+        let tl = SyncTimelines::from_plan(&plan(), SyncMode::Deterministic);
+        let shard = tl.restricted(&[TableId::new(1)]);
+        assert_eq!(shard.len(), 1);
+        assert!(!shard.has_replica(TableId::new(0)));
+        assert!(shard.has_replica(TableId::new(1)));
+        assert_eq!(
+            shard.schedule(TableId::new(1)),
+            tl.schedule(TableId::new(1))
+        );
+    }
+
+    #[test]
+    fn restriction_to_superset_is_identity() {
+        let tl = SyncTimelines::from_plan(&plan(), SyncMode::Deterministic);
+        let all = tl.restricted(&[TableId::new(0), TableId::new(1), TableId::new(9)]);
+        assert_eq!(all, tl);
     }
 
     #[test]

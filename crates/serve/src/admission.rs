@@ -135,6 +135,13 @@ impl AdmissionQueue {
         self.entries.pop_front()
     }
 
+    /// Removes and returns the *youngest* queued query — the
+    /// work-stealing victim: it is last in FIFO order, so taking it
+    /// never reorders or delays the queries ahead of it.
+    pub fn pop_back(&mut self) -> Option<QueuedQuery> {
+        self.entries.pop_back()
+    }
+
     /// Iterates the queued queries in FIFO order.
     pub fn iter(&self) -> impl Iterator<Item = &QueuedQuery> {
         self.entries.iter()
@@ -202,15 +209,35 @@ impl AdmissionQueue {
         request: QueryRequest,
         now: SimTime,
     ) -> AdmitOutcome {
-        if self.entries.len() < self.capacity {
-            self.entries.push_back(QueuedQuery {
+        self.push(
+            ctx,
+            QueuedQuery {
                 request,
                 enqueued_at: now,
-            });
+            },
+            now,
+        )
+    }
+
+    /// Offers an *already-queued* query — a work-stealing transfer or a
+    /// failover from another engine's queue — preserving its original
+    /// enqueue time so waiting and §3.3 aging accounting stay honest.
+    /// The capacity policy is identical to [`AdmissionQueue::offer`]:
+    /// with room the entry is appended; at capacity the minimum-
+    /// marginal-IV query among the queue plus the arrival is shed (ties
+    /// keep the incumbents).
+    pub fn push(
+        &mut self,
+        ctx: &PlanContext<'_>,
+        queued: QueuedQuery,
+        now: SimTime,
+    ) -> AdmitOutcome {
+        if self.entries.len() < self.capacity {
+            self.entries.push_back(queued);
             return AdmitOutcome::Admitted;
         }
 
-        let incoming_iv = marginal_iv(ctx, &request, now, self.aging);
+        let incoming_iv = marginal_iv(ctx, &queued.request, now, self.aging);
         let victim = self
             .entries
             .iter()
@@ -220,10 +247,7 @@ impl AdmissionQueue {
         match victim {
             Some((idx, queued_iv)) if queued_iv < incoming_iv => {
                 let shed = self.entries.remove(idx).expect("victim index is in bounds");
-                self.entries.push_back(QueuedQuery {
-                    request,
-                    enqueued_at: now,
-                });
+                self.entries.push_back(queued);
                 AdmitOutcome::AdmittedAfterShedding {
                     shed: shed.request.id(),
                     shed_marginal_iv: queued_iv,
@@ -354,6 +378,65 @@ mod tests {
         assert!(matches!(
             q.offer(&ctx, request(1, 1.0, 0.0), SimTime::ZERO),
             AdmitOutcome::Rejected { .. }
+        ));
+    }
+
+    #[test]
+    fn pop_back_steals_the_youngest() {
+        let (catalog, timelines, model) = fixture();
+        let ctx = PlanContext {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::new(0.05, 0.05),
+            queues: &NoQueues,
+        };
+        let mut q = AdmissionQueue::new(4, AgingPolicy::DISABLED);
+        q.offer(&ctx, request(0, 1.0, 0.0), SimTime::ZERO);
+        q.offer(&ctx, request(1, 1.0, 1.0), SimTime::new(1.0));
+        let stolen = q.pop_back().expect("two entries queued");
+        assert_eq!(stolen.request.id(), QueryId::new(1));
+        assert_eq!(stolen.enqueued_at, SimTime::new(1.0));
+        assert_eq!(q.peek().unwrap().request.id(), QueryId::new(0));
+    }
+
+    #[test]
+    fn push_preserves_enqueue_time_and_sheds_at_capacity() {
+        let (catalog, timelines, model) = fixture();
+        let ctx = PlanContext {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::new(0.05, 0.05),
+            queues: &NoQueues,
+        };
+        let mut q = AdmissionQueue::new(1, AgingPolicy::DISABLED);
+        let transferred = QueuedQuery {
+            request: request(7, 5.0, 0.0),
+            enqueued_at: SimTime::new(0.5),
+        };
+        assert_eq!(
+            q.push(&ctx, transferred, SimTime::new(2.0)),
+            AdmitOutcome::Admitted
+        );
+        assert_eq!(q.peek().unwrap().enqueued_at, SimTime::new(0.5));
+        // At capacity the same IV-aware shedding applies: a cheap
+        // transfer is rejected, a valuable one displaces the incumbent.
+        let cheap = QueuedQuery {
+            request: request(8, 0.01, 2.0),
+            enqueued_at: SimTime::new(2.0),
+        };
+        assert!(matches!(
+            q.push(&ctx, cheap, SimTime::new(2.0)),
+            AdmitOutcome::Rejected { .. }
+        ));
+        let rich = QueuedQuery {
+            request: request(9, 50.0, 2.0),
+            enqueued_at: SimTime::new(2.0),
+        };
+        assert!(matches!(
+            q.push(&ctx, rich, SimTime::new(2.0)),
+            AdmitOutcome::AdmittedAfterShedding { shed, .. } if shed == QueryId::new(7)
         ));
     }
 

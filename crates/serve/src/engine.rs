@@ -306,6 +306,53 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
         self.queue.len()
     }
 
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Time until the local federation server's calendar has an idle
+    /// instant at the engine's current time — the backlog the dispatch
+    /// gate compares against [`ServeConfig::dispatch_backlog`].
+    #[must_use]
+    pub fn backlog(&self) -> SimDuration {
+        self.local_backlog(self.clock.now())
+    }
+
+    /// The queries currently waiting for dispatch, in FIFO order.
+    pub fn queued(&self) -> impl Iterator<Item = &QueuedQuery> {
+        self.queue.iter()
+    }
+
+    /// Removes the youngest queued query for a work-stealing transfer
+    /// to another engine. The youngest entry is the correct victim: it
+    /// is last in FIFO order, so its departure never delays the queries
+    /// ahead of it.
+    pub fn steal_youngest(&mut self) -> Option<QueuedQuery> {
+        let stolen = self.queue.pop_back();
+        if stolen.is_some() {
+            self.metrics
+                .set_queue_depth(self.clock.now(), self.queue.len());
+        }
+        stolen
+    }
+
+    /// Drains the whole admission queue without dispatching — the
+    /// shard-outage failover path: a cluster evacuates a down engine's
+    /// queue and re-admits the entries elsewhere via
+    /// [`ServeEngine::accept`].
+    pub fn evacuate(&mut self) -> Vec<QueuedQuery> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(q) = self.queue.pop_front() {
+            out.push(q);
+        }
+        if !out.is_empty() {
+            self.metrics.set_queue_depth(self.clock.now(), 0);
+        }
+        out
+    }
+
     /// The metrics registry.
     #[must_use]
     pub fn metrics(&self) -> &ServeMetrics {
@@ -494,6 +541,42 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
         let outcome = self
             .queue
             .offer(&planning_ctx!(self, &floored), request, now);
+        let shed = self.note_admission(outcome, submitted_id, now);
+        let completed = self.pump(now, false)?;
+        Ok(SubmitReport { shed, completed })
+    }
+
+    /// Accepts a query handed over from another engine of a sharded
+    /// cluster — a work-stealing transfer or a shard-outage failover.
+    /// The entry keeps its original enqueue time (waiting and §3.3
+    /// aging accounting stay honest) and passes through the same
+    /// IV-aware admission policy as a fresh arrival, but is *not*
+    /// counted as a new submission: the shard it was routed to already
+    /// counted it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from planning a dispatched query.
+    pub fn accept(&mut self, queued: QueuedQuery) -> Result<SubmitReport, PlanError> {
+        let now = self.clock.now();
+        self.sync_tick(now);
+        let floors = self.current_floors(now);
+        let floored = SiteFloors::new(&NoQueues, floors);
+        let arrival = queued.request.id();
+        let outcome = self.queue.push(&planning_ctx!(self, &floored), queued, now);
+        let shed = self.note_admission(outcome, arrival, now);
+        let completed = self.pump(now, false)?;
+        Ok(SubmitReport { shed, completed })
+    }
+
+    /// Records the metrics and trace event of an admission outcome;
+    /// returns the shed victim, if any.
+    fn note_admission(
+        &mut self,
+        outcome: AdmitOutcome,
+        arrival: QueryId,
+        now: SimTime,
+    ) -> Option<QueryId> {
         let (shed, verdict, shed_marginal_iv) = match outcome {
             AdmitOutcome::Admitted => {
                 self.metrics.record_admitted();
@@ -514,23 +597,18 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             AdmitOutcome::Rejected { marginal_iv } => {
                 // The arrival itself was the lowest-value query.
                 self.metrics.record_shed(marginal_iv);
-                (
-                    Some(submitted_id),
-                    AdmissionVerdict::Rejected,
-                    Some(marginal_iv),
-                )
+                (Some(arrival), AdmissionVerdict::Rejected, Some(marginal_iv))
             }
         };
         let depth = self.queue.len();
         self.tracer.emit_with(now, || EventKind::Admission {
-            query: submitted_id,
+            query: arrival,
             verdict,
             shed,
             shed_marginal_iv,
             depth,
         });
-        let completed = self.pump(now, false)?;
-        Ok(SubmitReport { shed, completed })
+        shed
     }
 
     /// Dispatches queued queries while the backlog bound admits them

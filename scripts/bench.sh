@@ -1,22 +1,26 @@
 #!/usr/bin/env bash
 # Reproducible benchmark trajectory: regenerates every paper figure,
 # runs the ablations, and produces the machine-readable planner-scaling
-# report (BENCH_planner.json at the repo root).
+# and cluster shard-scaling reports (BENCH_planner.json and
+# BENCH_cluster.json at the repo root).
 #
 # Usage:
-#   scripts/bench.sh            # full run (minutes)
-#   scripts/bench.sh --smoke    # scaled-down run (seconds; CI gate)
-#   scripts/bench.sh --out F    # write the scaling JSON to F instead
+#   scripts/bench.sh                  # full run (minutes)
+#   scripts/bench.sh --smoke          # scaled-down run (seconds; CI gate)
+#   scripts/bench.sh --out F          # write the planner JSON to F instead
+#   scripts/bench.sh --cluster-out F  # write the cluster JSON to F instead
 #
 # Every bin is seeded and deterministic; only the wall-clock timings in
-# BENCH_planner.json vary across hosts (the JSON records the host's
-# hardware parallelism so readers can tell which regime produced it).
+# the JSON reports vary across hosts (BENCH_planner.json records the
+# host's hardware parallelism so readers can tell which regime produced
+# it).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SMOKE=0
 OUT="BENCH_planner.json"
+CLUSTER_OUT="BENCH_cluster.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1 ;;
@@ -25,7 +29,12 @@ while [[ $# -gt 0 ]]; do
       [[ $# -gt 0 ]] || { echo "--out needs a path" >&2; exit 2; }
       OUT="$1"
       ;;
-    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE]" >&2; exit 2 ;;
+    --cluster-out)
+      shift
+      [[ $# -gt 0 ]] || { echo "--cluster-out needs a path" >&2; exit 2; }
+      CLUSTER_OUT="$1"
+      ;;
+    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE] [--cluster-out FILE]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -51,4 +60,8 @@ echo "==> planner scaling (writes $OUT)"
 cargo run --offline --release -p ivdss-bench --bin planner_scaling -- \
   ${QUICK[@]+"${QUICK[@]}"} --out "$OUT"
 
-echo "Benchmark trajectory complete; scaling report at $OUT."
+echo "==> cluster shard scaling (writes $CLUSTER_OUT)"
+cargo run --offline --release -p ivdss-bench --bin cluster_scaling -- \
+  ${QUICK[@]+"${QUICK[@]}"} --out "$CLUSTER_OUT"
+
+echo "Benchmark trajectory complete; scaling reports at $OUT and $CLUSTER_OUT."

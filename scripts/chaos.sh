@@ -17,6 +17,9 @@ cargo test --offline --release -p ivdss-core --test differential
 echo "==> severity-sweep chaos experiment"
 cargo test --offline --release -p ivdss-dsim chaos
 
+echo "==> cluster shard-outage chaos (20-seed band, trace reconciliation)"
+cargo test --offline --release -p ivdss-cluster --test cluster_chaos
+
 echo "==> scripted outage-and-recovery end to end"
 cargo test --offline --release --test chaos_recovery
 

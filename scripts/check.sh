@@ -14,4 +14,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> cluster differential + property + golden suites (release)"
+cargo test --offline --release -p ivdss-cluster
+
 echo "All checks passed."

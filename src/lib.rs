@@ -27,6 +27,7 @@
 //! | [`faults`] | Deterministic fault injection: seeded sync slips/drops, site outages, cost jitter |
 //! | [`obs`] | Deterministic observability: sim-time-stamped structured traces, plan-decision audits, exact fixed-boundary histograms, Prometheus text exposition |
 //! | [`serve`] | Online query-serving engine: IV-aware admission, sync-phase plan caching, calendar dispatch, metrics |
+//! | [`cluster`] | Sharded multi-engine cluster serving: footprint-based shard routing with explicit partial-coverage fallback, IV-guarded work stealing, shard-outage failover, aggregated metrics |
 //! | [`dsim`] | End-to-end DSS simulator and the per-figure experiment drivers |
 //!
 //! # Quickstart
@@ -60,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub use ivdss_catalog as catalog;
+pub use ivdss_cluster as cluster;
 pub use ivdss_core as core;
 pub use ivdss_costmodel as costmodel;
 pub use ivdss_dsim as dsim;
@@ -76,7 +78,12 @@ pub use ivdss_workloads as workloads;
 pub mod prelude {
     pub use ivdss_catalog::{
         synthetic_catalog, tpch_catalog, Catalog, PlacementStrategy, ReplicaSpec, ReplicationPlan,
-        SiteId, SyntheticConfig, TableId, TableMeta, TpchConfig,
+        ShardAssignment, ShardId, ShardStrategy, SiteId, SyntheticConfig, TableId, TableMeta,
+        TpchConfig,
+    };
+    pub use ivdss_cluster::{
+        Cluster, ClusterConfig, ClusterSnapshot, RouteDecision, ShardOutage, ShardRouter,
+        ShardTimelines,
     };
     pub use ivdss_core::{
         evaluate_plan, exhaustive_search, AgingPolicy, BusinessValue, DiscountRate, DiscountRates,
