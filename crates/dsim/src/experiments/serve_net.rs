@@ -1,0 +1,323 @@
+//! Network-serving experiment — the TCP front door under closed-loop
+//! load.
+//!
+//! Not a figure from the paper: the paper's §5 deployment discussion
+//! motivates a near real-time *service*, and this point measures what
+//! the reproduction's service layer sustains. A [`NetServer`] is bound
+//! on loopback over a sharded [`Cluster`]; the closed-loop driver
+//! (`ivdss_net::driver`) submits a seeded workload in batches over real
+//! sockets and the point reports sustained throughput, delivered IV and
+//! batch round-trip latency.
+//!
+//! Two clock modes:
+//!
+//! * [`NetMode::Sim`] — the engine runs on a [`DesClock`] and the
+//!   driver stamps query *i* at `i × interarrival`. With one client the
+//!   whole run is deterministic: same seed, same completions, same IV
+//!   (asserted by the module tests). This is the differential anchor.
+//! * [`NetMode::Wall`] — the engine runs on a [`WallClock`] and the
+//!   server stamps arrivals from its own clock: the live-serving
+//!   configuration the throughput bench (`BENCH_serve_net.json`)
+//!   measures.
+
+use ivdss_catalog::placement::PlacementStrategy;
+use ivdss_catalog::sharding::{ShardAssignment, ShardStrategy};
+use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+use ivdss_cluster::{Cluster, ClusterConfig, ShardRouter, ShardTimelines};
+use ivdss_core::value::DiscountRates;
+use ivdss_costmodel::model::StylizedCostModel;
+use ivdss_net::driver::{run_net_closed_loop, DriverConfig, SubmitTiming};
+use ivdss_net::server::{NetConfig, NetServer};
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+use ivdss_serve::clock::{Clock, DesClock, WallClock};
+use ivdss_serve::engine::ServeConfig;
+use ivdss_simkernel::rng::SeedFactory;
+use ivdss_workloads::synthetic::{random_queries, RandomQueryConfig};
+
+/// Which clock drives the served engine (and how submissions are
+/// timestamped).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetMode {
+    /// Deterministic: [`DesClock`] engine, driver-sequenced timestamps.
+    Sim {
+        /// Sim-time spacing between consecutive query ids.
+        interarrival: f64,
+    },
+    /// Live: [`WallClock`] engine at this scale, server-stamped
+    /// arrivals.
+    Wall {
+        /// Simulation time units (paper minutes) per real second.
+        units_per_second: f64,
+    },
+}
+
+/// Configuration of one network-serving point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetServeConfig {
+    /// Total queries pushed through the sockets.
+    pub queries: usize,
+    /// Concurrent driver connections.
+    pub clients: usize,
+    /// Queries per submit frame.
+    pub batch: usize,
+    /// Shards behind the front door.
+    pub shards: usize,
+    /// Tables in the synthetic catalog.
+    pub tables: usize,
+    /// Sites in the synthetic catalog.
+    pub sites: usize,
+    /// Replicated tables.
+    pub replicated_tables: usize,
+    /// Distinct query templates (few templates → high plan-cache hit
+    /// rate, the throughput-friendly regime).
+    pub templates: usize,
+    /// Root seed for catalog and workload.
+    pub seed: u64,
+    /// Clock/timestamp mode.
+    pub mode: NetMode,
+}
+
+impl Default for NetServeConfig {
+    fn default() -> Self {
+        NetServeConfig {
+            queries: 50_000,
+            clients: 2,
+            batch: 256,
+            shards: 1,
+            tables: 8,
+            sites: 3,
+            replicated_tables: 4,
+            templates: 4,
+            seed: 0x5E47E,
+            mode: NetMode::Wall {
+                units_per_second: 1.0,
+            },
+        }
+    }
+}
+
+/// What one network-serving point measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetServePoint {
+    /// Queries submitted over the sockets.
+    pub submitted: usize,
+    /// Completions streamed back.
+    pub completed: usize,
+    /// Queries shed by the server.
+    pub shed: usize,
+    /// Total delivered information value.
+    pub delivered_iv: f64,
+    /// Wall-clock seconds of the closed loop.
+    pub wall_secs: f64,
+    /// Sustained queries per second.
+    pub qps: f64,
+    /// Median batch round-trip, microseconds.
+    pub rtt_p50_micros: Option<f64>,
+    /// p99 batch round-trip, microseconds.
+    pub rtt_p99_micros: Option<f64>,
+    /// Request frames the server executed.
+    pub frames_in: u64,
+    /// Response frames the server wrote.
+    pub frames_out: u64,
+    /// `std::thread::available_parallelism()` of the host the number
+    /// was measured on — throughput is not comparable across hosts
+    /// without it.
+    pub host_parallelism: usize,
+}
+
+impl NetServePoint {
+    /// Renders the point as an aligned table.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== Network serving — closed-loop throughput ==");
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10} {:>6} {:>12} {:>10} {:>12} {:>12}",
+            "submitted", "completed", "shed", "IV", "wall s", "qps", "rtt p50 µs"
+        );
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10} {:>6} {:>12.3} {:>10.4} {:>12.0} {:>12.1}",
+            self.submitted,
+            self.completed,
+            self.shed,
+            self.delivered_iv,
+            self.wall_secs,
+            self.qps,
+            self.rtt_p50_micros.unwrap_or(f64::NAN),
+        );
+        out
+    }
+}
+
+/// Runs one network-serving point: bind, serve, drive, shut down.
+///
+/// # Panics
+///
+/// Panics if the loopback server cannot bind or the driver hits a
+/// socket/protocol error — both are environment failures, not
+/// measurement outcomes.
+#[must_use]
+pub fn run_net_point(config: &NetServeConfig) -> NetServePoint {
+    match config.mode {
+        NetMode::Sim { interarrival } => run_point_with(
+            config,
+            DesClock::new(),
+            SubmitTiming::Sequenced { interarrival },
+        ),
+        NetMode::Wall { units_per_second } => run_point_with(
+            config,
+            WallClock::with_scale(units_per_second),
+            SubmitTiming::ServerClock,
+        ),
+    }
+}
+
+fn run_point_with<C: Clock + Clone + Send>(
+    config: &NetServeConfig,
+    clock: C,
+    timing: SubmitTiming,
+) -> NetServePoint {
+    let seeds = SeedFactory::new(config.seed);
+    let catalog = synthetic_catalog(&SyntheticConfig {
+        tables: config.tables,
+        sites: config.sites,
+        placement: PlacementStrategy::Skewed,
+        replicated_tables: config.replicated_tables,
+        mean_sync_period: 5.0,
+        seed: seeds.seed_for("catalog"),
+        ..SyntheticConfig::default()
+    })
+    .expect("net-serving catalog configuration is valid");
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let assignment = ShardAssignment::partition(
+        &catalog,
+        config.shards,
+        ShardStrategy::Balanced,
+        seeds.seed_for("shards"),
+    );
+    let router = ShardRouter::new(assignment);
+    let shard_timelines = ShardTimelines::build(&timelines, &router);
+    let model = StylizedCostModel::paper_fig4();
+    // Throughput-friendly serving config: immediate dispatch, cache on,
+    // audits off (they are measured elsewhere; here they would only
+    // perturb the hot loop).
+    let mut serve = ServeConfig::new(DiscountRates::new(0.01, 0.05));
+    serve.audit_capacity = 0;
+    let mut cluster = Cluster::new(
+        &catalog,
+        &shard_timelines,
+        &model,
+        router,
+        ClusterConfig {
+            serve,
+            steal: false,
+        },
+        clock,
+    );
+
+    let templates = random_queries(&RandomQueryConfig {
+        queries: config.templates,
+        tables: config.tables,
+        max_tables_per_query: 2,
+        weight_range: (0.8, 1.2),
+        seed: seeds.seed_for("queries"),
+    });
+
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let switch = server.shutdown_switch();
+    let (report, stats) = std::thread::scope(|scope| {
+        let server_thread = scope.spawn(|| server.serve(&mut cluster).expect("server runs"));
+        let driver = DriverConfig {
+            clients: config.clients,
+            queries: config.queries,
+            batch: config.batch,
+            business_value: 1.0,
+            timing,
+        };
+        let report = run_net_closed_loop(addr, &templates, &driver).expect("closed loop runs");
+        switch.trip();
+        let stats = server_thread.join().expect("server thread joins");
+        (report, stats)
+    });
+
+    NetServePoint {
+        submitted: report.submitted,
+        completed: report.completed,
+        shed: report.shed,
+        delivered_iv: report.delivered_iv,
+        wall_secs: report.wall_secs,
+        qps: report.qps,
+        rtt_p50_micros: report.rtt_percentile(0.50),
+        rtt_p99_micros: report.rtt_percentile(0.99),
+        frames_in: stats.frames_in,
+        frames_out: stats.frames_out,
+        host_parallelism: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(mode: NetMode) -> NetServeConfig {
+        NetServeConfig {
+            queries: 400,
+            clients: 1,
+            batch: 64,
+            mode,
+            ..NetServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn sim_mode_is_deterministic_and_conserves_queries() {
+        let config = small(NetMode::Sim { interarrival: 0.01 });
+        let a = run_net_point(&config);
+        let b = run_net_point(&config);
+        assert_eq!(a.submitted, 400);
+        assert_eq!(a.completed + a.shed, a.submitted);
+        assert!(a.completed > 0 && a.delivered_iv > 0.0);
+        // Same seed, one client, sequenced timestamps: the engine-side
+        // outcome is bit-identical run to run (wall timings differ).
+        assert_eq!(a.submitted, b.submitted);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.delivered_iv.to_bits(), b.delivered_iv.to_bits());
+    }
+
+    #[test]
+    fn wall_mode_serves_and_conserves_queries() {
+        let point = run_net_point(&small(NetMode::Wall {
+            units_per_second: 1.0,
+        }));
+        assert_eq!(point.completed + point.shed, point.submitted);
+        assert!(point.completed > 0 && point.qps > 0.0);
+        assert!(point.frames_in >= point.frames_out);
+        assert!(point.host_parallelism >= 1);
+    }
+
+    #[test]
+    fn multi_shard_point_serves() {
+        let point = run_net_point(&NetServeConfig {
+            queries: 200,
+            clients: 2,
+            batch: 32,
+            shards: 2,
+            mode: NetMode::Sim { interarrival: 0.01 },
+            ..NetServeConfig::default()
+        });
+        assert_eq!(point.completed + point.shed, point.submitted);
+    }
+
+    #[test]
+    fn table_renders() {
+        let point = run_net_point(&small(NetMode::Sim { interarrival: 0.01 }));
+        let table = point.to_table();
+        assert!(table.contains("Network serving"));
+        assert!(table.contains("qps"));
+    }
+}

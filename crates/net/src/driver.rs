@@ -1,0 +1,225 @@
+//! The closed-loop load driver.
+//!
+//! A fixed population of clients, each on its own TCP connection, each
+//! submitting a batch of queries and blocking for the merged report
+//! before issuing the next batch — the classic closed loop: offered
+//! load self-regulates to what the server sustains, so the measured
+//! throughput *is* the server's capacity on this host, not a queueing
+//! artifact.
+//!
+//! Query ids are drawn from one shared atomic counter, so the id space
+//! is globally unique across clients; templates are cycled by id, so
+//! the submitted *set* of queries is independent of client interleaving
+//! (only the arrival order varies, as it would in any real deployment).
+//!
+//! Submission timestamps follow [`SubmitTiming`]: `Sequenced` stamps
+//! query *i* at `i × interarrival` — the deterministic sim-clock mode —
+//! while `ServerClock` lets the server stamp arrivals from its own
+//! (wall) clock.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use ivdss_costmodel::query::QuerySpec;
+use ivdss_obs::FixedHistogram;
+
+use crate::client::{NetClient, NetError};
+use crate::proto::SubmitSpec;
+
+/// How the driver stamps submission times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmitTiming {
+    /// Query `i` is submitted at sim time `i × interarrival` — fully
+    /// deterministic under a server [`DesClock`](ivdss_serve::clock::DesClock).
+    Sequenced {
+        /// Sim-time spacing between consecutive query ids.
+        interarrival: f64,
+    },
+    /// The server stamps each arrival with its own clock — the
+    /// wall-clock serving mode.
+    ServerClock,
+}
+
+/// Configuration of one closed-loop run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total queries to issue across all clients.
+    pub queries: usize,
+    /// Queries per request frame. Larger batches amortize the
+    /// per-frame syscall + dispatch-loop cost; 1 measures pure
+    /// request/response latency.
+    pub batch: usize,
+    /// Business value stamped on every query.
+    pub business_value: f64,
+    /// Submission-time mode.
+    pub timing: SubmitTiming,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            clients: 2,
+            queries: 10_000,
+            batch: 128,
+            business_value: 1.0,
+            timing: SubmitTiming::Sequenced { interarrival: 0.01 },
+        }
+    }
+}
+
+/// What a closed-loop run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetLoadReport {
+    /// Queries submitted over the sockets.
+    pub submitted: usize,
+    /// Completions streamed back.
+    pub completed: usize,
+    /// Queries shed by the server.
+    pub shed: usize,
+    /// Sum of delivered information value.
+    pub delivered_iv: f64,
+    /// Wall-clock seconds from first byte to last response.
+    pub wall_secs: f64,
+    /// Submitted queries per wall-clock second.
+    pub qps: f64,
+    /// Per-batch round-trip times in microseconds (histogram bins
+    /// `0..50_000µs`; overflow collects the tail).
+    pub rtt_micros: FixedHistogram,
+}
+
+impl NetLoadReport {
+    /// Nearest-rank RTT percentile in microseconds, `None` until a
+    /// batch completed.
+    #[must_use]
+    pub fn rtt_percentile(&self, q: f64) -> Option<f64> {
+        self.rtt_micros.quantile(q)
+    }
+}
+
+/// Histogram bounds for batch round-trip times.
+const RTT_HIGH_MICROS: f64 = 50_000.0;
+const RTT_BINS: usize = 100;
+
+/// Runs the closed loop against a serving front door.
+///
+/// # Errors
+///
+/// Propagates the first client's [`NetError`]; sibling clients are
+/// joined before returning.
+///
+/// # Panics
+///
+/// Panics if `clients`, `batch` or `templates` is zero/empty.
+pub fn run_net_closed_loop(
+    addr: std::net::SocketAddr,
+    templates: &[QuerySpec],
+    config: &DriverConfig,
+) -> Result<NetLoadReport, NetError> {
+    assert!(config.clients > 0, "need at least one client");
+    assert!(config.batch > 0, "batch must be positive");
+    assert!(!templates.is_empty(), "need at least one template");
+
+    let next_id = AtomicUsize::new(0);
+    let started = Instant::now();
+
+    struct ClientTally {
+        submitted: usize,
+        completed: usize,
+        shed: usize,
+        delivered_iv: f64,
+        rtt: FixedHistogram,
+    }
+
+    let tallies: Vec<Result<ClientTally, NetError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|_| {
+                let next_id = &next_id;
+                scope.spawn(move || -> Result<ClientTally, NetError> {
+                    let mut client = NetClient::connect(addr)?;
+                    let mut tally = ClientTally {
+                        submitted: 0,
+                        completed: 0,
+                        shed: 0,
+                        delivered_iv: 0.0,
+                        rtt: FixedHistogram::new(0.0, RTT_HIGH_MICROS, RTT_BINS),
+                    };
+                    loop {
+                        // Claim the next batch of ids; stop when the
+                        // global budget is spent.
+                        let start = next_id.fetch_add(config.batch, Ordering::Relaxed);
+                        if start >= config.queries {
+                            break;
+                        }
+                        let end = (start + config.batch).min(config.queries);
+                        let specs: Vec<SubmitSpec> = (start..end)
+                            .map(|i| {
+                                let template = &templates[i % templates.len()];
+                                SubmitSpec {
+                                    id: i as u64,
+                                    tables: template
+                                        .tables()
+                                        .iter()
+                                        .map(|t| t.index() as u32)
+                                        .collect(),
+                                    weight: template.weight(),
+                                    selectivity: template.selectivity(),
+                                    business_value: config.business_value,
+                                    submitted_at: match config.timing {
+                                        SubmitTiming::Sequenced { interarrival } => {
+                                            Some(i as f64 * interarrival)
+                                        }
+                                        SubmitTiming::ServerClock => None,
+                                    },
+                                }
+                            })
+                            .collect();
+                        let sent = specs.len();
+                        let rtt_start = Instant::now();
+                        let report = client.submit_batch(specs)?;
+                        tally.rtt.record(rtt_start.elapsed().as_secs_f64() * 1e6);
+                        tally.submitted += sent;
+                        tally.completed += report.completions.len();
+                        tally.shed += report.shed.len();
+                        tally.delivered_iv += report.delivered_iv();
+                    }
+                    // Flush whatever the backlog gate still holds.
+                    let report = client.drain()?;
+                    tally.completed += report.completions.len();
+                    tally.delivered_iv += report.delivered_iv();
+                    Ok(tally)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread does not panic"))
+            .collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut report = NetLoadReport {
+        submitted: 0,
+        completed: 0,
+        shed: 0,
+        delivered_iv: 0.0,
+        wall_secs,
+        qps: 0.0,
+        rtt_micros: FixedHistogram::new(0.0, RTT_HIGH_MICROS, RTT_BINS),
+    };
+    for tally in tallies {
+        let tally = tally?;
+        report.submitted += tally.submitted;
+        report.completed += tally.completed;
+        report.shed += tally.shed;
+        report.delivered_iv += tally.delivered_iv;
+        report.rtt_micros.merge(&tally.rtt);
+    }
+    report.qps = if wall_secs > 0.0 {
+        report.submitted as f64 / wall_secs
+    } else {
+        f64::INFINITY
+    };
+    Ok(report)
+}

@@ -11,9 +11,10 @@
 //!   time moves on its own.
 //!
 //! Simulated time is in the same unit as the rest of the workspace
-//! (minutes, per the paper's figures); `WallClock` maps one real second
-//! to one simulated minute's worth of time unit by default and accepts a
-//! custom scale for faster replay.
+//! (minutes, per the paper's figures). `WallClock` converts real
+//! elapsed seconds into that unit by a fixed `units_per_second` scale —
+//! see [`WallClock::with_scale`] for the exact mapping and the two
+//! interesting boundary scales (`1.0` and `60.0`).
 
 use std::time::Instant;
 
@@ -67,14 +68,44 @@ pub struct WallClock {
 }
 
 impl WallClock {
-    /// Creates a wall clock where one real second is one time unit.
+    /// The scale at which one simulation time unit (one paper minute)
+    /// elapses per real *minute* — true real-time operation.
+    pub const REAL_TIME_SCALE: f64 = 1.0 / 60.0;
+
+    /// Creates a wall clock at the default scale `1.0`: one real
+    /// **second** advances the simulation by one time *unit* — i.e. one
+    /// paper *minute* — so the system replays 60× faster than real
+    /// time. Use [`WallClock::real_time`] for 1:1 operation.
     #[must_use]
     pub fn new() -> Self {
         WallClock::with_scale(1.0)
     }
 
+    /// Creates a wall clock running at true real time: one real minute
+    /// is one simulation time unit (one paper minute), so latencies
+    /// read off this clock are directly comparable to the paper's
+    /// minute-based figures.
+    #[must_use]
+    pub fn real_time() -> Self {
+        WallClock::with_scale(WallClock::REAL_TIME_SCALE)
+    }
+
     /// Creates a wall clock where one real second is `units_per_second`
     /// simulation time units.
+    ///
+    /// Because the workspace's time unit is the paper's **minute**, the
+    /// scale is a replay-speed factor of `60 × units_per_second`:
+    ///
+    /// | `units_per_second` | 1 real second advances | replay speed |
+    /// |---|---|---|
+    /// | `1/60` ([`WallClock::real_time`]) | 1 sim second | 1× (real time) |
+    /// | `1.0` ([`WallClock::new`]) | 1 sim minute | 60× |
+    /// | `60.0` | 1 sim hour (60 units) | 3600× |
+    ///
+    /// When interpreting network-serving latency numbers against the
+    /// paper's figures, divide measured *real* seconds by 60 and
+    /// multiply by the scale to recover simulation minutes — or just
+    /// read [`Clock::now`], which already reports units.
     ///
     /// # Panics
     ///
@@ -89,6 +120,20 @@ impl WallClock {
             origin: Instant::now(),
             units_per_second,
         }
+    }
+
+    /// The configured scale: simulation time units (paper minutes) per
+    /// real second.
+    #[must_use]
+    pub fn units_per_second(&self) -> f64 {
+        self.units_per_second
+    }
+
+    /// Real time elapsed since this clock's origin — the denominator
+    /// for converting a [`Clock::now`] reading back to wall seconds.
+    #[must_use]
+    pub fn real_elapsed(&self) -> std::time::Duration {
+        self.origin.elapsed()
     }
 }
 
@@ -142,5 +187,55 @@ mod tests {
     #[should_panic(expected = "finite and positive")]
     fn wall_clock_rejects_bad_scale() {
         let _ = WallClock::with_scale(0.0);
+    }
+
+    /// At the default scale `1.0`, one real second is one time unit —
+    /// one paper *minute*, not one paper second. Verified over a short
+    /// real sleep: elapsed units must equal elapsed real seconds (×1)
+    /// within generous scheduling slack.
+    #[test]
+    fn wall_clock_scale_one_maps_seconds_to_units() {
+        let clock = WallClock::new();
+        assert_eq!(clock.units_per_second(), 1.0);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let units = clock.now().value();
+        let real = clock.real_elapsed().as_secs_f64();
+        // now() and real_elapsed() are separate Instant reads, so allow
+        // slack both ways.
+        assert!(units >= 0.02, "slept 20ms, read {units} units");
+        assert!(
+            (units - real).abs() <= 0.5,
+            "scale 1.0 should track real seconds 1:1, got {units} units over {real}s"
+        );
+    }
+
+    /// At scale `60.0`, one real second is 60 units (a paper hour):
+    /// the 60× clock must read ~60× what a scale-1 clock started at the
+    /// same moment reads.
+    #[test]
+    fn wall_clock_scale_sixty_runs_sixty_times_faster() {
+        let fast = WallClock::with_scale(60.0);
+        let slow = WallClock::new();
+        assert_eq!(fast.units_per_second(), 60.0);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let fast_units = fast.now().value();
+        let slow_units = slow.now().value();
+        assert!(fast_units >= 60.0 * 0.02);
+        // Construction of the two clocks is microseconds apart; the
+        // ratio over a 20ms window is robustly near 60.
+        let ratio = fast_units / slow_units;
+        assert!(
+            (30.0..=120.0).contains(&ratio),
+            "expected ~60x ratio, got {ratio}"
+        );
+    }
+
+    /// `real_time()` is the 1:1 mapping: one real *minute* per time
+    /// unit, i.e. `1/60` units per second.
+    #[test]
+    fn wall_clock_real_time_parity_scale() {
+        let clock = WallClock::real_time();
+        assert_eq!(clock.units_per_second(), WallClock::REAL_TIME_SCALE);
+        assert!((WallClock::REAL_TIME_SCALE * 60.0 - 1.0).abs() < 1e-12);
     }
 }

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Reproducible benchmark trajectory: regenerates every paper figure,
-# runs the ablations, and produces the machine-readable planner-scaling
-# and cluster shard-scaling reports (BENCH_planner.json and
-# BENCH_cluster.json at the repo root).
+# runs the ablations, and produces the machine-readable planner-scaling,
+# cluster shard-scaling and network-serving reports (BENCH_planner.json,
+# BENCH_cluster.json and BENCH_serve_net.json at the repo root).
 #
 # Usage:
 #   scripts/bench.sh                  # full run (minutes)
 #   scripts/bench.sh --smoke          # scaled-down run (seconds; CI gate)
 #   scripts/bench.sh --out F          # write the planner JSON to F instead
 #   scripts/bench.sh --cluster-out F  # write the cluster JSON to F instead
+#   scripts/bench.sh --net-out F      # write the net-serving JSON to F instead
 #
 # Every bin is seeded and deterministic; only the wall-clock timings in
 # the JSON reports vary across hosts (BENCH_planner.json records the
@@ -21,6 +22,7 @@ cd "$(dirname "$0")/.."
 SMOKE=0
 OUT="BENCH_planner.json"
 CLUSTER_OUT="BENCH_cluster.json"
+NET_OUT="BENCH_serve_net.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1 ;;
@@ -34,7 +36,12 @@ while [[ $# -gt 0 ]]; do
       [[ $# -gt 0 ]] || { echo "--cluster-out needs a path" >&2; exit 2; }
       CLUSTER_OUT="$1"
       ;;
-    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE] [--cluster-out FILE]" >&2; exit 2 ;;
+    --net-out)
+      shift
+      [[ $# -gt 0 ]] || { echo "--net-out needs a path" >&2; exit 2; }
+      NET_OUT="$1"
+      ;;
+    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE] [--cluster-out FILE] [--net-out FILE]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -64,4 +71,8 @@ echo "==> cluster shard scaling (writes $CLUSTER_OUT)"
 cargo run --offline --release -p ivdss-bench --bin cluster_scaling -- \
   ${QUICK[@]+"${QUICK[@]}"} --out "$CLUSTER_OUT"
 
-echo "Benchmark trajectory complete; scaling reports at $OUT and $CLUSTER_OUT."
+echo "==> network serving throughput (writes $NET_OUT)"
+cargo run --offline --release -p ivdss-bench --bin serve_net -- \
+  ${QUICK[@]+"${QUICK[@]}"} --out "$NET_OUT"
+
+echo "Benchmark trajectory complete; scaling reports at $OUT, $CLUSTER_OUT and $NET_OUT."

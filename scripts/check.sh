@@ -17,4 +17,7 @@ cargo test --workspace --offline -q
 echo "==> cluster differential + property + golden suites (release)"
 cargo test --offline --release -p ivdss-cluster
 
+echo "==> network loopback e2e + protocol fuzz (release)"
+cargo test --offline --release -p ivdss-net
+
 echo "All checks passed."

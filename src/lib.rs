@@ -28,6 +28,7 @@
 //! | [`obs`] | Deterministic observability: sim-time-stamped structured traces, plan-decision audits, exact fixed-boundary histograms, Prometheus text exposition |
 //! | [`serve`] | Online query-serving engine: IV-aware admission, sync-phase plan caching, calendar dispatch, metrics |
 //! | [`cluster`] | Sharded multi-engine cluster serving: footprint-based shard routing with explicit partial-coverage fallback, IV-guarded work stealing, shard-outage failover, aggregated metrics |
+//! | [`net`] | TCP front door: length-delimited binary protocol, hand-rolled `std::net` server over the serving engines, blocking client, closed-loop load driver |
 //! | [`dsim`] | End-to-end DSS simulator and the per-figure experiment drivers |
 //!
 //! # Quickstart
@@ -68,6 +69,7 @@ pub use ivdss_dsim as dsim;
 pub use ivdss_faults as faults;
 pub use ivdss_ga as ga;
 pub use ivdss_mqo as mqo;
+pub use ivdss_net as net;
 pub use ivdss_obs as obs;
 pub use ivdss_replication as replication;
 pub use ivdss_serve as serve;
@@ -102,6 +104,10 @@ pub mod prelude {
     pub use ivdss_ga::{optimize_permutation, GaConfig, Permutation};
     pub use ivdss_mqo::{
         form_workloads, FifoScheduler, MqoScheduler, WorkloadEvaluator, WorkloadScheduler,
+    };
+    pub use ivdss_net::{
+        run_net_closed_loop, DriverConfig, NetClient, NetConfig, NetError, NetLoadReport,
+        NetServer, QueryService, ReportMsg, SubmitSpec, SubmitTiming,
     };
     pub use ivdss_obs::{
         AuditLog, EventKind, FixedHistogram, PlanAudit, PlanSource, SearchAudit, Trace, TraceEvent,
