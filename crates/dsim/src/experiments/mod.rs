@@ -4,6 +4,7 @@
 //! `to_table()` renderer; the `ivdss-bench` crate wraps them in binaries
 //! (`cargo run -p ivdss-bench --release --bin figN`).
 
+pub mod adaptive_sync;
 pub mod chaos;
 pub mod cluster;
 pub mod common;
@@ -14,6 +15,10 @@ pub mod fig8;
 pub mod fig9;
 pub mod serve_net;
 
+pub use adaptive_sync::{
+    run_adaptive_chaos_point, run_adaptive_point, run_adaptive_sync, AdaptiveChaosPoint,
+    AdaptiveScenario, AdaptiveSyncConfig, AdaptiveSyncPoint, AdaptiveSyncResults,
+};
 pub use chaos::{run_chaos, severity_faults, ChaosConfig, ChaosPoint, ChaosResults};
 pub use cluster::{
     run_cluster_point, run_cluster_scaling, ClusterScalingConfig, ClusterScalingPoint,

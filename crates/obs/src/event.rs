@@ -302,6 +302,38 @@ pub enum EventKind {
         /// the receiving shard's shed metrics).
         shed: usize,
     },
+    /// The adaptive sync scheduler opened an optimization run: the
+    /// refresh budget it inherited from the fixed schedules and the
+    /// fixed schedules' workload IV (the never-worse floor).
+    SchedBudget {
+        /// Replicated tables under optimization.
+        tables: usize,
+        /// Total refresh budget (sum of per-table refresh costs the
+        /// fixed schedules spend over the horizon).
+        budget: f64,
+        /// Workload IV of the fixed schedules at that budget.
+        fixed_iv: f64,
+    },
+    /// The greedy marginal-IV pass allocated one more refresh.
+    SchedPick {
+        /// The table receiving the refresh.
+        table: TableId,
+        /// The table's refresh count after the pick.
+        refreshes: usize,
+        /// Cost of the refresh charged against the budget.
+        cost: f64,
+        /// Marginal workload-IV gain the pick bought.
+        gain: f64,
+    },
+    /// The adaptive scheduler committed its final schedule.
+    SchedChosen {
+        /// Which candidate won: `fixed`, `greedy` or `ga`.
+        source: &'static str,
+        /// Workload IV of the chosen schedule.
+        iv: f64,
+        /// Budget the chosen schedule actually spends.
+        budget_used: f64,
+    },
 }
 
 impl EventKind {
@@ -332,6 +364,9 @@ impl EventKind {
             EventKind::ShardStolen { .. } => "shard_stolen",
             EventKind::ShardOutageStarted { .. } => "shard_outage_started",
             EventKind::ShardFailover { .. } => "shard_failover",
+            EventKind::SchedBudget { .. } => "sched_budget",
+            EventKind::SchedPick { .. } => "sched_pick",
+            EventKind::SchedChosen { .. } => "sched_chosen",
         }
     }
 }
@@ -609,6 +644,32 @@ impl TraceEvent {
                     shard.raw()
                 );
             }
+            EventKind::SchedBudget {
+                tables,
+                budget,
+                fixed_iv,
+            } => {
+                let _ = write!(out, " tables={tables} budget={budget} fixed_iv={fixed_iv}");
+            }
+            EventKind::SchedPick {
+                table,
+                refreshes,
+                cost,
+                gain,
+            } => {
+                let _ = write!(
+                    out,
+                    " table={} refreshes={refreshes} cost={cost} gain={gain}",
+                    table.index()
+                );
+            }
+            EventKind::SchedChosen {
+                source,
+                iv,
+                budget_used,
+            } => {
+                let _ = write!(out, " source={source} iv={iv} budget_used={budget_used}");
+            }
         }
         out.push('\n');
     }
@@ -698,6 +759,47 @@ mod tests {
         assert_eq!(
             untagged.render(),
             "t=2.5 cache_lookup query=7 outcome=miss\n"
+        );
+    }
+
+    #[test]
+    fn scheduler_events_render() {
+        let budget = TraceEvent::new(
+            SimTime::ZERO,
+            EventKind::SchedBudget {
+                tables: 3,
+                budget: 12.0,
+                fixed_iv: 1.75,
+            },
+        );
+        assert_eq!(
+            budget.render(),
+            "t=0 sched_budget tables=3 budget=12 fixed_iv=1.75\n"
+        );
+        let pick = TraceEvent::new(
+            SimTime::ZERO,
+            EventKind::SchedPick {
+                table: TableId::new(2),
+                refreshes: 4,
+                cost: 1.0,
+                gain: 0.25,
+            },
+        );
+        assert_eq!(
+            pick.render(),
+            "t=0 sched_pick table=2 refreshes=4 cost=1 gain=0.25\n"
+        );
+        let chosen = TraceEvent::new(
+            SimTime::ZERO,
+            EventKind::SchedChosen {
+                source: "greedy",
+                iv: 2.5,
+                budget_used: 11.0,
+            },
+        );
+        assert_eq!(
+            chosen.render(),
+            "t=0 sched_chosen source=greedy iv=2.5 budget_used=11\n"
         );
     }
 

@@ -171,6 +171,44 @@ impl Schedule {
         out
     }
 
+    /// The number of completions in the half-open window `(from, to]`,
+    /// without materializing them — the refresh-budget accounting path
+    /// (`ivdss-sched`) calls this per table per candidate schedule, so it
+    /// must not allocate. Trace schedules count by binary search; periodic
+    /// schedules walk the same ULP-guarded iteration as
+    /// [`Schedule::completions_in`] so the two never disagree at window
+    /// boundaries.
+    #[must_use]
+    pub fn count_in(&self, from: SimTime, to: SimTime) -> usize {
+        match self {
+            Schedule::Trace(times) => {
+                let lo = times.partition_point(|&x| x <= from);
+                let hi = times.partition_point(|&x| x <= to);
+                // Duplicate trace times are one completion (the iteration
+                // in `completions_in` is strictly-after, so it visits each
+                // distinct instant once).
+                let window = &times[lo..hi];
+                window
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &t)| i == 0 || window[i - 1] != t)
+                    .count()
+            }
+            Schedule::Periodic { .. } => {
+                let mut count = 0;
+                let mut t = from;
+                while let Some(next) = self.next_completion_after(t) {
+                    if next > to {
+                        break;
+                    }
+                    count += 1;
+                    t = next;
+                }
+                count
+            }
+        }
+    }
+
     /// Materializes the schedule as an explicit list of completion times:
     /// the completion at or before [`SimTime::ZERO`] (if any, so the
     /// replica's initial version survives) followed by every completion in
@@ -210,6 +248,37 @@ impl Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn count_in_matches_completions_in() {
+        let schedules = [
+            Schedule::periodic(8.0, 0.0),
+            Schedule::periodic(3.7, 1.2),
+            Schedule::trace(vec![
+                SimTime::ZERO,
+                SimTime::new(2.0),
+                SimTime::new(2.0),
+                SimTime::new(9.5),
+            ]),
+            Schedule::trace(Vec::new()),
+        ];
+        let probes = [0.0, 1.2, 2.0, 7.9, 8.0, 9.5, 40.0];
+        for s in &schedules {
+            for &a in &probes {
+                for &b in &probes {
+                    if b < a {
+                        continue;
+                    }
+                    let (from, to) = (SimTime::new(a), SimTime::new(b));
+                    assert_eq!(
+                        s.count_in(from, to),
+                        s.completions_in(from, to).len(),
+                        "count_in must agree with completions_in on {s:?} ({a}, {b}]"
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn periodic_last_and_next() {

@@ -1,0 +1,175 @@
+//! Per-table refresh costs and the fixed-schedule budget.
+//!
+//! A refresh cost abstracts whatever a synchronization spends —
+//! bandwidth, ETL time, warehouse load slots. The budget the adaptive
+//! optimizers may spend is defined *from the paper's fixed schedules*:
+//! [`fixed_budget`] charges every completion the fixed timelines place in
+//! `(0, horizon]` at its table's cost, so "adaptive vs fixed at equal
+//! budget" is an identity, not a calibration.
+
+use std::collections::BTreeMap;
+
+use ivdss_catalog::catalog::Catalog;
+use ivdss_catalog::ids::TableId;
+use ivdss_replication::timelines::SyncTimelines;
+use ivdss_simkernel::time::SimTime;
+
+/// Per-table cost of one replica refresh. Costs are strictly positive
+/// and finite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshCosts {
+    costs: BTreeMap<TableId, f64>,
+}
+
+impl RefreshCosts {
+    /// Unit cost for every listed table: the budget counts refreshes.
+    #[must_use]
+    pub fn uniform(tables: &[TableId]) -> Self {
+        let mut out = RefreshCosts {
+            costs: BTreeMap::new(),
+        };
+        for &table in tables {
+            out.insert(table, 1.0);
+        }
+        out
+    }
+
+    /// Costs proportional to table size in the catalog, normalized so the
+    /// mean cost over `tables` is 1.0 (a budget of `n` still buys about
+    /// `n` refreshes, but big tables cost more of it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or any table is unknown to `catalog`.
+    #[must_use]
+    pub fn from_catalog(catalog: &Catalog, tables: &[TableId]) -> Self {
+        assert!(!tables.is_empty(), "need at least one table to cost");
+        let sizes: Vec<f64> = tables
+            .iter()
+            .map(|&t| catalog.table(t).size_bytes() as f64)
+            .collect();
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        assert!(mean > 0.0, "catalog tables must have positive size");
+        let mut out = RefreshCosts {
+            costs: BTreeMap::new(),
+        };
+        for (&table, &size) in tables.iter().zip(&sizes) {
+            out.insert(table, size / mean);
+        }
+        out
+    }
+
+    /// Sets `table`'s refresh cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cost` is strictly positive and finite.
+    pub fn insert(&mut self, table: TableId, cost: f64) {
+        assert!(
+            cost.is_finite() && cost > 0.0,
+            "refresh cost must be positive and finite, got {cost}"
+        );
+        self.costs.insert(table, cost);
+    }
+
+    /// The cost of one refresh of `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has no cost.
+    #[must_use]
+    pub fn cost(&self, table: TableId) -> f64 {
+        *self
+            .costs
+            .get(&table)
+            .unwrap_or_else(|| panic!("no refresh cost for {table:?}"))
+    }
+
+    /// The cost of one refresh of `table`, if known.
+    #[must_use]
+    pub fn get(&self, table: TableId) -> Option<f64> {
+        self.costs.get(&table).copied()
+    }
+
+    /// Tables with a cost, in id order.
+    pub fn tables(&self) -> impl Iterator<Item = TableId> + '_ {
+        self.costs.keys().copied()
+    }
+
+    /// Number of costed tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Returns `true` if no table has a cost.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+}
+
+/// The refresh budget the fixed timelines spend over `(0, horizon]`:
+/// every completion is charged at its table's cost. The adaptive
+/// optimizers receive exactly this amount, which is what makes the
+/// never-worse differential an equal-budget comparison.
+///
+/// # Panics
+///
+/// Panics if a scheduled table has no cost.
+#[must_use]
+pub fn fixed_budget(timelines: &SyncTimelines, costs: &RefreshCosts, horizon: SimTime) -> f64 {
+    timelines
+        .iter()
+        .map(|(table, schedule)| {
+            costs.cost(table) * schedule.count_in(SimTime::ZERO, horizon) as f64
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivdss_replication::schedule::Schedule;
+
+    fn t(i: u32) -> TableId {
+        TableId::new(i)
+    }
+
+    #[test]
+    fn uniform_costs_count_refreshes() {
+        let costs = RefreshCosts::uniform(&[t(0), t(1)]);
+        assert_eq!(costs.cost(t(0)), 1.0);
+        assert_eq!(costs.len(), 2);
+
+        let mut tl = SyncTimelines::new();
+        tl.insert(t(0), Schedule::periodic(10.0, 0.0));
+        tl.insert(t(1), Schedule::periodic(5.0, 0.0));
+        // (0, 40]: table 0 syncs at 10,20,30,40 (4); table 1 at 5..40 (8).
+        let budget = fixed_budget(&tl, &costs, SimTime::new(40.0));
+        assert_eq!(budget, 12.0);
+    }
+
+    #[test]
+    fn weighted_costs_scale_the_budget() {
+        let mut costs = RefreshCosts::uniform(&[t(0)]);
+        costs.insert(t(0), 2.5);
+        let mut tl = SyncTimelines::new();
+        tl.insert(t(0), Schedule::periodic(10.0, 0.0));
+        assert_eq!(fixed_budget(&tl, &costs, SimTime::new(40.0)), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_cost_rejected() {
+        let mut costs = RefreshCosts::uniform(&[t(0)]);
+        costs.insert(t(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no refresh cost")]
+    fn missing_cost_panics() {
+        let costs = RefreshCosts::uniform(&[t(0)]);
+        let _ = costs.cost(t(7));
+    }
+}

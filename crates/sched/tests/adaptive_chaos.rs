@@ -1,0 +1,191 @@
+//! Chaos composition: adaptive scheduling under injected faults.
+//!
+//! The scheduler's output is an ordinary `SyncTimelines`, so the whole
+//! existing fault machinery composes with it unchanged: a seeded
+//! [`FaultPlan`] generated *against the committed adaptive schedule*
+//! degrades it, the scheduler re-optimizes on the degraded picture, and
+//! [`reschedule_revisions`] steers the degraded schedule toward the new
+//! target as plain `TimelineRevision`s. This band sweeps seeds and
+//! asserts the composition is deterministic, never panics, never
+//! conjures refreshes, and that re-optimizing a degraded schedule never
+//! commits below the degraded baseline. (The serving-engine side of the
+//! composition — fault-free shadow runs with bit-for-bit
+//! trace-vs-metrics reconciliation — lives in
+//! `ivdss_dsim::experiments::adaptive_sync`, which drives the chosen
+//! timelines through `ServeEngine::with_faults`.)
+
+mod util;
+
+use ivdss_costmodel::model::StylizedCostModel;
+use ivdss_faults::{FaultConfig, FaultPlan};
+use ivdss_sched::{reschedule_revisions, AdaptiveConfig, AdaptiveOutcome, AdaptiveScheduler};
+use ivdss_simkernel::time::SimTime;
+
+const SEEDS: u64 = 24;
+
+fn storm(horizon: SimTime) -> FaultConfig {
+    FaultConfig {
+        slip_probability: 0.3,
+        drop_probability: 0.15,
+        slip_delay: (1.0, 6.0),
+        outage_mtbf: 100.0,
+        outage_duration: (4.0, 15.0),
+        jitter: (1.0, 1.3),
+        horizon,
+    }
+}
+
+/// Runs the full composition for one seed: optimize, fault the chosen
+/// schedule, re-optimize on the degraded picture, steer toward the new
+/// target. Returns (first outcome, degraded re-optimization outcome,
+/// revision count).
+fn compose(seed: u64) -> (AdaptiveOutcome, AdaptiveOutcome, usize) {
+    let (catalog, fixed, requests, costs) = util::scenario(seed);
+    let model = StylizedCostModel::paper_fig4();
+    let sched = AdaptiveScheduler::new(&catalog, &model, util::rates(), &requests, costs);
+    let mut config = AdaptiveConfig::new(util::horizon());
+    config.ga = Some(util::small_ga());
+
+    let out = sched.optimize(&fixed, &config);
+
+    let faults = FaultPlan::generate(
+        &storm(util::horizon()),
+        &out.chosen,
+        catalog.site_count(),
+        0xFA17 ^ seed,
+    );
+    let degraded = faults.degraded_timelines(&out.chosen);
+
+    // Re-optimize with the degraded schedule as the new baseline: the
+    // budget is whatever the degraded schedule still spends, and the
+    // guard's floor is the degraded IV.
+    let re = sched.optimize(&degraded, &config);
+
+    let revisions = reschedule_revisions(&degraded, &re.chosen, SimTime::ZERO, util::horizon());
+    (out, re, revisions.len())
+}
+
+#[test]
+fn composition_is_deterministic_and_never_panics() {
+    for seed in 0..SEEDS {
+        let (a_out, a_re, a_revs) = compose(seed);
+        let (b_out, b_re, b_revs) = compose(seed);
+        assert_eq!(
+            a_out, b_out,
+            "seed {seed}: first optimization must reproduce"
+        );
+        assert_eq!(
+            a_re, b_re,
+            "seed {seed}: degraded re-optimization must reproduce"
+        );
+        assert_eq!(
+            a_revs, b_revs,
+            "seed {seed}: steering revisions must reproduce"
+        );
+    }
+}
+
+#[test]
+fn reoptimizing_a_degraded_schedule_never_commits_below_it() {
+    let mut faulted_seeds = 0u64;
+    for seed in 0..SEEDS {
+        let (out, re, _) = compose(seed);
+        assert!(
+            re.chosen_iv >= re.fixed_iv,
+            "seed {seed}: degraded re-optimization fell below its own baseline \
+             ({} vs {})",
+            re.chosen_iv,
+            re.fixed_iv
+        );
+        assert!(
+            re.budget <= out.chosen_budget_used + 1e-9,
+            "seed {seed}: faults can only shrink the spend the degraded schedule \
+             re-budgets ({} vs {})",
+            re.budget,
+            out.chosen_budget_used
+        );
+        if re.budget < out.chosen_budget_used - 1e-9 {
+            faulted_seeds += 1;
+        }
+    }
+    assert!(
+        faulted_seeds > SEEDS / 2,
+        "the storm config should actually drop refreshes on most seeds, \
+         got {faulted_seeds}/{SEEDS}"
+    );
+}
+
+#[test]
+fn steering_revisions_apply_and_never_add_refreshes() {
+    for seed in 0..SEEDS {
+        let (catalog, fixed, requests, costs) = util::scenario(seed);
+        let model = StylizedCostModel::paper_fig4();
+        let sched = AdaptiveScheduler::new(&catalog, &model, util::rates(), &requests, costs);
+        let mut config = AdaptiveConfig::new(util::horizon());
+        config.ga = Some(util::small_ga());
+        let out = sched.optimize(&fixed, &config);
+
+        let faults = FaultPlan::generate(
+            &storm(util::horizon()),
+            &out.chosen,
+            catalog.site_count(),
+            0xFA17 ^ seed,
+        );
+        let degraded = faults.degraded_timelines(&out.chosen);
+        let re = sched.optimize(&degraded, &config);
+
+        let revisions = reschedule_revisions(&degraded, &re.chosen, SimTime::ZERO, util::horizon());
+        let spend_before: usize = degraded
+            .iter()
+            .map(|(_, s)| s.count_in(SimTime::ZERO, util::horizon()))
+            .sum();
+        let mut steered = degraded.clone();
+        for r in &revisions {
+            assert!(
+                steered.revise(r, util::horizon()),
+                "seed {seed}: steering revision must land: {r:?}"
+            );
+        }
+        let spend_after: usize = steered
+            .iter()
+            .map(|(_, s)| s.count_in(SimTime::ZERO, util::horizon()))
+            .sum();
+        assert!(
+            spend_after <= spend_before,
+            "seed {seed}: steering added refreshes ({spend_before} -> {spend_after})"
+        );
+    }
+}
+
+#[test]
+fn an_empty_fault_plan_leaves_the_composition_unchanged() {
+    let (catalog, fixed, requests, costs) = util::scenario(3);
+    let model = StylizedCostModel::paper_fig4();
+    let sched = AdaptiveScheduler::new(&catalog, &model, util::rates(), &requests, costs);
+    let mut config = AdaptiveConfig::new(util::horizon());
+    config.ga = Some(util::small_ga());
+    let out = sched.optimize(&fixed, &config);
+
+    let calm = FaultConfig {
+        slip_probability: 0.0,
+        drop_probability: 0.0,
+        slip_delay: (1.0, 2.0),
+        outage_mtbf: 0.0,
+        outage_duration: (1.0, 2.0),
+        jitter: (1.0, 1.0),
+        horizon: util::horizon(),
+    };
+    let faults = FaultPlan::generate(&calm, &out.chosen, catalog.site_count(), 1);
+    assert!(faults.is_empty());
+    let degraded = faults.degraded_timelines(&out.chosen);
+    let re = sched.optimize(&degraded, &config);
+    assert_eq!(
+        re.chosen_iv.to_bits(),
+        out.chosen_iv.to_bits(),
+        "a no-op fault plan must reproduce the committed IV exactly"
+    );
+    assert!(
+        reschedule_revisions(&degraded, &re.chosen, SimTime::ZERO, util::horizon()).is_empty(),
+        "identical schedules need no steering"
+    );
+}

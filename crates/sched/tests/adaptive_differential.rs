@@ -1,0 +1,265 @@
+//! The never-worse differential suite — 120 seeded scenarios.
+//!
+//! Every seed builds its own federation, workload and fixed periodic
+//! timelines (see `tests/util`), runs the full adaptive optimization
+//! (greedy + GA at the fixed schedules' budget) and asserts, per seed:
+//!
+//! * the committed schedule's IV is **never below** the fixed
+//!   schedules' IV — the acceptance bar this PR is pinned by;
+//! * the committed IV is *honest*: re-evaluating the committed
+//!   timelines from scratch reproduces it bit-for-bit (the guard can't
+//!   quietly report a fitness the timelines don't deliver);
+//! * the committed schedule never spends more than the fixed budget.
+//!
+//! The raw (unguarded) candidates are deliberately *not* required to
+//! beat fixed — greedy rebuilt from zero loses to fixed on most seeds
+//! here, which is exactly why the guard keeps fixed in the candidate
+//! set. The pinned counterexamples below freeze that structure the way
+//! PR 2 pinned slip-can-help: if a refactor makes them vanish, the
+//! suite demands a deliberate re-pin, not a silent drift.
+
+mod util;
+
+use ivdss_costmodel::model::StylizedCostModel;
+use ivdss_sched::{AdaptiveConfig, AdaptiveOutcome, AdaptiveScheduler, ScheduleSource};
+
+const SEEDS: u64 = 120;
+
+fn optimize(seed: u64) -> AdaptiveOutcome {
+    let (catalog, fixed, requests, costs) = util::scenario(seed);
+    let model = StylizedCostModel::paper_fig4();
+    let sched = AdaptiveScheduler::new(&catalog, &model, util::rates(), &requests, costs);
+    let mut config = AdaptiveConfig::new(util::horizon());
+    config.ga = Some(util::small_ga());
+    sched.optimize(&fixed, &config)
+}
+
+/// Re-derives the committed IV from the committed timelines with a
+/// fresh evaluator, so the outcome's bookkeeping can't vouch for
+/// itself.
+fn reevaluate_chosen(seed: u64, out: &AdaptiveOutcome) -> f64 {
+    let (catalog, _, requests, _) = util::scenario(seed);
+    let model = StylizedCostModel::paper_fig4();
+    let sched = AdaptiveScheduler::new(
+        &catalog,
+        &model,
+        util::rates(),
+        &requests,
+        ivdss_sched::RefreshCosts::uniform(&out.chosen.iter().map(|(t, _)| t).collect::<Vec<_>>()),
+    );
+    sched.evaluator().workload_iv(&out.chosen)
+}
+
+#[test]
+fn adaptive_is_never_worse_than_fixed_on_every_seed() {
+    let mut strict_improvements = 0u64;
+    let mut sources = [0u64; 3];
+    let mut greedy_below_fixed = 0u64;
+    let mut ga_above_greedy = 0u64;
+    let mut total_gain = 0.0;
+
+    for seed in 0..SEEDS {
+        let out = optimize(seed);
+
+        assert!(
+            out.chosen_iv >= out.fixed_iv,
+            "seed {seed}: committed IV {} fell below fixed {} — the never-worse \
+             guard is broken",
+            out.chosen_iv,
+            out.fixed_iv
+        );
+        assert!(
+            out.chosen_budget_used <= out.budget + 1e-9,
+            "seed {seed}: committed schedule spends {} over budget {}",
+            out.chosen_budget_used,
+            out.budget
+        );
+        assert!(
+            out.greedy.budget_used <= out.budget + 1e-9,
+            "seed {seed}: greedy overspent"
+        );
+        if let Some(ga) = &out.ga {
+            assert!(
+                ga.budget_used <= out.budget + 1e-9,
+                "seed {seed}: GA overspent"
+            );
+        }
+
+        let re = reevaluate_chosen(seed, &out);
+        assert_eq!(
+            re.to_bits(),
+            out.chosen_iv.to_bits(),
+            "seed {seed}: committed IV is not reproducible from the committed \
+             timelines ({} vs {})",
+            re,
+            out.chosen_iv
+        );
+
+        if out.chosen_iv > out.fixed_iv {
+            strict_improvements += 1;
+        }
+        if out.greedy.iv < out.fixed_iv {
+            greedy_below_fixed += 1;
+        }
+        if out.ga.as_ref().is_some_and(|ga| ga.iv > out.greedy.iv) {
+            ga_above_greedy += 1;
+        }
+        sources[match out.source {
+            ScheduleSource::Fixed => 0,
+            ScheduleSource::Greedy => 1,
+            ScheduleSource::Ga => 2,
+        }] += 1;
+        total_gain += out.gain();
+    }
+
+    // Aggregate shape of the sweep: the optimizer is not a no-op (most
+    // seeds strictly improve), the guard is not dead code (every source
+    // is exercised), and the mean gain is strictly positive.
+    assert!(
+        strict_improvements >= SEEDS / 2,
+        "only {strict_improvements}/{SEEDS} seeds strictly improved — the search \
+         has degraded"
+    );
+    assert!(
+        sources.iter().all(|&n| n > 0),
+        "every guard outcome must occur across the sweep, got \
+         fixed/greedy/ga = {sources:?}"
+    );
+    assert!(
+        greedy_below_fixed > 0,
+        "greedy rebuilt from zero should lose to fixed somewhere — if it never \
+         does, the guard's motivation needs re-examining"
+    );
+    assert!(
+        ga_above_greedy > strict_improvements / 2,
+        "the GA should out-search greedy on most improving seeds"
+    );
+    assert!(
+        total_gain / SEEDS as f64 > 0.0,
+        "mean gain over fixed must be strictly positive"
+    );
+}
+
+/// Seed 0: greedy alone commits *less* IV than the fixed schedules —
+/// the counterexample that makes the never-worse guard load-bearing
+/// rather than decorative.
+#[test]
+fn pinned_seed_0_greedy_alone_regresses_below_fixed() {
+    let out = optimize(0);
+    assert!(
+        out.greedy.iv < out.fixed_iv,
+        "seed 0 no longer shows greedy below fixed ({} vs {}) — find and pin a \
+         new counterexample before changing this",
+        out.greedy.iv,
+        out.fixed_iv
+    );
+    assert!(
+        out.chosen_iv >= out.fixed_iv,
+        "the guard still saves seed 0"
+    );
+    assert_eq!(
+        out.source,
+        ScheduleSource::Ga,
+        "seed 0 commits the GA schedule"
+    );
+}
+
+/// Seed 16: the GA's best is strictly *below* greedy — search with a
+/// seeded genome is not guaranteed to dominate its seed, because the
+/// identity chromosome also spends the leftover budget greedy left on
+/// the table.
+#[test]
+fn pinned_seed_16_ga_can_lose_to_greedy() {
+    let out = optimize(16);
+    let ga = out.ga.as_ref().expect("seed 16 runs the GA stage");
+    assert!(
+        ga.iv < out.greedy.iv,
+        "seed 16 no longer shows GA below greedy ({} vs {}) — find and pin a \
+         new counterexample before changing this",
+        ga.iv,
+        out.greedy.iv
+    );
+    assert!(out.chosen_iv >= out.fixed_iv);
+}
+
+/// Seed 66: GA exactly *ties* greedy, and greedy strictly beats fixed —
+/// the tie must keep the earlier candidate (greedy), pinning the
+/// guard's strict-displacement rule.
+#[test]
+fn pinned_seed_66_tie_keeps_the_earlier_candidate() {
+    let out = optimize(66);
+    let ga = out.ga.as_ref().expect("seed 66 runs the GA stage");
+    assert_eq!(
+        ga.iv.to_bits(),
+        out.greedy.iv.to_bits(),
+        "seed 66 no longer ties GA and greedy — find and pin a new tie seed \
+         before changing this"
+    );
+    assert!(out.greedy.iv > out.fixed_iv);
+    assert_eq!(
+        out.source,
+        ScheduleSource::Greedy,
+        "a tie must not displace the earlier candidate"
+    );
+}
+
+/// Seed 4: neither greedy nor the GA improves on the paper's fixed
+/// periodic schedules, and the guard commits fixed verbatim — the
+/// committed timelines evaluate bit-identically to the input.
+#[test]
+fn pinned_seed_4_fixed_can_win_outright() {
+    let out = optimize(4);
+    assert_eq!(
+        out.source,
+        ScheduleSource::Fixed,
+        "seed 4 no longer commits fixed — find and pin a new fixed-wins seed \
+         before changing this"
+    );
+    assert_eq!(out.chosen_iv.to_bits(), out.fixed_iv.to_bits());
+    assert_eq!(out.gain(), 0.0);
+}
+
+/// The suite's teeth: a schedule that *does* regress below fixed (all
+/// budget dumped on one table at equal spend) is measurably worse on a
+/// pinned seed, so the per-seed `chosen_iv >= fixed_iv` assertion is a
+/// real tripwire, not a tautology of the evaluator.
+#[test]
+fn a_regressing_schedule_is_detected_by_the_same_evaluator() {
+    use ivdss_replication::timelines::SyncTimelines;
+    use ivdss_sched::{fixed_budget, ScheduleAllocation};
+
+    let (catalog, fixed, requests, costs) = util::scenario(0);
+    let model = StylizedCostModel::paper_fig4();
+    let sched = AdaptiveScheduler::new(&catalog, &model, util::rates(), &requests, costs);
+    let fixed_iv = sched.evaluator().workload_iv(&fixed);
+
+    // Same budget, pathological allocation: everything on the first
+    // replicated table, nothing on the others.
+    let tables: Vec<_> = fixed.iter().map(|(t, _)| t).collect();
+    let budget = fixed_budget(&fixed, sched.costs(), util::horizon());
+    let mut alloc = ScheduleAllocation::empty(&tables, util::horizon());
+    for _ in 0..(budget / sched.costs().cost(tables[0])).floor() as usize {
+        alloc.add(tables[0]);
+    }
+    let bad: SyncTimelines = alloc.to_timelines();
+    let bad_iv = sched.evaluator().workload_iv(&bad);
+    assert!(
+        bad_iv < fixed_iv,
+        "the anti-schedule should lose to fixed ({bad_iv} vs {fixed_iv}); if it \
+         stopped losing, the regression tripwire needs a new pathological input"
+    );
+}
+
+/// The full sweep is a pure function of its seeds: running a sample of
+/// seeds twice reproduces identical outcomes, so any flake in the
+/// 120-seed suite is a real nondeterminism bug, not noise.
+#[test]
+fn sweep_outcomes_are_deterministic() {
+    for seed in [0, 16, 59, 66, 113] {
+        assert_eq!(
+            optimize(seed),
+            optimize(seed),
+            "seed {seed}: optimization must be deterministic"
+        );
+    }
+}

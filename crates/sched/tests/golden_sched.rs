@@ -1,0 +1,142 @@
+//! Golden-trace snapshot of one seeded adaptive scheduling run.
+//!
+//! The fixed scenario (seed 7 of `tests/util`) runs the full adaptive
+//! optimization with a recording tracer, then drives the *committed*
+//! timelines through a faulted serving engine — so the fixture
+//! snapshots the scheduler's decision events (`sched_budget`,
+//! `sched_pick`, `sched_chosen`), the fault-plan header generated
+//! against the adaptive schedule, and the serve pipeline consuming it,
+//! in one byte-exact artifact. Any change to decision ordering, payload
+//! fields or float formatting is a fixture diff to review and re-bless:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p ivdss-sched --test golden_sched
+//! ```
+//!
+//! As in the serve/cluster golden suites, a second in-process run must
+//! render identical bytes even while a bless is in progress.
+
+mod util;
+
+use std::sync::Arc;
+
+use ivdss_core::value::BusinessValue;
+use ivdss_costmodel::model::StylizedCostModel;
+use ivdss_faults::observe::emit_fault_plan;
+use ivdss_faults::{FaultConfig, FaultPlan};
+use ivdss_obs::{Trace, Tracer};
+use ivdss_sched::{AdaptiveConfig, AdaptiveScheduler};
+use ivdss_serve::clock::DesClock;
+use ivdss_serve::engine::{ServeConfig, ServeEngine};
+use ivdss_serve::loadgen::{run_open_loop, OpenLoopConfig};
+use ivdss_simkernel::time::SimTime;
+use ivdss_workloads::synthetic::{random_queries, RandomQueryConfig};
+
+const SCENARIO_SEED: u64 = 7;
+
+/// Runs the fixed golden scenario once into a fresh trace and returns
+/// the rendered bytes.
+fn run_golden() -> String {
+    let (catalog, fixed, requests, costs) = util::scenario(SCENARIO_SEED);
+    let model = StylizedCostModel::paper_fig4();
+    let trace = Arc::new(Trace::new());
+    let tracer = Tracer::recording(Arc::clone(&trace));
+
+    let sched = AdaptiveScheduler::new(&catalog, &model, util::rates(), &requests, costs)
+        .with_tracer(tracer.clone());
+    let mut config = AdaptiveConfig::new(util::horizon());
+    config.ga = Some(util::small_ga());
+    let outcome = sched.optimize(&fixed, &config);
+
+    let faults = FaultPlan::generate(
+        &FaultConfig {
+            slip_probability: 0.35,
+            drop_probability: 0.1,
+            slip_delay: (1.0, 6.0),
+            outage_mtbf: 50.0,
+            outage_duration: (4.0, 12.0),
+            jitter: (1.0, 1.3),
+            horizon: SimTime::new(120.0),
+        },
+        &outcome.chosen,
+        catalog.site_count(),
+        0x601D ^ SCENARIO_SEED,
+    );
+    emit_fault_plan(&faults, &tracer);
+
+    let templates = random_queries(&RandomQueryConfig {
+        queries: 4,
+        tables: 6,
+        max_tables_per_query: 3,
+        weight_range: (0.8, 2.0),
+        seed: 0x90,
+    });
+    let mut engine = ServeEngine::with_faults(
+        &catalog,
+        &outcome.chosen,
+        &model,
+        ServeConfig::new(util::rates()),
+        DesClock::new(),
+        faults,
+    )
+    .with_tracer(tracer);
+    let open = OpenLoopConfig {
+        queries: 10,
+        mean_interarrival: 2.0,
+        seed: 0x91,
+        business_value: BusinessValue::UNIT,
+    };
+    run_open_loop(&mut engine, templates, &open).expect("golden serve run is feasible");
+    trace.render()
+}
+
+#[test]
+fn golden_adaptive_trace_matches_fixture_byte_for_byte() {
+    let rendered = run_golden();
+
+    // In-process determinism first: two identical runs, identical bytes.
+    let again = run_golden();
+    assert_eq!(
+        rendered.as_bytes(),
+        again.as_bytes(),
+        "two identical seeded adaptive runs must render byte-identical traces"
+    );
+
+    // The scenario must exercise the whole composition, or the fixture
+    // degenerates into a vacuous snapshot.
+    for needle in [
+        "sched_budget",
+        "sched_pick",
+        "sched_chosen",
+        "fault_slip_planned",
+        "fault_outage_planned",
+        "submitted",
+        "sync_delivered",
+        " completed ",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "golden adaptive scenario no longer exercises {needle:?}"
+        );
+    }
+
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden_sched_trace.txt"
+    );
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::write(fixture, &rendered).expect("bless writes the fixture");
+    }
+    let expected = std::fs::read_to_string(fixture).expect(
+        "golden fixture missing — regenerate with \
+         GOLDEN_BLESS=1 cargo test -p ivdss-sched --test golden_sched",
+    );
+    assert!(
+        rendered == expected,
+        "trace diverged from tests/fixtures/golden_sched_trace.txt \
+         (review the diff, then re-bless with GOLDEN_BLESS=1):\n\
+         rendered {} bytes, fixture {} bytes",
+        rendered.len(),
+        expected.len()
+    );
+}

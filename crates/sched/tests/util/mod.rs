@@ -1,0 +1,81 @@
+//! Shared scenario builder for the `ivdss-sched` integration suites.
+//!
+//! Every suite (differential, chaos, golden) optimizes the same *shape*
+//! of seeded scenario — a small skewed federation with three replicated
+//! tables and a four-query workload — so counterexample seeds pinned by
+//! one suite are reproducible in another.
+
+#![allow(dead_code)] // each integration test binary uses a subset
+
+use ivdss_catalog::catalog::Catalog;
+use ivdss_catalog::ids::TableId;
+use ivdss_catalog::placement::PlacementStrategy;
+use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+use ivdss_core::plan::QueryRequest;
+use ivdss_core::value::DiscountRates;
+use ivdss_ga::engine::GaConfig;
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+use ivdss_sched::RefreshCosts;
+use ivdss_simkernel::rng::{SeedFactory, Stream, UniformStream};
+use ivdss_simkernel::time::SimTime;
+use ivdss_workloads::synthetic::{random_queries, RandomQueryConfig};
+
+/// Scheduling horizon shared by every suite.
+pub fn horizon() -> SimTime {
+    SimTime::new(40.0)
+}
+
+/// Discount rates shared by every suite.
+pub fn rates() -> DiscountRates {
+    DiscountRates::new(0.01, 0.05)
+}
+
+/// A GA configuration small enough for 120-seed sweeps in debug builds.
+pub fn small_ga() -> GaConfig {
+    GaConfig {
+        population: 6,
+        generations: 4,
+        parents: 3,
+        mutation_rate: 0.3,
+        elites: 1,
+        seed: 0x5EED,
+    }
+}
+
+/// One seeded scenario: a 6-table / 2-site skewed federation with 3
+/// replicated tables, its fixed periodic timelines, a sorted 4-query
+/// workload and uniform refresh costs.
+pub fn scenario(seed: u64) -> (Catalog, SyncTimelines, Vec<QueryRequest>, RefreshCosts) {
+    let seeds = SeedFactory::new(0xD1FF ^ seed.rotate_left(17));
+    let catalog = synthetic_catalog(&SyntheticConfig {
+        tables: 6,
+        sites: 2,
+        placement: PlacementStrategy::Skewed,
+        replicated_tables: 3,
+        mean_sync_period: 8.0,
+        seed: seeds.seed_for("catalog"),
+        ..SyntheticConfig::default()
+    })
+    .expect("scenario catalog configuration is valid");
+    let fixed = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let templates = random_queries(&RandomQueryConfig {
+        queries: 4,
+        tables: 6,
+        max_tables_per_query: 3,
+        weight_range: (0.8, 2.0),
+        seed: seeds.seed_for("queries"),
+    });
+    let mut arrivals = UniformStream::new(2.0, 34.0, seeds.seed_for("arrivals"));
+    let mut times: Vec<f64> = (0..templates.len())
+        .map(|_| arrivals.next_sample())
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("arrival times are finite"));
+    let requests: Vec<QueryRequest> = templates
+        .into_iter()
+        .zip(times)
+        .map(|(spec, at)| QueryRequest::new(spec, SimTime::new(at)))
+        .collect();
+    let tables: Vec<TableId> = fixed.iter().map(|(t, _)| t).collect();
+    let costs = RefreshCosts::uniform(&tables);
+    (catalog, fixed, requests, costs)
+}

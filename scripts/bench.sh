@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Reproducible benchmark trajectory: regenerates every paper figure,
 # runs the ablations, and produces the machine-readable planner-scaling,
-# cluster shard-scaling and network-serving reports (BENCH_planner.json,
-# BENCH_cluster.json and BENCH_serve_net.json at the repo root).
+# cluster shard-scaling, network-serving and adaptive-scheduling reports
+# (BENCH_planner.json, BENCH_cluster.json, BENCH_serve_net.json and
+# BENCH_sched.json at the repo root).
 #
 # Usage:
 #   scripts/bench.sh                  # full run (minutes)
@@ -10,6 +11,7 @@
 #   scripts/bench.sh --out F          # write the planner JSON to F instead
 #   scripts/bench.sh --cluster-out F  # write the cluster JSON to F instead
 #   scripts/bench.sh --net-out F      # write the net-serving JSON to F instead
+#   scripts/bench.sh --sched-out F    # write the scheduling JSON to F instead
 #
 # Every bin is seeded and deterministic; only the wall-clock timings in
 # the JSON reports vary across hosts (BENCH_planner.json records the
@@ -23,6 +25,7 @@ SMOKE=0
 OUT="BENCH_planner.json"
 CLUSTER_OUT="BENCH_cluster.json"
 NET_OUT="BENCH_serve_net.json"
+SCHED_OUT="BENCH_sched.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1 ;;
@@ -41,7 +44,12 @@ while [[ $# -gt 0 ]]; do
       [[ $# -gt 0 ]] || { echo "--net-out needs a path" >&2; exit 2; }
       NET_OUT="$1"
       ;;
-    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE] [--cluster-out FILE] [--net-out FILE]" >&2; exit 2 ;;
+    --sched-out)
+      shift
+      [[ $# -gt 0 ]] || { echo "--sched-out needs a path" >&2; exit 2; }
+      SCHED_OUT="$1"
+      ;;
+    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE] [--cluster-out FILE] [--net-out FILE] [--sched-out FILE]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -75,4 +83,8 @@ echo "==> network serving throughput (writes $NET_OUT)"
 cargo run --offline --release -p ivdss-bench --bin serve_net -- \
   ${QUICK[@]+"${QUICK[@]}"} --out "$NET_OUT"
 
-echo "Benchmark trajectory complete; scaling reports at $OUT, $CLUSTER_OUT and $NET_OUT."
+echo "==> adaptive sync scheduling gain (writes $SCHED_OUT)"
+cargo run --offline --release -p ivdss-bench --bin sched_gain -- \
+  ${QUICK[@]+"${QUICK[@]}"} --out "$SCHED_OUT"
+
+echo "Benchmark trajectory complete; scaling reports at $OUT, $CLUSTER_OUT, $NET_OUT and $SCHED_OUT."

@@ -20,6 +20,12 @@ cargo test --offline --release -p ivdss-dsim chaos
 echo "==> cluster shard-outage chaos (20-seed band, trace reconciliation)"
 cargo test --offline --release -p ivdss-cluster --test cluster_chaos
 
+echo "==> adaptive-schedule chaos composition (24-seed band)"
+cargo test --offline --release -p ivdss-sched --test adaptive_chaos
+
+echo "==> adaptive-sync chaos point (trace reconciliation)"
+cargo test --offline --release -p ivdss-dsim adaptive
+
 echo "==> scripted outage-and-recovery end to end"
 cargo test --offline --release --test chaos_recovery
 

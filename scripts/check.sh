@@ -20,4 +20,7 @@ cargo test --offline --release -p ivdss-cluster
 echo "==> network loopback e2e + protocol fuzz (release)"
 cargo test --offline --release -p ivdss-net
 
+echo "==> adaptive-scheduling differential + property + golden suites (release)"
+cargo test --offline --release -p ivdss-sched
+
 echo "All checks passed."

@@ -29,6 +29,7 @@
 //! | [`serve`] | Online query-serving engine: IV-aware admission, sync-phase plan caching, calendar dispatch, metrics |
 //! | [`cluster`] | Sharded multi-engine cluster serving: footprint-based shard routing with explicit partial-coverage fallback, IV-guarded work stealing, shard-outage failover, aggregated metrics |
 //! | [`net`] | TCP front door: length-delimited binary protocol, hand-rolled `std::net` server over the serving engines, blocking client, closed-loop load driver |
+//! | [`sched`] | Adaptive synchronization scheduling: refresh schedules as a decision variable — marginal-IV greedy + GA search at the fixed schedules' refresh budget, behind a never-worse guard |
 //! | [`dsim`] | End-to-end DSS simulator and the per-figure experiment drivers |
 //!
 //! # Quickstart
@@ -72,6 +73,7 @@ pub use ivdss_mqo as mqo;
 pub use ivdss_net as net;
 pub use ivdss_obs as obs;
 pub use ivdss_replication as replication;
+pub use ivdss_sched as sched;
 pub use ivdss_serve as serve;
 pub use ivdss_simkernel as simkernel;
 pub use ivdss_workloads as workloads;
@@ -116,6 +118,10 @@ pub mod prelude {
     pub use ivdss_replication::{
         RevisionCursor, Schedule, SyncEvent, SyncEventCursor, SyncMode, SyncTimelines,
         TimelineRevision,
+    };
+    pub use ivdss_sched::{
+        fixed_budget, greedy_schedule, reschedule_revisions, AdaptiveConfig, AdaptiveOutcome,
+        AdaptiveScheduler, RefreshCosts, ScheduleAllocation, ScheduleEvaluator, ScheduleSource,
     };
     pub use ivdss_serve::{
         run_closed_loop, run_open_loop, AdmissionQueue, Clock, DesClock, MetricsSnapshot,
