@@ -252,6 +252,58 @@ impl Catalog {
             replication,
         )
     }
+
+    /// Returns a copy of this catalog with `added` tables appended — the
+    /// schema-growth hook: a scenario that lets new tables enter the
+    /// catalog mid-run builds the grown catalog up front with this and
+    /// gates *traffic* on each table's birth time instead of mutating a
+    /// catalog the serving engines already borrow.
+    ///
+    /// Each added table is placed at the given site; ids must continue
+    /// the dense sequence (`table_count()`, `table_count() + 1`, …),
+    /// which [`Catalog::new`] re-validates. The replication plan is
+    /// carried over unchanged — grow it separately via
+    /// [`Catalog::with_replication`] when the newborn tables should be
+    /// replicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CatalogError`] if an added table breaks id density or
+    /// references an out-of-range site.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ivdss_catalog::catalog::Catalog;
+    /// use ivdss_catalog::ids::{SiteId, TableId};
+    /// use ivdss_catalog::replica::ReplicationPlan;
+    /// use ivdss_catalog::table::TableMeta;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let base = Catalog::new(
+    ///     vec![TableMeta::new(TableId::new(0), "orders", 1000, 100)],
+    ///     2,
+    ///     vec![SiteId::new(0)],
+    ///     ReplicationPlan::new(),
+    /// )?;
+    /// let grown = base.with_added_tables(vec![(
+    ///     TableMeta::new(TableId::new(1), "clickstream", 5000, 64),
+    ///     SiteId::new(1),
+    /// )])?;
+    /// assert_eq!(grown.table_count(), 2);
+    /// assert_eq!(grown.site_of(TableId::new(1)), SiteId::new(1));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn with_added_tables(&self, added: Vec<(TableMeta, SiteId)>) -> Result<Self, CatalogError> {
+        let mut tables = self.tables.clone();
+        let mut placement = self.placement.clone();
+        for (meta, site) in added {
+            tables.push(meta);
+            placement.push(site);
+        }
+        Catalog::new(tables, self.n_sites, placement, self.replication.clone())
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +339,41 @@ mod tests {
         );
         assert_eq!(cat.table(TableId::new(1)).name(), "t1");
         assert_eq!(cat.table_ids().len(), 4);
+    }
+
+    #[test]
+    fn grown_catalog_appends_and_revalidates() {
+        let base = Catalog::new(
+            tables(4),
+            2,
+            uniform_placement(4, 2),
+            ReplicationPlan::new(),
+        )
+        .unwrap();
+        let grown = base
+            .with_added_tables(vec![
+                (
+                    TableMeta::new(TableId::new(4), "g0", 500, 64),
+                    SiteId::new(1),
+                ),
+                (
+                    TableMeta::new(TableId::new(5), "g1", 700, 64),
+                    SiteId::new(0),
+                ),
+            ])
+            .unwrap();
+        assert_eq!(grown.table_count(), 6);
+        assert_eq!(grown.site_of(TableId::new(4)), SiteId::new(1));
+        assert_eq!(grown.site_of(TableId::new(5)), SiteId::new(0));
+        // The base catalog is untouched, and a gap in the id sequence
+        // is rejected by revalidation.
+        assert_eq!(base.table_count(), 4);
+        assert!(base
+            .with_added_tables(vec![(
+                TableMeta::new(TableId::new(9), "gap", 10, 8),
+                SiteId::new(0)
+            )])
+            .is_err());
     }
 
     #[test]

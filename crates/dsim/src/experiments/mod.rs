@@ -13,6 +13,7 @@ pub mod fig5;
 pub mod fig67;
 pub mod fig8;
 pub mod fig9;
+pub mod scenarios;
 pub mod serve_net;
 
 pub use adaptive_sync::{
@@ -30,4 +31,8 @@ pub use fig5::{fig5_rate_configs, run_fig5, Fig5Cell, Fig5Config, Fig5Results};
 pub use fig67::{run_fig6, run_fig7, Fig67Config, Fig6Results, Fig7Results};
 pub use fig8::{run_fig8, Fig8Config, Fig8Point, Fig8Results};
 pub use fig9::{run_fig9, Fig9Config, Fig9Point, Fig9Results};
+pub use scenarios::{
+    run_all_scenarios, run_scenario, run_scenario_traced, ScenarioPoint, ScenarioResults,
+    TenantPoint,
+};
 pub use serve_net::{run_net_point, NetMode, NetServeConfig, NetServePoint};

@@ -1,0 +1,106 @@
+//! Golden-trace snapshot of the canonical scenario replay.
+//!
+//! The `zipf-skew` registry scenario (at a reduced horizon so the
+//! fixture stays reviewable) runs through `run_scenario_traced` with a
+//! recording tracer; the rendered trace — scenario header, admission
+//! decisions, search telemetry, completions — is compared **byte for
+//! byte** against `tests/fixtures/golden_scenario_trace.txt`. A change
+//! to the scenario engine's draw order, the driver's event emission or
+//! float formatting shows up as a fixture diff that must be re-blessed
+//! deliberately:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p ivdss-dsim --test golden_scenario
+//! ```
+//!
+//! A schema-growth variant is rendered too (not snapshotted) to pin
+//! that `table_born` events interleave deterministically with serving
+//! telemetry.
+
+use std::sync::Arc;
+
+use ivdss_dsim::experiments::scenarios::run_scenario_traced;
+use ivdss_obs::{Trace, Tracer};
+use ivdss_scenarios::named::{schema_growth, zipf_skew};
+
+/// Runs the reduced canonical scenario once and returns the rendered
+/// trace bytes.
+fn run_golden() -> String {
+    let spec = zipf_skew().with_horizon(24.0);
+    let trace = Arc::new(Trace::new());
+    let point = run_scenario_traced(&spec, &Tracer::recording(Arc::clone(&trace)));
+    assert_eq!(point.submitted, point.completed + point.shed);
+    trace.render()
+}
+
+#[test]
+fn golden_scenario_trace_matches_fixture_byte_for_byte() {
+    let rendered = run_golden();
+
+    // In-process determinism first: two identical replays, identical
+    // bytes.
+    let again = run_golden();
+    assert_eq!(
+        rendered.as_bytes(),
+        again.as_bytes(),
+        "two identical scenario replays must render byte-identical traces"
+    );
+
+    // The scenario must exercise the interesting paths, or the fixture
+    // degenerates into a vacuous snapshot.
+    for needle in [
+        "scenario_started name=zipf-skew",
+        "submitted",
+        " admission ",
+        "cache_lookup",
+        "sync_delivered",
+        " completed ",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "golden scenario no longer exercises {needle:?}"
+        );
+    }
+
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden_scenario_trace.txt"
+    );
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::write(fixture, &rendered).expect("bless writes the fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(fixture)
+        .expect("fixture exists (re-bless with GOLDEN_BLESS=1 after a reviewed change)");
+    assert_eq!(
+        rendered, expected,
+        "rendered scenario trace diverged from the blessed fixture"
+    );
+}
+
+#[test]
+fn growth_trace_interleaves_births_deterministically() {
+    let spec = schema_growth().with_horizon(100.0);
+    let render = |spec: &ivdss_scenarios::scenario::ScenarioSpec| {
+        let trace = Arc::new(Trace::new());
+        let _ = run_scenario_traced(spec, &Tracer::recording(Arc::clone(&trace)));
+        trace.render()
+    };
+    let a = render(&spec);
+    let b = render(&spec);
+    assert_eq!(a.as_bytes(), b.as_bytes());
+    // Births at 30, 50, 70, 90 fall inside the reduced horizon; each
+    // must appear exactly once, stamped at its birth instant.
+    for needle in [
+        "t=30 table_born",
+        "t=50 table_born",
+        "t=70 table_born",
+        "t=90 table_born",
+    ] {
+        assert_eq!(
+            a.matches(needle).count(),
+            1,
+            "missing or duplicated {needle:?}"
+        );
+    }
+}

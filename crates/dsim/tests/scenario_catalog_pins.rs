@@ -1,0 +1,72 @@
+//! Pins the full-horizon headline numbers of every registry scenario.
+//!
+//! These are the exact figures quoted in `docs/SCENARIOS.md` and
+//! committed in `BENCH_scenarios.json`. The scenario engine is seeded
+//! and the sim clock is deterministic, so a drift in any count or IV
+//! total means the scenario's published entry no longer reproduces —
+//! update the docs and re-run `scripts/bench.sh` in the same change
+//! that re-pins these values.
+
+use ivdss_dsim::experiments::scenarios::run_scenario;
+use ivdss_scenarios::named::{flash_crowd, multi_tenant_sla, schema_growth, zipf_skew};
+
+fn assert_close(actual: f64, expected: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() < 1e-6,
+        "{what}: got {actual}, docs pin {expected}"
+    );
+}
+
+#[test]
+fn zipf_skew_reproduces_its_catalog_entry() {
+    let p = run_scenario(&zipf_skew());
+    assert_eq!((p.submitted, p.completed, p.shed), (260, 202, 58));
+    assert_close(p.total_iv, 1.859860, "zipf-skew total IV");
+    assert_close(p.p99_cl, 169.981172, "zipf-skew p99 CL");
+}
+
+#[test]
+fn flash_crowd_reproduces_its_catalog_entry() {
+    let p = run_scenario(&flash_crowd());
+    assert_eq!((p.submitted, p.completed, p.shed), (172, 63, 109));
+    assert_close(p.total_iv, 6.814275, "flash-crowd total IV");
+    assert_close(p.p99_cl, 25.361805, "flash-crowd p99 CL");
+}
+
+#[test]
+fn multi_tenant_sla_reproduces_its_catalog_entry() {
+    let p = run_scenario(&multi_tenant_sla());
+    assert_eq!((p.submitted, p.completed, p.shed), (226, 103, 123));
+    assert_eq!((p.sla_met, p.sla_tracked), (19, 72));
+    assert_close(p.total_iv, 16.588005, "multi-tenant-sla total IV");
+    // Per-tenant ledger: gold keeps nearly all of its offered load and
+    // most of the delivered IV; bronze (no SLA) absorbs the shedding.
+    let by_name = |name: &str| {
+        p.tenants
+            .iter()
+            .find(|t| t.name == name)
+            .unwrap_or_else(|| panic!("tenant {name} missing"))
+    };
+    let gold = by_name("gold");
+    assert_eq!((gold.offered, gold.completed), (43, 40));
+    assert_close(gold.delivered_iv, 11.490868, "gold delivered IV");
+    let silver = by_name("silver");
+    assert_eq!(
+        (silver.offered, silver.completed, silver.sla_met),
+        (60, 32, 18)
+    );
+    let bronze = by_name("bronze");
+    assert_eq!(
+        (bronze.offered, bronze.completed, bronze.sla_tracked),
+        (123, 31, 0)
+    );
+}
+
+#[test]
+fn schema_growth_reproduces_its_catalog_entry() {
+    let p = run_scenario(&schema_growth());
+    assert_eq!((p.submitted, p.completed, p.shed), (204, 174, 30));
+    assert_eq!(p.births, 4);
+    assert_close(p.total_iv, 2.324182, "schema-growth total IV");
+    assert_close(p.p99_cl, 193.946927, "schema-growth p99 CL");
+}

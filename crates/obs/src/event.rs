@@ -334,6 +334,42 @@ pub enum EventKind {
         /// Budget the chosen schedule actually spends.
         budget_used: f64,
     },
+    /// A named traffic scenario began replaying (emitted once, at the
+    /// sim origin, before any scenario traffic).
+    ScenarioStarted {
+        /// The scenario's catalog name (static: scenarios are a fixed
+        /// registry, so rendering never allocates labels).
+        name: &'static str,
+        /// The scenario's root seed.
+        seed: u64,
+        /// The replay horizon — no arrivals at or beyond this time.
+        horizon: SimTime,
+    },
+    /// A schema-growth scenario's newborn table entered the catalog:
+    /// from this instant its timeline is live (first sync exactly at
+    /// birth) and templates referencing it become eligible.
+    TableBorn {
+        /// The newborn table.
+        table: TableId,
+        /// Its birth instant (also the event stamp).
+        born: SimTime,
+        /// Its replica's sync period from birth onward.
+        sync_period: SimDuration,
+    },
+    /// A completed scenario query was checked against its tenant's SLA
+    /// deadline.
+    SlaChecked {
+        /// The completed query.
+        query: QueryId,
+        /// The owning tenant's index in the scenario's tenant mix.
+        tenant: u32,
+        /// The absolute deadline (submission + the tenant's SLA).
+        deadline: SimTime,
+        /// When the result was delivered.
+        finish: SimTime,
+        /// `true` when `finish <= deadline`.
+        met: bool,
+    },
 }
 
 impl EventKind {
@@ -367,6 +403,9 @@ impl EventKind {
             EventKind::SchedBudget { .. } => "sched_budget",
             EventKind::SchedPick { .. } => "sched_pick",
             EventKind::SchedChosen { .. } => "sched_chosen",
+            EventKind::ScenarioStarted { .. } => "scenario_started",
+            EventKind::TableBorn { .. } => "table_born",
+            EventKind::SlaChecked { .. } => "sla_checked",
         }
     }
 }
@@ -670,6 +709,45 @@ impl TraceEvent {
             } => {
                 let _ = write!(out, " source={source} iv={iv} budget_used={budget_used}");
             }
+            EventKind::ScenarioStarted {
+                name,
+                seed,
+                horizon,
+            } => {
+                let _ = write!(
+                    out,
+                    " name={name} seed={seed} horizon={}",
+                    fmt_time(*horizon)
+                );
+            }
+            EventKind::TableBorn {
+                table,
+                born,
+                sync_period,
+            } => {
+                let _ = write!(
+                    out,
+                    " table={} born={} sync_period={}",
+                    table.index(),
+                    fmt_time(*born),
+                    sync_period.value()
+                );
+            }
+            EventKind::SlaChecked {
+                query,
+                tenant,
+                deadline,
+                finish,
+                met,
+            } => {
+                let _ = write!(
+                    out,
+                    " query={} tenant={tenant} deadline={} finish={} met={met}",
+                    query.raw(),
+                    fmt_time(*deadline),
+                    fmt_time(*finish)
+                );
+            }
         }
         out.push('\n');
     }
@@ -800,6 +878,48 @@ mod tests {
         assert_eq!(
             chosen.render(),
             "t=0 sched_chosen source=greedy iv=2.5 budget_used=11\n"
+        );
+    }
+
+    #[test]
+    fn scenario_events_render() {
+        let started = TraceEvent::new(
+            SimTime::ZERO,
+            EventKind::ScenarioStarted {
+                name: "flash-crowd",
+                seed: 0xC0FFEE,
+                horizon: SimTime::new(120.0),
+            },
+        );
+        assert_eq!(
+            started.render(),
+            "t=0 scenario_started name=flash-crowd seed=12648430 horizon=120\n"
+        );
+        let born = TraceEvent::new(
+            SimTime::new(30.0),
+            EventKind::TableBorn {
+                table: TableId::new(24),
+                born: SimTime::new(30.0),
+                sync_period: SimDuration::new(6.0),
+            },
+        );
+        assert_eq!(
+            born.render(),
+            "t=30 table_born table=24 born=30 sync_period=6\n"
+        );
+        let sla = TraceEvent::new(
+            SimTime::new(18.5),
+            EventKind::SlaChecked {
+                query: QueryId::new(9),
+                tenant: 1,
+                deadline: SimTime::new(17.0),
+                finish: SimTime::new(18.5),
+                met: false,
+            },
+        );
+        assert_eq!(
+            sla.render(),
+            "t=18.5 sla_checked query=9 tenant=1 deadline=17 finish=18.5 met=false\n"
         );
     }
 

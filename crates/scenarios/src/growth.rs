@@ -1,0 +1,195 @@
+//! Schema growth: new tables entering the catalog mid-run.
+//!
+//! The serving engines borrow a `Catalog` for the whole run, so the
+//! catalog cannot mutate mid-run. Growth is therefore modeled
+//! *timeline-side*: the full (grown) catalog is built up front via
+//! [`Catalog::with_added_tables`], each newborn replica's schedule is
+//! **cold** — its periodic timeline is phased so the *first* sync
+//! completes exactly at birth, and before that instant the table has no
+//! completed sync at all (the planner treats it as maximally stale) —
+//! and the traffic generator gates templates referencing a newborn
+//! table so they only enter the draw at or after its birth.
+
+use ivdss_catalog::catalog::{Catalog, CatalogError};
+use ivdss_catalog::ids::{SiteId, TableId};
+use ivdss_catalog::replica::ReplicaSpec;
+use ivdss_catalog::table::TableMeta;
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+use ivdss_simkernel::time::{SimDuration, SimTime};
+
+/// How a scenario's schema grows over the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthSpec {
+    /// Number of tables born during the run.
+    pub births: usize,
+    /// Birth instant of the first newborn table.
+    pub first_birth: f64,
+    /// Spacing between consecutive births.
+    pub spacing: f64,
+    /// Sync period of each newborn replica from its birth onward.
+    pub sync_period: f64,
+    /// Row count of each newborn table.
+    pub rows: u64,
+    /// Row size of each newborn table, in bytes.
+    pub row_bytes: u32,
+}
+
+impl GrowthSpec {
+    /// `births` tables born at `first_birth`, `first_birth + spacing`,
+    /// …, each replicated with `sync_period` from birth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any knob is non-positive (births may be zero).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ivdss_scenarios::growth::GrowthSpec;
+    ///
+    /// let g = GrowthSpec::new(4, 30.0, 20.0, 6.0);
+    /// assert_eq!(g.birth_time(3), 90.0);
+    /// ```
+    #[must_use]
+    pub fn new(births: usize, first_birth: f64, spacing: f64, sync_period: f64) -> Self {
+        assert!(
+            first_birth.is_finite() && first_birth > 0.0,
+            "first birth must be positive"
+        );
+        assert!(
+            spacing.is_finite() && spacing > 0.0,
+            "birth spacing must be positive"
+        );
+        assert!(
+            sync_period.is_finite() && sync_period > 0.0,
+            "sync period must be positive"
+        );
+        GrowthSpec {
+            births,
+            first_birth,
+            spacing,
+            sync_period,
+            rows: 100_000,
+            row_bytes: 96,
+        }
+    }
+
+    /// The birth instant of the `i`-th newborn table.
+    #[must_use]
+    pub fn birth_time(&self, i: usize) -> f64 {
+        self.first_birth + self.spacing * i as f64
+    }
+}
+
+/// One table born mid-run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BornTable {
+    /// The newborn table's id in the grown catalog.
+    pub table: TableId,
+    /// Its birth instant: first sync completion, and the moment its
+    /// templates become eligible.
+    pub born: SimTime,
+    /// Its replica's sync period from birth onward.
+    pub sync_period: SimDuration,
+}
+
+/// Applies `spec` to a base catalog: appends the newborn tables
+/// (placed round-robin over the sites), replicates each with a cold
+/// periodic schedule phased at its birth, and derives the grown
+/// deterministic timelines.
+///
+/// Returns the grown catalog, its timelines, and the birth roster in
+/// birth order.
+///
+/// # Errors
+///
+/// Returns a [`CatalogError`] if the grown catalog fails validation
+/// (cannot happen for ids generated here; propagated for safety).
+pub fn grow_catalog(
+    base: &Catalog,
+    spec: &GrowthSpec,
+) -> Result<(Catalog, SyncTimelines, Vec<BornTable>), CatalogError> {
+    let sites = base.site_count();
+    let mut added = Vec::with_capacity(spec.births);
+    let mut births = Vec::with_capacity(spec.births);
+    let mut plan = base.replication().clone();
+    for i in 0..spec.births {
+        let id = TableId::new((base.table_count() + i) as u32);
+        let born = spec.birth_time(i);
+        added.push((
+            TableMeta::new(id, format!("born{i}"), spec.rows, spec.row_bytes),
+            SiteId::new((id.index() % sites) as u32),
+        ));
+        plan.add(id, ReplicaSpec::with_phase(spec.sync_period, born));
+        births.push(BornTable {
+            table: id,
+            born: SimTime::new(born),
+            sync_period: SimDuration::new(spec.sync_period),
+        });
+    }
+    let catalog = base.with_added_tables(added)?.with_replication(plan)?;
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    Ok((catalog, timelines, births))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+
+    fn base() -> Catalog {
+        synthetic_catalog(&SyntheticConfig {
+            tables: 12,
+            sites: 3,
+            replicated_tables: 6,
+            ..SyntheticConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn growth_appends_cold_replicas() {
+        let base = base();
+        let spec = GrowthSpec::new(3, 20.0, 10.0, 4.0);
+        let (grown, timelines, births) = grow_catalog(&base, &spec).unwrap();
+        assert_eq!(grown.table_count(), 15);
+        assert_eq!(births.len(), 3);
+        for (i, b) in births.iter().enumerate() {
+            assert_eq!(b.born, SimTime::new(20.0 + 10.0 * i as f64));
+            assert!(grown.is_replicated(b.table));
+            // Cold before birth: no completed sync at all.
+            let just_before = SimTime::new(b.born.value() - 1e-9);
+            assert_eq!(timelines.last_sync(b.table, just_before), None);
+            // First sync lands exactly at birth.
+            assert_eq!(timelines.last_sync(b.table, b.born), Some(b.born));
+            // And the periodic grid continues from there.
+            let later = SimTime::new(b.born.value() + 4.0);
+            assert_eq!(timelines.last_sync(b.table, later), Some(later));
+        }
+    }
+
+    #[test]
+    fn base_replicas_keep_their_schedules() {
+        let base = base();
+        let spec = GrowthSpec::new(2, 15.0, 5.0, 3.0);
+        let (grown, grown_tl, _) = grow_catalog(&base, &spec).unwrap();
+        let base_tl = SyncTimelines::from_plan(base.replication(), SyncMode::Deterministic);
+        for table in base.replication().tables() {
+            assert!(grown.is_replicated(table));
+            assert_eq!(
+                grown_tl.schedule(table),
+                base_tl.schedule(table),
+                "base table {table} schedule changed under growth"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_births_is_identity_shape() {
+        let base = base();
+        let spec = GrowthSpec::new(0, 1.0, 1.0, 1.0);
+        let (grown, _, births) = grow_catalog(&base, &spec).unwrap();
+        assert_eq!(grown.table_count(), base.table_count());
+        assert!(births.is_empty());
+    }
+}

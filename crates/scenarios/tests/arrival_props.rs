@@ -1,0 +1,122 @@
+//! Property suite for the arrival processes.
+//!
+//! Three laws, randomized over profile knobs and seeds:
+//!
+//! 1. **Mean-rate consistency** — over a long horizon, the empirical
+//!    arrival count is within tolerance of the profile's exact
+//!    `∫ rate(t) dt`.
+//! 2. **Burst mass in-window** — for a flash crowd, the fraction of
+//!    arrivals inside the burst window matches the window's share of
+//!    the intensity mass.
+//! 3. **Bit-identical replay** — the same seed yields the same arrival
+//!    sequence, element for element; times strictly increase.
+
+use ivdss_scenarios::arrival::{ArrivalProcess, IntensityProfile};
+use ivdss_simkernel::time::SimTime;
+use proptest::prelude::*;
+
+/// Poisson counts concentrate around the mean: with expected count λ a
+/// 5σ band (√λ std) plus a small absolute floor keeps the test sound
+/// over every generated profile while still pinning the rate.
+fn within_poisson_band(observed: usize, expected: f64) -> bool {
+    let slack = 5.0 * expected.sqrt() + 10.0;
+    (observed as f64 - expected).abs() <= slack
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Law 1 (constant): empirical count matches rate · horizon.
+    #[test]
+    fn constant_mean_rate_within_tolerance(
+        rate in 0.2..8.0f64,
+        seed in 0u64..1_000,
+    ) {
+        let horizon = SimTime::new(400.0);
+        let profile = IntensityProfile::constant(rate);
+        let times = ArrivalProcess::new(profile, seed).arrivals_until(horizon);
+        let expected = profile.expected_count(horizon);
+        prop_assert!(
+            within_poisson_band(times.len(), expected),
+            "rate {rate}: {} arrivals vs expected {expected}",
+            times.len()
+        );
+    }
+
+    /// Law 1 (diurnal): thinning preserves the non-homogeneous mean —
+    /// the empirical count matches the closed-form intensity integral,
+    /// including the partial-day cosine term.
+    #[test]
+    fn diurnal_mean_rate_within_tolerance(
+        base in 0.5..5.0f64,
+        amplitude in 0.0..0.95f64,
+        period in 10.0..80.0f64,
+        seed in 0u64..1_000,
+    ) {
+        let horizon = SimTime::new(500.0);
+        let profile = IntensityProfile::diurnal(base, amplitude, period);
+        let times = ArrivalProcess::new(profile, seed).arrivals_until(horizon);
+        let expected = profile.expected_count(horizon);
+        prop_assert!(
+            within_poisson_band(times.len(), expected),
+            "base {base} a {amplitude} P {period}: {} arrivals vs expected {expected}",
+            times.len()
+        );
+    }
+
+    /// Law 2: the burst window carries its share of the intensity mass
+    /// — and every arrival in the window-heavy regime actually lands
+    /// inside `[0, horizon)`.
+    #[test]
+    fn flash_crowd_burst_mass_in_window(
+        base in 0.2..1.5f64,
+        boost in 3.0..10.0f64,
+        start in 20.0..80.0f64,
+        duration in 10.0..40.0f64,
+        seed in 0u64..1_000,
+    ) {
+        let horizon = SimTime::new(200.0);
+        let peak = base * boost;
+        let profile = IntensityProfile::flash_crowd(base, peak, start, duration);
+        let times = ArrivalProcess::new(profile, seed).arrivals_until(horizon);
+        for &t in &times {
+            prop_assert!(t < horizon);
+        }
+        let in_window = times
+            .iter()
+            .filter(|t| t.value() >= start && t.value() < start + duration)
+            .count();
+        let expected_in_window = peak * duration.min(horizon.value() - start);
+        prop_assert!(
+            within_poisson_band(in_window, expected_in_window),
+            "burst [{start}, {}): {in_window} arrivals vs expected {expected_in_window}",
+            start + duration
+        );
+        let expected_total = profile.expected_count(horizon);
+        prop_assert!(
+            within_poisson_band(times.len(), expected_total),
+            "total {} vs expected {expected_total}",
+            times.len()
+        );
+    }
+
+    /// Law 3: per-seed bit-identical replay, strict monotonicity, and
+    /// seed sensitivity.
+    #[test]
+    fn replay_is_bit_identical_per_seed(
+        base in 0.5..4.0f64,
+        amplitude in 0.0..0.9f64,
+        seed in 0u64..10_000,
+    ) {
+        let horizon = SimTime::new(150.0);
+        let profile = IntensityProfile::diurnal(base, amplitude, 40.0);
+        let a = ArrivalProcess::new(profile, seed).arrivals_until(horizon);
+        let b = ArrivalProcess::new(profile, seed).arrivals_until(horizon);
+        prop_assert_eq!(&a, &b, "same seed must replay bit-identically");
+        for w in a.windows(2) {
+            prop_assert!(w[0] < w[1], "arrival times must strictly increase");
+        }
+        let c = ArrivalProcess::new(profile, seed ^ 0xDEAD_BEEF).arrivals_until(horizon);
+        prop_assert_ne!(a, c, "different seeds must diverge");
+    }
+}

@@ -1,0 +1,153 @@
+//! Property suite for composed scenario streams.
+//!
+//! Laws randomized over scenario knobs and seeds:
+//!
+//! 1. **Tenant value conservation** — per-tenant offered counts sum
+//!    exactly to the total, and per-tenant offered business value sums
+//!    to the global total within floating-point accumulation tolerance;
+//!    every draw respects its tenant's value range and SLA.
+//! 2. **Birth gating** — no generated query references a newborn table
+//!    before its birth, and newborn timelines are cold before birth.
+//! 3. **Full-stream determinism** — a scenario's entire event stream
+//!    (requests, tenants, deadlines) replays bit-identically per seed,
+//!    including every named registry scenario.
+
+use ivdss_scenarios::growth::GrowthSpec;
+use ivdss_scenarios::named::all_scenarios;
+use ivdss_scenarios::scenario::{Popularity, ScenarioEvent, ScenarioSpec};
+use ivdss_scenarios::tenant::TenantSpec;
+use proptest::prelude::*;
+
+fn tiered_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("gold", 0.2, (5.0, 10.0)).with_sla(10.0),
+        TenantSpec::new("silver", 0.3, (2.0, 4.0)).with_sla(25.0),
+        TenantSpec::new("bronze", 0.5, (0.5, 1.5)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Law 1: the tenant ledger conserves counts exactly and value to
+    /// accumulation tolerance.
+    #[test]
+    fn tenant_value_conserves(seed in 0u64..10_000) {
+        let spec = ScenarioSpec::new("prop-tenants", seed)
+            .with_horizon(120.0)
+            .with_tenants(tiered_tenants());
+        let world = spec.build_world().unwrap();
+        let events: Vec<ScenarioEvent> = spec.stream(&world).collect();
+        prop_assert!(!events.is_empty());
+
+        let mut counts = vec![0usize; spec.tenants.len()];
+        let mut values = vec![0.0f64; spec.tenants.len()];
+        let mut total_value = 0.0f64;
+        for e in &events {
+            prop_assert!(e.tenant < spec.tenants.len());
+            let t = &spec.tenants[e.tenant];
+            let bv = e.request.business_value.value();
+            prop_assert!(
+                bv >= t.business_value.0 && bv < t.business_value.1,
+                "tenant {}: bv {bv} outside {:?}",
+                t.name,
+                t.business_value
+            );
+            match t.sla_deadline {
+                Some(sla) => {
+                    let deadline = e.deadline.expect("SLA tenant draws carry deadlines");
+                    let budget = deadline.since(e.request.submitted_at).value();
+                    prop_assert!((budget - sla).abs() < 1e-12);
+                }
+                None => prop_assert!(e.deadline.is_none()),
+            }
+            counts[e.tenant] += 1;
+            values[e.tenant] += bv;
+            total_value += bv;
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), events.len());
+        let per_tenant_sum: f64 = values.iter().sum();
+        prop_assert!(
+            (per_tenant_sum - total_value).abs() <= 1e-9 * total_value.max(1.0),
+            "per-tenant value {per_tenant_sum} vs total {total_value}"
+        );
+    }
+
+    /// Law 2: growth traffic is gated at birth and newborn timelines
+    /// are cold before it.
+    #[test]
+    fn no_query_references_unborn_tables(
+        seed in 0u64..10_000,
+        births in 1usize..5,
+        first_birth in 20.0..60.0f64,
+        spacing in 10.0..30.0f64,
+    ) {
+        let spec = ScenarioSpec::new("prop-growth", seed)
+            .with_horizon(140.0)
+            .with_growth(GrowthSpec::new(births, first_birth, spacing, 6.0))
+            .with_popularity(Popularity::Zipf { exponent: 1.0 });
+        let world = spec.build_world().unwrap();
+        prop_assert_eq!(world.births.len(), births);
+        for born in &world.births {
+            let just_before =
+                ivdss_simkernel::time::SimTime::new(born.born.value() - 1e-9);
+            prop_assert_eq!(world.timelines.last_sync(born.table, just_before), None);
+            prop_assert_eq!(world.timelines.last_sync(born.table, born.born), Some(born.born));
+        }
+        for event in spec.stream(&world) {
+            for table in event.request.query.tables() {
+                if let Some(born) = world.births.iter().find(|b| b.table == *table) {
+                    prop_assert!(
+                        event.request.submitted_at >= born.born,
+                        "query submitted at {:?} references table born at {:?}",
+                        event.request.submitted_at,
+                        born.born
+                    );
+                }
+            }
+        }
+    }
+
+    /// Law 3: the full event stream — requests, tenant tags, deadlines
+    /// — replays bit-identically per seed and diverges across seeds.
+    #[test]
+    fn full_stream_replays_bit_identically(seed in 0u64..10_000) {
+        let spec = ScenarioSpec::new("prop-replay", seed)
+            .with_horizon(100.0)
+            .with_tenants(tiered_tenants())
+            .with_popularity(Popularity::Zipf { exponent: 1.1 });
+        let world = spec.build_world().unwrap();
+        let a: Vec<ScenarioEvent> = spec.stream(&world).collect();
+        let b: Vec<ScenarioEvent> = spec.stream(&world).collect();
+        prop_assert_eq!(&a, &b);
+
+        let other = ScenarioSpec { seed: seed ^ 0x5EED_CAFE, ..spec.clone() };
+        let other_world = other.build_world().unwrap();
+        let c: Vec<ScenarioEvent> = other.stream(&other_world).collect();
+        prop_assert_ne!(a, c, "different seeds must diverge");
+    }
+}
+
+/// Law 3 for the registry: every named scenario — the exact specs the
+/// docs catalog pins — rebuilds its world and replays its stream
+/// bit-identically.
+#[test]
+fn named_scenarios_replay_bit_identically() {
+    for spec in all_scenarios() {
+        let world = spec.build_world().expect("world builds");
+        let again = spec.build_world().expect("world rebuilds");
+        assert_eq!(
+            world, again,
+            "scenario {}: world must rebuild identically",
+            spec.name
+        );
+        let a: Vec<ScenarioEvent> = spec.stream(&world).collect();
+        let b: Vec<ScenarioEvent> = spec.stream(&world).collect();
+        assert_eq!(
+            a, b,
+            "scenario {}: stream must replay identically",
+            spec.name
+        );
+        assert!(!a.is_empty(), "scenario {} generated no traffic", spec.name);
+    }
+}

@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Reproducible benchmark trajectory: regenerates every paper figure,
 # runs the ablations, and produces the machine-readable planner-scaling,
-# cluster shard-scaling, network-serving and adaptive-scheduling reports
-# (BENCH_planner.json, BENCH_cluster.json, BENCH_serve_net.json and
-# BENCH_sched.json at the repo root).
+# cluster shard-scaling, network-serving, adaptive-scheduling and
+# scenario-sweep reports (BENCH_planner.json, BENCH_cluster.json,
+# BENCH_serve_net.json, BENCH_sched.json and BENCH_scenarios.json at the
+# repo root).
 #
 # Usage:
-#   scripts/bench.sh                  # full run (minutes)
-#   scripts/bench.sh --smoke          # scaled-down run (seconds; CI gate)
-#   scripts/bench.sh --out F          # write the planner JSON to F instead
-#   scripts/bench.sh --cluster-out F  # write the cluster JSON to F instead
-#   scripts/bench.sh --net-out F      # write the net-serving JSON to F instead
-#   scripts/bench.sh --sched-out F    # write the scheduling JSON to F instead
+#   scripts/bench.sh                    # full run (minutes)
+#   scripts/bench.sh --smoke            # scaled-down run (seconds; CI gate)
+#   scripts/bench.sh --out F            # write the planner JSON to F instead
+#   scripts/bench.sh --cluster-out F    # write the cluster JSON to F instead
+#   scripts/bench.sh --net-out F        # write the net-serving JSON to F instead
+#   scripts/bench.sh --sched-out F      # write the scheduling JSON to F instead
+#   scripts/bench.sh --scenarios-out F  # write the scenario JSON to F instead
 #
 # Every bin is seeded and deterministic; only the wall-clock timings in
 # the JSON reports vary across hosts (BENCH_planner.json records the
@@ -26,6 +28,7 @@ OUT="BENCH_planner.json"
 CLUSTER_OUT="BENCH_cluster.json"
 NET_OUT="BENCH_serve_net.json"
 SCHED_OUT="BENCH_sched.json"
+SCENARIOS_OUT="BENCH_scenarios.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1 ;;
@@ -49,7 +52,12 @@ while [[ $# -gt 0 ]]; do
       [[ $# -gt 0 ]] || { echo "--sched-out needs a path" >&2; exit 2; }
       SCHED_OUT="$1"
       ;;
-    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE] [--cluster-out FILE] [--net-out FILE] [--sched-out FILE]" >&2; exit 2 ;;
+    --scenarios-out)
+      shift
+      [[ $# -gt 0 ]] || { echo "--scenarios-out needs a path" >&2; exit 2; }
+      SCENARIOS_OUT="$1"
+      ;;
+    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE] [--cluster-out FILE] [--net-out FILE] [--sched-out FILE] [--scenarios-out FILE]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -87,4 +95,8 @@ echo "==> adaptive sync scheduling gain (writes $SCHED_OUT)"
 cargo run --offline --release -p ivdss-bench --bin sched_gain -- \
   ${QUICK[@]+"${QUICK[@]}"} --out "$SCHED_OUT"
 
-echo "Benchmark trajectory complete; scaling reports at $OUT, $CLUSTER_OUT, $NET_OUT and $SCHED_OUT."
+echo "==> scenario sweeps (writes $SCENARIOS_OUT)"
+cargo run --offline --release -p ivdss-bench --bin scenarios -- \
+  ${QUICK[@]+"${QUICK[@]}"} --out "$SCENARIOS_OUT"
+
+echo "Benchmark trajectory complete; scaling reports at $OUT, $CLUSTER_OUT, $NET_OUT, $SCHED_OUT and $SCENARIOS_OUT."

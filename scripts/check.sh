@@ -23,4 +23,11 @@ cargo test --offline --release -p ivdss-net
 echo "==> adaptive-scheduling differential + property + golden suites (release)"
 cargo test --offline --release -p ivdss-sched
 
+echo "==> scenario engine property + golden + catalog-pin suites (release)"
+cargo test --offline --release -p ivdss-scenarios
+cargo test --offline --release -p ivdss-dsim --test golden_scenario --test scenario_catalog_pins
+
+echo "==> markdown link check"
+scripts/linkcheck.sh
+
 echo "All checks passed."

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Markdown link check over README.md and docs/*.md — pure bash, no
+# network. Validates that every relative link target exists on disk
+# (anchors are stripped; http(s)/mailto links are skipped, since the
+# container is offline). CI runs this as the `linkcheck` job; run it
+# locally after moving or renaming any doc.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FILES=(README.md docs/*.md)
+failures=0
+checked=0
+
+for file in "${FILES[@]}"; do
+  dir=$(dirname "$file")
+  # Pull every inline-link target: [text](target). Reference-style
+  # links are not used in this repo's docs.
+  while IFS= read -r target; do
+    [[ -n "$target" ]] || continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    # In-page anchor only.
+    [[ "$target" == \#* ]] && continue
+    # Strip any #anchor suffix before checking existence.
+    path="${target%%#*}"
+    checked=$((checked + 1))
+    if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+      echo "BROKEN: $file -> $target" >&2
+      failures=$((failures + 1))
+    fi
+  done < <(grep -o '](\([^)]*\))' "$file" 2>/dev/null | sed 's/^](//; s/)$//' || true)
+done
+
+if [[ $failures -gt 0 ]]; then
+  echo "linkcheck: $failures broken link(s) out of $checked checked" >&2
+  exit 1
+fi
+echo "linkcheck: all $checked relative links resolve."

@@ -30,6 +30,7 @@
 //! | [`cluster`] | Sharded multi-engine cluster serving: footprint-based shard routing with explicit partial-coverage fallback, IV-guarded work stealing, shard-outage failover, aggregated metrics |
 //! | [`net`] | TCP front door: length-delimited binary protocol, hand-rolled `std::net` server over the serving engines, blocking client, closed-loop load driver |
 //! | [`sched`] | Adaptive synchronization scheduling: refresh schedules as a decision variable — marginal-IV greedy + GA search at the fixed schedules' refresh budget, behind a never-worse guard |
+//! | [`scenarios`] | Seeded composable traffic scenarios: Zipf popularity, diurnal/flash-crowd arrivals, multi-tenant SLA mixes, schema growth with cold timelines |
 //! | [`dsim`] | End-to-end DSS simulator and the per-figure experiment drivers |
 //!
 //! # Quickstart
@@ -73,6 +74,7 @@ pub use ivdss_mqo as mqo;
 pub use ivdss_net as net;
 pub use ivdss_obs as obs;
 pub use ivdss_replication as replication;
+pub use ivdss_scenarios as scenarios;
 pub use ivdss_sched as sched;
 pub use ivdss_serve as serve;
 pub use ivdss_simkernel as simkernel;
@@ -119,6 +121,10 @@ pub mod prelude {
         RevisionCursor, Schedule, SyncEvent, SyncEventCursor, SyncMode, SyncTimelines,
         TimelineRevision,
     };
+    pub use ivdss_scenarios::{
+        all_scenarios, scenario_by_name, ArrivalProcess, GrowthSpec, IntensityProfile, Popularity,
+        ScenarioEvent, ScenarioSpec, ScenarioWorld, TenantMix, TenantSpec, ZipfSampler,
+    };
     pub use ivdss_sched::{
         fixed_budget, greedy_schedule, reschedule_revisions, AdaptiveConfig, AdaptiveOutcome,
         AdaptiveScheduler, RefreshCosts, ScheduleAllocation, ScheduleEvaluator, ScheduleSource,
@@ -132,6 +138,6 @@ pub mod prelude {
     };
     pub use ivdss_workloads::{
         mid_cost_query_specs, overlapping_queries, random_queries, tpch_query_specs, ArrivalStream,
-        FrequencyRatio, OverlapConfig, RandomQueryConfig,
+        FrequencyRatio, OverlapConfig, RandomQueryConfig, RequestSource,
     };
 }
