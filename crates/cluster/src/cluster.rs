@@ -41,9 +41,11 @@
 //! accounted — when *no* shard is live.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use ivdss_catalog::catalog::Catalog;
 use ivdss_catalog::ids::ShardId;
+use ivdss_core::memo::PhaseMemo;
 use ivdss_core::plan::{NoQueues, PlanContext, PlanError, QueryRequest};
 use ivdss_core::search::ScatterGatherSearch;
 use ivdss_core::value::DiscountRates;
@@ -211,6 +213,9 @@ pub struct Cluster<'a, C: Clock + Clone> {
     /// Parallel to `outages`: whether the window's failover already ran.
     handled: Vec<bool>,
     search: ScatterGatherSearch,
+    /// One sharded [`PhaseMemo`] shared by every engine: a sync phase
+    /// explored on one shard prunes the same phase on every other.
+    memo: Arc<PhaseMemo>,
 }
 
 impl<'a, C: Clock + Clone> Cluster<'a, C> {
@@ -249,6 +254,7 @@ impl<'a, C: Clock + Clone> Cluster<'a, C> {
             outages: Vec::new(),
             handled: Vec::new(),
             search: ScatterGatherSearch::new(),
+            memo: Arc::new(PhaseMemo::new()),
         };
         cluster.rebuild_engines();
         cluster
@@ -319,10 +325,24 @@ impl<'a, C: Clock + Clone> Cluster<'a, C> {
                         self.clock0.clone(),
                     ),
                 };
-                engine.with_tracer(self.tracer.for_shard(s))
+                engine
+                    .with_phase_memo(Arc::clone(&self.memo))
+                    .with_tracer(self.tracer.for_shard(s))
             })
             .collect();
         self.engines = engines;
+    }
+
+    /// The [`PhaseMemo`] every shard engine plans against. Shards with
+    /// distinct replication plans never collide — [`PhaseKey`] encodes
+    /// the replicated subset — so sharing is safe *and* lets
+    /// phase-equivalent queries routed to different shards reuse each
+    /// other's pruned frontiers.
+    ///
+    /// [`PhaseKey`]: ivdss_core::memo::PhaseKey
+    #[must_use]
+    pub fn shared_memo(&self) -> Arc<PhaseMemo> {
+        Arc::clone(&self.memo)
     }
 
     /// The cluster's current time (all engines move in lockstep).

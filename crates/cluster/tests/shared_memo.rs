@@ -1,0 +1,270 @@
+//! The shared sync-phase memo across a cluster of engines.
+//!
+//! Three pins:
+//!
+//! 1. **Wiring**: every shard engine of a [`Cluster`] plans against the
+//!    *same* [`PhaseMemo`] handle the cluster exposes, and cluster
+//!    traffic actually populates it.
+//! 2. **Cross-engine reuse**: an engine that shares another engine's
+//!    memo answers phase-equivalent gather waves from the frontiers the
+//!    first engine recorded — its [`PlanAudit`] memo-hit counters beat
+//!    an identical engine running on a private memo — while choosing
+//!    bit-identical plans (the memo only ever prunes dominated
+//!    subsets).
+//! 3. **Degeneracy**: with the memo shared and the plan cache off (so
+//!    every dispatch runs the memoized fresh search), a 1-shard cluster
+//!    is still bit-identical to a bare engine.
+//!
+//! Note on topology: under a *strict partition* two shards never own
+//! the same replicated table, and [`PhaseKey`] encodes the replicated
+//! subset, so routed cluster traffic cannot collide across shards —
+//! which is exactly why sharing the memo leaves every golden trace
+//! byte-identical. Cross-engine reuse therefore fires when engines see
+//! the *same* replication plan (pin 2), and is proven safe-by-keying
+//! for engines that do not (pin 1's disjoint shards).
+//!
+//! [`PhaseKey`]: ivdss_core::memo::PhaseKey
+//! [`PlanAudit`]: ivdss_obs::PlanAudit
+
+use std::sync::Arc;
+
+use ivdss_catalog::catalog::Catalog;
+use ivdss_catalog::ids::{ShardId, TableId};
+use ivdss_catalog::placement::PlacementStrategy;
+use ivdss_catalog::replica::{ReplicaSpec, ReplicationPlan};
+use ivdss_catalog::sharding::{ShardAssignment, ShardStrategy};
+use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+use ivdss_cluster::{Cluster, ClusterConfig, ShardRouter, ShardTimelines};
+use ivdss_core::plan::QueryRequest;
+use ivdss_core::value::DiscountRates;
+use ivdss_costmodel::model::StylizedCostModel;
+use ivdss_costmodel::query::{QueryId, QuerySpec};
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+use ivdss_serve::clock::DesClock;
+use ivdss_serve::engine::{Completion, ServeConfig, ServeEngine};
+use ivdss_simkernel::rng::SeedFactory;
+use ivdss_simkernel::time::SimTime;
+use ivdss_workloads::stream::ArrivalStream;
+use ivdss_workloads::synthetic::{random_queries, RandomQueryConfig};
+
+/// A fresh-search configuration: the plan cache is off so every
+/// dispatch runs the memoized scatter-and-gather search and leaves a
+/// [`SearchAudit`](ivdss_obs::SearchAudit) with memo counters.
+fn fresh_search_config() -> ServeConfig {
+    let mut config = ServeConfig::new(DiscountRates::new(0.01, 0.05));
+    config.use_cache = false;
+    config
+}
+
+/// Two replicated tables on distinct cycles: enough gather waves per
+/// search to fill the memo, and phase-equivalence across repeats.
+fn two_replica_catalog() -> Catalog {
+    let base = synthetic_catalog(&SyntheticConfig {
+        tables: 4,
+        sites: 2,
+        replicated_tables: 0,
+        ..SyntheticConfig::default()
+    })
+    .expect("base catalog configuration is valid");
+    let mut plan = ReplicationPlan::new();
+    plan.add(TableId::new(0), ReplicaSpec::new(8.0));
+    plan.add(TableId::new(1), ReplicaSpec::new(2.0));
+    base.with_replication(plan)
+        .expect("replication plan fits the catalog")
+}
+
+/// The replicated-footprint workload of [`two_replica_catalog`]: the
+/// same two-replica query shape submitted at a spread of phases.
+fn replica_workload(first_id: u64) -> Vec<QueryRequest> {
+    [11.0, 12.5, 17.0, 27.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &at)| {
+            QueryRequest::new(
+                QuerySpec::new(
+                    QueryId::new(first_id + i as u64),
+                    vec![TableId::new(0), TableId::new(1)],
+                ),
+                SimTime::new(at),
+            )
+        })
+        .collect()
+}
+
+/// Drives `requests` through a bare engine; returns every completion in
+/// dispatch order plus the summed memo-hit/miss counters of the
+/// dispatch-time search audits.
+fn run_engine(
+    engine: &mut ServeEngine<'_, DesClock>,
+    requests: &[QueryRequest],
+) -> (Vec<Completion>, usize, usize) {
+    let mut completed = Vec::new();
+    for request in requests {
+        let report = engine.submit(request.clone()).expect("submit plans");
+        completed.extend(report.completed);
+    }
+    completed.extend(engine.drain().expect("drain plans"));
+    let (mut hits, mut misses) = (0, 0);
+    for request in requests {
+        let audit = engine
+            .plan_audit(request.id())
+            .expect("audited fresh search");
+        let search = audit.search.as_ref().expect("fresh search leaves a record");
+        hits += search.memo_hits;
+        misses += search.memo_misses;
+    }
+    (completed, hits, misses)
+}
+
+#[test]
+fn every_shard_engine_plans_against_the_cluster_memo() {
+    let catalog = synthetic_catalog(&SyntheticConfig {
+        tables: 8,
+        sites: 3,
+        placement: PlacementStrategy::Skewed,
+        replicated_tables: 6,
+        mean_sync_period: 5.0,
+        seed: 17,
+        ..SyntheticConfig::default()
+    })
+    .expect("cluster catalog configuration is valid");
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let assignment = ShardAssignment::partition(&catalog, 3, ShardStrategy::Balanced, 17);
+    let router = ShardRouter::new(assignment);
+    let shard_timelines = ShardTimelines::build(&timelines, &router);
+    let model = StylizedCostModel::paper_fig4();
+    let mut cluster = Cluster::new(
+        &catalog,
+        &shard_timelines,
+        &model,
+        router,
+        ClusterConfig {
+            serve: fresh_search_config(),
+            steal: true,
+        },
+        DesClock::new(),
+    );
+    let memo = cluster.shared_memo();
+    for engine in cluster.engines() {
+        assert!(
+            Arc::ptr_eq(&memo, &engine.shared_memo()),
+            "every shard engine must hold the cluster's memo"
+        );
+    }
+
+    let seeds = SeedFactory::new(17);
+    let templates = random_queries(&RandomQueryConfig {
+        queries: 5,
+        tables: 8,
+        max_tables_per_query: 4,
+        weight_range: (0.8, 2.0),
+        seed: seeds.seed_for("queries"),
+    });
+    let requests = ArrivalStream::new(templates, 2.0, seeds.seed_for("arrivals")).take_requests(12);
+    for request in requests {
+        cluster.submit(request).expect("cluster submit plans");
+    }
+    cluster.drain().expect("cluster drain plans");
+
+    let stats = memo.stats();
+    assert!(
+        stats.misses > 0 && stats.entries > 0,
+        "routed cluster traffic must populate the shared memo (got {stats:?})"
+    );
+}
+
+#[test]
+fn phase_equivalent_searches_hit_frontiers_another_engine_recorded() {
+    let catalog = two_replica_catalog();
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let model = StylizedCostModel::paper_fig4();
+    let config = fresh_search_config();
+
+    // Engine 1 records frontiers into the memo engine 2 will share.
+    let mut warm = ServeEngine::new(&catalog, &timelines, &model, config, DesClock::new());
+    let shared = warm.shared_memo();
+    let (warm_completed, _, warm_misses) = run_engine(&mut warm, &replica_workload(0));
+    assert!(warm_misses > 0, "the first engine must record frontiers");
+
+    // Engine 2 (shard >= 2 of the logical cluster): same timelines, same
+    // workload, shared memo.
+    let mut sharing = ServeEngine::new(&catalog, &timelines, &model, config, DesClock::new())
+        .with_phase_memo(Arc::clone(&shared));
+    let (sharing_completed, sharing_hits, sharing_misses) =
+        run_engine(&mut sharing, &replica_workload(0));
+
+    // Control: identical engine and workload on a private memo — its
+    // hits are whatever phase repetition yields within one engine.
+    let mut private = ServeEngine::new(&catalog, &timelines, &model, config, DesClock::new());
+    let (private_completed, private_hits, _) = run_engine(&mut private, &replica_workload(0));
+
+    assert!(
+        sharing_hits > 0,
+        "the sharing engine must answer waves from recorded frontiers"
+    );
+    assert!(
+        sharing_hits > private_hits,
+        "sharing must add cross-engine hits beyond within-engine phase \
+         repetition ({sharing_hits} vs {private_hits})"
+    );
+    assert!(
+        sharing_misses < warm_misses,
+        "waves the first engine paid for must be free on the second"
+    );
+    // The memo only prunes dominated subsets: plans are bit-identical
+    // whether the frontier came from this engine, another engine, or
+    // was recomputed from scratch.
+    assert_eq!(warm_completed.len(), sharing_completed.len());
+    for (a, b) in warm_completed.iter().zip(&sharing_completed) {
+        assert_eq!(a.evaluation, b.evaluation, "shared memo changed a plan");
+    }
+    for (a, b) in private_completed.iter().zip(&sharing_completed) {
+        assert_eq!(a, b, "shared memo changed a completion");
+    }
+}
+
+#[test]
+fn one_shard_cluster_with_shared_memo_stays_bit_identical_to_bare() {
+    let catalog = two_replica_catalog();
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let model = StylizedCostModel::paper_fig4();
+    let config = fresh_search_config();
+    let requests = replica_workload(0);
+
+    let mut bare = ServeEngine::new(&catalog, &timelines, &model, config, DesClock::new());
+    let (bare_completed, _, _) = run_engine(&mut bare, &requests);
+
+    let router = ShardRouter::new(ShardAssignment::partition(
+        &catalog,
+        1,
+        ShardStrategy::Balanced,
+        3,
+    ));
+    let shard_timelines = ShardTimelines::build(&timelines, &router);
+    let mut cluster = Cluster::new(
+        &catalog,
+        &shard_timelines,
+        &model,
+        router,
+        ClusterConfig {
+            serve: config,
+            steal: true,
+        },
+        DesClock::new(),
+    );
+    let mut cluster_completed = Vec::new();
+    for request in &requests {
+        let report = cluster
+            .submit(request.clone())
+            .expect("cluster submit plans");
+        cluster_completed.extend(report.completed);
+    }
+    cluster_completed.extend(cluster.drain().expect("cluster drain plans").completed);
+
+    assert_eq!(bare_completed.len(), cluster_completed.len());
+    for (bare, (shard, clustered)) in bare_completed.iter().zip(&cluster_completed) {
+        assert_eq!(*shard, ShardId::new(0));
+        assert_eq!(bare, clustered, "1-shard cluster diverged from bare");
+    }
+    assert_eq!(bare.snapshot(), cluster.engine(ShardId::new(0)).snapshot());
+}

@@ -1,0 +1,277 @@
+//! Arena dominance frontiers for the scatter-and-gather search.
+//!
+//! Every fully evaluated wave of the memoized search distills into a
+//! *frontier*: the subset masks that could still win at any other wave
+//! with the same sync-phase offsets (see [`PhaseMemo`]). The pruning
+//! rule is **margin dominance**: candidate `a` dominates candidate `b`
+//! when `b`'s information value falls more than a relative
+//! [`FRONTIER_MARGIN`] below `a`'s,
+//!
+//! ```text
+//! a ≻ b  ⇔  iv(b) < iv(a) · (1 − FRONTIER_MARGIN)
+//! ```
+//!
+//! a strict partial order on the non-negative reals (irreflexive,
+//! asymmetric and transitive — the `frontier_props` suite proves all
+//! three over random inputs). A mask survives pruning iff *no* other
+//! mask dominates it, which — because the relation is induced by a
+//! monotone threshold — is exactly the classic "within margin of the
+//! wave winner" rule the memo has always recorded. [`FrontierArena`]
+//! computes that surviving set without any per-candidate heap
+//! allocation: entries live in one flat `Vec` of `Copy` records,
+//! dominated entries are tombstoned in place, and compaction preserves
+//! insertion order, so the produced frontier is bit-identical to the
+//! boxed reference implementation ([`BoxedFrontier`]) the property
+//! suite and the `arena_vs_boxed` bench compare against.
+//!
+//! [`PhaseMemo`]: crate::memo::PhaseMemo
+//! [`FRONTIER_MARGIN`]: crate::memo::FRONTIER_MARGIN
+
+use crate::memo::FRONTIER_MARGIN;
+
+/// One frontier candidate: a subset mask and the information value it
+/// scored at the recording wave. Plain `Copy` data — the arena never
+/// boxes entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierEntry {
+    /// Index into the wave's `local_subsets` enumeration.
+    pub mask: usize,
+    /// The candidate's information value at the recording wave.
+    pub iv: f64,
+}
+
+/// Margin dominance: `a` dominates `b` iff `b.iv < a.iv · (1 − margin)`.
+///
+/// Strict partial order for non-negative `iv` (the only values the
+/// search produces): irreflexive because `x < x·(1−m)` never holds for
+/// `x ≥ 0`, asymmetric and transitive because `(1−m) < 1` makes the
+/// threshold strictly shrink along a chain.
+#[must_use]
+#[inline]
+pub fn dominates(a: &FrontierEntry, b: &FrontierEntry) -> bool {
+    b.iv < a.iv * (1.0 - FRONTIER_MARGIN)
+}
+
+/// An insertion-ordered, allocation-free dominance frontier.
+///
+/// Entries are appended to one flat vector; a newly inserted entry that
+/// is dominated is rejected outright, and entries the newcomer
+/// dominates are tombstoned in place. [`FrontierArena::compact`] drops
+/// tombstones while preserving the insertion order of survivors, so
+/// iteration order is always a subsequence of insertion order — the
+/// invariant the memoized search relies on (frontiers are recorded and
+/// replayed in ascending mask order).
+///
+/// # Examples
+///
+/// ```
+/// use ivdss_core::frontier::{FrontierArena, FrontierEntry};
+///
+/// let mut arena = FrontierArena::new();
+/// arena.insert(FrontierEntry { mask: 1, iv: 0.5 });
+/// arena.insert(FrontierEntry { mask: 2, iv: 1.0 }); // dominates mask 1
+/// arena.insert(FrontierEntry { mask: 3, iv: 0.25 }); // dominated: rejected
+/// assert_eq!(arena.masks(), vec![2]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FrontierArena {
+    entries: Vec<FrontierEntry>,
+    /// Parallel to `entries`: `false` marks a tombstoned (dominated)
+    /// entry awaiting compaction.
+    live: Vec<bool>,
+    dead: usize,
+}
+
+impl FrontierArena {
+    /// An empty frontier.
+    #[must_use]
+    pub fn new() -> Self {
+        FrontierArena::default()
+    }
+
+    /// An empty frontier with room for `capacity` entries.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        FrontierArena {
+            entries: Vec::with_capacity(capacity),
+            live: Vec::with_capacity(capacity),
+            dead: 0,
+        }
+    }
+
+    /// Inserts a candidate. Returns `false` when an existing live entry
+    /// dominates it (the candidate is pruned and not stored); otherwise
+    /// tombstones every live entry the candidate dominates and appends
+    /// it, returning `true`.
+    pub fn insert(&mut self, entry: FrontierEntry) -> bool {
+        // One pass: discover whether the newcomer is dominated before
+        // committing any tombstone (dominance is asymmetric, so a single
+        // existing entry cannot both dominate and be dominated).
+        for (e, alive) in self.entries.iter().zip(&self.live) {
+            if *alive && dominates(e, &entry) {
+                return false;
+            }
+        }
+        for (e, alive) in self.entries.iter().zip(self.live.iter_mut()) {
+            // Branchless prune: the tombstone write is unconditional,
+            // folding the dominance verdict into the liveness bit.
+            let keep = !dominates(&entry, e);
+            self.dead += usize::from(*alive & !keep);
+            *alive &= keep;
+        }
+        self.entries.push(entry);
+        self.live.push(true);
+        // Amortized housekeeping: never let tombstones outnumber the
+        // live entries.
+        if self.dead > self.entries.len() / 2 {
+            self.compact();
+        }
+        true
+    }
+
+    /// Drops every tombstoned entry, preserving the insertion order of
+    /// the survivors.
+    pub fn compact(&mut self) {
+        if self.dead == 0 {
+            return;
+        }
+        let mut write = 0usize;
+        for read in 0..self.entries.len() {
+            if self.live[read] {
+                self.entries[write] = self.entries[read];
+                write += 1;
+            }
+        }
+        self.entries.truncate(write);
+        self.live.clear();
+        self.live.resize(write, true);
+        self.dead = 0;
+    }
+
+    /// Live entries, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &FrontierEntry> {
+        self.entries
+            .iter()
+            .zip(&self.live)
+            .filter(|(_, alive)| **alive)
+            .map(|(e, _)| e)
+    }
+
+    /// The surviving masks, in insertion order.
+    #[must_use]
+    pub fn masks(&self) -> Vec<usize> {
+        self.iter().map(|e| e.mask).collect()
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len() - self.dead
+    }
+
+    /// `true` when no live entry remains.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The boxed reference implementation of the same frontier: every entry
+/// individually heap-allocated, pruning by naive rescans. Kept as the
+/// differential oracle for [`FrontierArena`] (the `frontier_props`
+/// suite asserts insert/prune round-trips match it exactly) and as the
+/// baseline of the `arena_vs_boxed` bench cells.
+#[derive(Debug, Default)]
+pub struct BoxedFrontier {
+    // The per-entry Box is the point: this oracle must pay the
+    // allocation pattern the arena exists to avoid.
+    #[allow(clippy::vec_box)]
+    entries: Vec<Box<FrontierEntry>>,
+}
+
+impl BoxedFrontier {
+    /// An empty frontier.
+    #[must_use]
+    pub fn new() -> Self {
+        BoxedFrontier::default()
+    }
+
+    /// Inserts a candidate; semantics identical to
+    /// [`FrontierArena::insert`].
+    pub fn insert(&mut self, entry: FrontierEntry) -> bool {
+        if self.entries.iter().any(|e| dominates(e, &entry)) {
+            return false;
+        }
+        self.entries.retain(|e| !dominates(&entry, e));
+        self.entries.push(Box::new(entry));
+        true
+    }
+
+    /// The surviving masks, in insertion order.
+    #[must_use]
+    pub fn masks(&self) -> Vec<usize> {
+        self.entries.iter().map(|e| e.mask).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(mask: usize, iv: f64) -> FrontierEntry {
+        FrontierEntry { mask, iv }
+    }
+
+    #[test]
+    fn dominance_respects_margin() {
+        // Within the margin: neither dominates.
+        let a = e(0, 1.0);
+        let b = e(1, 1.0 - FRONTIER_MARGIN / 2.0);
+        assert!(!dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        // Beyond the margin: strictly ordered.
+        let c = e(2, 0.5);
+        assert!(dominates(&a, &c));
+        assert!(!dominates(&c, &a));
+        // Irreflexive, including at zero.
+        assert!(!dominates(&a, &a));
+        let z = e(3, 0.0);
+        assert!(!dominates(&z, &z));
+    }
+
+    #[test]
+    fn insert_prunes_and_preserves_order() {
+        let mut arena = FrontierArena::new();
+        assert!(arena.is_empty());
+        assert!(arena.insert(e(0, 0.9)));
+        assert!(arena.insert(e(1, 0.91)));
+        assert!(!arena.insert(e(2, 0.3)), "dominated entry is rejected");
+        assert!(arena.insert(e(3, 2.0)), "dominating entry evicts the rest");
+        assert_eq!(arena.masks(), vec![3]);
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn compaction_keeps_survivor_order() {
+        let mut arena = FrontierArena::new();
+        for (mask, iv) in [(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)] {
+            arena.insert(e(mask, iv));
+        }
+        arena.insert(e(9, 5.0)); // tombstones all four equal entries
+        arena.compact();
+        assert_eq!(arena.masks(), vec![9]);
+        arena.compact(); // idempotent on a clean arena
+        assert_eq!(arena.masks(), vec![9]);
+    }
+
+    #[test]
+    fn arena_matches_boxed_reference() {
+        let ivs = [0.2, 0.9, 0.90000001, 0.1, 1.5, 1.5, 0.0, 1.49];
+        let mut arena = FrontierArena::new();
+        let mut boxed = BoxedFrontier::new();
+        for (mask, &iv) in ivs.iter().enumerate() {
+            assert_eq!(arena.insert(e(mask, iv)), boxed.insert(e(mask, iv)));
+        }
+        assert_eq!(arena.masks(), boxed.masks());
+    }
+}

@@ -26,7 +26,15 @@
 //!   over threads while choosing plans bit-identical to the sequential
 //!   search;
 //! * [`memo`] — [`memo::PhaseMemo`], memoized dominance-pruning frontiers
-//!   keyed by sync phase so repeated scatter points reuse pruned state;
+//!   keyed by sync phase so repeated scatter points reuse pruned state,
+//!   sharded so one memo serves a whole cluster of engines;
+//! * [`frontier`] — [`frontier::FrontierArena`], the allocation-free
+//!   margin-dominance frontier the memoized search records, with its
+//!   boxed differential oracle;
+//! * [`repair`] — [`repair::ReplanCache`], incremental re-planning:
+//!   candidate scores survive timeline revisions outside their dirty
+//!   window, so a revision-triggered re-plan repairs the previous
+//!   search instead of rescanning from scratch — bit-identically;
 //! * [`starvation`] — the §3.3 aging adaptation for long-queued queries;
 //! * [`advisor`] — the §6 future-work data-placement advisor (greedy
 //!   replica recommendation by marginal information value).
@@ -80,27 +88,31 @@
 #![warn(missing_docs)]
 
 pub mod advisor;
+pub mod frontier;
 pub mod latency;
 pub mod memo;
 pub mod parallel;
 pub mod plan;
 pub mod planner;
+pub mod repair;
 pub mod search;
 pub mod starvation;
 pub mod value;
 
 pub use advisor::{AdvisorStep, PlacementAdvisor, Recommendation};
+pub use frontier::{dominates, BoxedFrontier, FrontierArena, FrontierEntry};
 pub use latency::Latencies;
 pub use memo::{MemoStats, PhaseKey, PhaseMemo};
 pub use parallel::{ParallelPlanner, PlannerPool};
 pub use plan::{
-    evaluate_plan, FacilityQueues, NoQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest,
-    QueueEstimator, SiteFloors,
+    evaluate_plan, CandidateScore, FacilityQueues, NoQueues, PlanContext, PlanError,
+    PlanEvaluation, QueryRequest, QueueEstimator, SiteFloors, SubsetArena,
 };
 pub use planner::{FederationPlanner, IvqpPlanner, Planner, WarehousePlanner};
+pub use repair::{RepairSession, ReplanCache, ReplanStats};
 pub use search::{
-    exhaustive_search, is_better, local_subsets, replicated_footprint, ScatterGatherSearch,
-    SearchOutcome,
+    exhaustive_search, is_better, is_better_score, local_subsets, replicated_footprint,
+    ScatterGatherSearch, SearchOutcome,
 };
 pub use starvation::AgingPolicy;
 pub use value::{BusinessValue, DiscountRate, DiscountRates, InformationValue};

@@ -50,6 +50,7 @@
 //! ```
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
 use ivdss_catalog::ids::TableId;
@@ -62,8 +63,13 @@ use crate::plan::{PlanContext, QueryRequest};
 /// (`≈1e-13` relative), small enough to prune aggressively.
 pub const FRONTIER_MARGIN: f64 = 1e-9;
 
-/// Default bound on live memo entries.
+/// Default bound on live memo entries (summed across shards).
 pub const DEFAULT_MEMO_CAPACITY: usize = 4096;
+
+/// Shard count of [`PhaseMemo::new`]: enough to keep a cluster of
+/// engines planning concurrently off each other's locks, few enough
+/// that per-shard FIFO capacity stays meaningful.
+pub const DEFAULT_MEMO_SHARDS: usize = 8;
 
 /// Everything the *ranking* of local subsets at one wave depends on
 /// (given a fixed catalog and cost model): the footprint, the cost
@@ -77,6 +83,14 @@ pub const DEFAULT_MEMO_CAPACITY: usize = 4096;
 pub struct PhaseKey {
     /// Sorted query footprint.
     footprint: Vec<TableId>,
+    /// The replicated subset of the footprint — the tables the subset
+    /// masks enumerate. Part of the key because a memo shared across
+    /// engines with *different replication plans* (the cluster's shards)
+    /// can otherwise collide: the same footprint with equal offsets but
+    /// differently replicated tables spans a different mask space, and a
+    /// frontier recorded under one would be replayed — masks
+    /// misinterpreted — under the other.
+    replicated: Vec<TableId>,
     /// `(weight, selectivity)` bit patterns of the cost profile.
     profile: (u64, u64),
     /// `(λ_CL, λ_SL)` bit patterns.
@@ -112,6 +126,7 @@ impl PhaseKey {
             .collect();
         PhaseKey {
             footprint: request.query.tables().to_vec(),
+            replicated: replicated.to_vec(),
             profile: (
                 request.query.weight().to_bits(),
                 request.query.selectivity().to_bits(),
@@ -145,12 +160,25 @@ struct MemoInner {
 /// sync phase (see the [module docs](self) for the exactness argument
 /// and the stateless-queues precondition).
 ///
-/// Shared by reference across searches — typically one memo per serving
-/// engine or batch evaluator, wrapped in an `Arc` alongside the
-/// [`PlannerPool`](crate::parallel::PlannerPool).
+/// Shared by reference across searches *and engines*: the store is
+/// split into hash-partitioned shards, each behind its own mutex, so N
+/// cluster engines planning concurrently contend only when their keys
+/// land on the same shard. Which shard a key lives on never affects
+/// *what* is returned — only lock granularity — so sharing one memo
+/// across the whole cluster is behaviorally identical to per-engine
+/// memos with infinite capacity, provided every engine sees the same
+/// catalog and cost model ([`PhaseKey`] carries the footprint, the
+/// replicated subset, the profile, the rates and the offsets, so
+/// differing *replication plans* across engines are disambiguated by
+/// the key itself).
+///
+/// Capacity is enforced per shard by FIFO eviction;
+/// [`PhaseMemo::with_capacity`] builds a single-shard memo, making the
+/// bound (and the eviction order) global.
 #[derive(Debug)]
 pub struct PhaseMemo {
-    inner: Mutex<MemoInner>,
+    shards: Box<[Mutex<MemoInner>]>,
+    /// Per-shard entry bound.
     capacity: usize,
 }
 
@@ -161,62 +189,95 @@ impl Default for PhaseMemo {
 }
 
 impl PhaseMemo {
-    /// Creates a memo bounded at [`DEFAULT_MEMO_CAPACITY`] entries.
+    /// Creates a memo of [`DEFAULT_MEMO_SHARDS`] shards bounded at
+    /// [`DEFAULT_MEMO_CAPACITY`] entries in total.
     #[must_use]
     pub fn new() -> Self {
-        PhaseMemo::with_capacity(DEFAULT_MEMO_CAPACITY)
+        PhaseMemo::sharded(
+            DEFAULT_MEMO_SHARDS,
+            DEFAULT_MEMO_CAPACITY / DEFAULT_MEMO_SHARDS,
+        )
     }
 
-    /// Creates a memo holding at most `capacity` frontiers (FIFO
-    /// eviction beyond that).
+    /// Creates a *single-shard* memo holding at most `capacity`
+    /// frontiers with globally FIFO eviction beyond that.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        assert!(capacity > 0, "memo capacity must be positive");
+        PhaseMemo::sharded(1, capacity)
+    }
+
+    /// Creates a memo of `shards` independent shards, each holding at
+    /// most `capacity_per_shard` frontiers (FIFO per shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `capacity_per_shard == 0`.
+    #[must_use]
+    pub fn sharded(shards: usize, capacity_per_shard: usize) -> Self {
+        assert!(shards > 0, "memo needs at least one shard");
+        assert!(capacity_per_shard > 0, "memo capacity must be positive");
         PhaseMemo {
-            inner: Mutex::new(MemoInner::default()),
-            capacity,
+            shards: (0..shards)
+                .map(|_| Mutex::new(MemoInner::default()))
+                .collect(),
+            capacity: capacity_per_shard,
         }
     }
 
-    /// Hit/miss/occupancy counters.
+    /// The shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Hit/miss/occupancy counters, summed over shards.
     #[must_use]
     pub fn stats(&self) -> MemoStats {
-        let inner = self.lock();
-        MemoStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            entries: inner.frontiers.len(),
+        let mut stats = MemoStats::default();
+        for shard in &self.shards {
+            let inner = Self::lock(shard);
+            stats.hits += inner.hits;
+            stats.misses += inner.misses;
+            stats.entries += inner.frontiers.len();
         }
+        stats
     }
 
-    /// Live frontier entries.
+    /// Live frontier entries across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.lock().frontiers.len()
+        self.shards
+            .iter()
+            .map(|s| Self::lock(s).frontiers.len())
+            .sum()
     }
 
     /// `true` if no frontier has been recorded yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.lock().frontiers.is_empty()
+        self.shards
+            .iter()
+            .all(|s| Self::lock(s).frontiers.is_empty())
     }
 
     /// Drops every recorded frontier (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.lock();
-        inner.frontiers.clear();
-        inner.insertion_order.clear();
+        for shard in &self.shards {
+            let mut inner = Self::lock(shard);
+            inner.frontiers.clear();
+            inner.insertion_order.clear();
+        }
     }
 
     /// The recorded frontier for `key` — subset indices into the
     /// `local_subsets` enumeration, ascending, never including the
     /// all-remote index 0 — counting the probe as a hit or miss.
     pub(crate) fn lookup(&self, key: &PhaseKey) -> Option<Vec<usize>> {
-        let mut inner = self.lock();
+        let mut inner = Self::lock(self.shard_for(key));
         match inner.frontiers.get(key) {
             Some(frontier) => {
                 let frontier = frontier.clone();
@@ -234,7 +295,7 @@ impl PhaseMemo {
     /// concurrent duplicate insertion is harmless (both writers derive
     /// the frontier from identical evaluations).
     pub(crate) fn record(&self, key: PhaseKey, frontier: Vec<usize>) {
-        let mut inner = self.lock();
+        let mut inner = Self::lock(self.shard_for(&key));
         if inner.frontiers.contains_key(&key) {
             return;
         }
@@ -250,11 +311,21 @@ impl PhaseMemo {
         inner.frontiers.insert(key, frontier);
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, MemoInner> {
+    fn shard_for(&self, key: &PhaseKey) -> &Mutex<MemoInner> {
+        // DefaultHasher::new() hashes with fixed keys, so the shard
+        // assignment is stable within (and across) processes — not that
+        // correctness needs it: shards only partition the lock.
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = (hasher.finish() % self.shards.len() as u64) as usize;
+        &self.shards[index]
+    }
+
+    fn lock(shard: &Mutex<MemoInner>) -> std::sync::MutexGuard<'_, MemoInner> {
         // A worker holding the lock only clones a small Vec; poisoning
         // can only result from a panic mid-clone, which aborts the
         // search anyway.
-        self.inner
+        shard
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -381,5 +452,78 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = PhaseMemo::with_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = PhaseMemo::sharded(0, 16);
+    }
+
+    #[test]
+    fn replicated_tables_partition_the_key_space() {
+        // The latent cross-engine collision: same footprint, same
+        // rates/profile, equal phase offsets — but a different table is
+        // the replicated one (two cluster shards with different
+        // replication plans). The masks index different subset spaces,
+        // so the keys must differ.
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = PlanContext {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::paper_fig4(),
+            queues: &NoQueues,
+        };
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![TableId::new(0), TableId::new(1)]),
+            SimTime::ZERO,
+        );
+        // t0 (period 10) and t1 (period 4) both last synced at t=20, so
+        // at wave 21 each contributes the identical offset bit pattern.
+        let only_t0 = [TableId::new(0)];
+        let only_t1 = [TableId::new(1)];
+        let a = PhaseKey::for_wave(&ctx, &req, &only_t0, SimTime::new(21.0));
+        let b = PhaseKey::for_wave(&ctx, &req, &only_t1, SimTime::new(21.0));
+        assert_ne!(a, b, "replicated ids must disambiguate the mask space");
+    }
+
+    #[test]
+    fn sharded_memo_round_trips_across_shards() {
+        let (catalog, timelines) = fixture();
+        let model = StylizedCostModel::paper_fig4();
+        let ctx = PlanContext {
+            catalog: &catalog,
+            timelines: &timelines,
+            model: &model,
+            rates: DiscountRates::paper_fig4(),
+            queues: &NoQueues,
+        };
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![TableId::new(0)]),
+            SimTime::ZERO,
+        );
+        let replicated = replicated_footprint(&ctx, &req);
+        let memo = PhaseMemo::new();
+        assert_eq!(memo.shards(), DEFAULT_MEMO_SHARDS);
+        // Enough distinct phases to land on several shards.
+        let keys: Vec<PhaseKey> = (0..32)
+            .map(|i| {
+                let wave = SimTime::new(0.125 * f64::from(i) + 0.01);
+                PhaseKey::for_wave(&ctx, &req, &replicated, wave)
+            })
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            memo.record(key.clone(), vec![i + 1]);
+        }
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(memo.lookup(key), Some(vec![i + 1]), "key {i}");
+        }
+        let stats = memo.stats();
+        assert_eq!(stats.hits, keys.len() as u64);
+        assert_eq!(stats.entries, keys.len());
+        memo.clear();
+        assert!(memo.is_empty());
     }
 }

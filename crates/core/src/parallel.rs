@@ -34,6 +34,7 @@ use ivdss_simkernel::time::SimTime;
 use crate::memo::PhaseMemo;
 use crate::plan::{PlanContext, PlanError, PlanEvaluation, QueryRequest};
 use crate::planner::Planner;
+use crate::repair::ReplanCache;
 use crate::search::{ScatterGatherSearch, SearchOutcome};
 
 /// Below this many independent tasks a parallel region runs inline:
@@ -336,6 +337,59 @@ impl ParallelPlanner {
             Some(memo),
             tracer,
             audit,
+        )
+    }
+
+    /// Parallel analogue of
+    /// [`ScatterGatherSearch::search_from_repaired`]: scores surviving a
+    /// previous search of this query in `repair` are reused instead of
+    /// recomputed. Bit-identical outcome; only wall-clock shrinks. The
+    /// caller must guarantee the soundness conditions of
+    /// [`ReplanCache`] (stateless queues, every revision invalidated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    pub fn search_repaired(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+        repair: &ReplanCache,
+    ) -> Result<SearchOutcome, PlanError> {
+        self.search.search_from_with_repaired_observed(
+            ctx,
+            request,
+            not_before,
+            &self.pool,
+            None,
+            Some(repair),
+            &Tracer::disabled(),
+            None,
+        )
+    }
+
+    /// The everything entry point: pool + optional memo + optional
+    /// repair cache + observability, all layers bit-identical to the
+    /// plain sequential search (see
+    /// [`ScatterGatherSearch::search_from_with_repaired_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_repaired_observed(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+        memo: Option<&PhaseMemo>,
+        repair: Option<&ReplanCache>,
+        tracer: &Tracer,
+        audit: Option<&mut SearchAudit>,
+    ) -> Result<SearchOutcome, PlanError> {
+        self.search.search_from_with_repaired_observed(
+            ctx, request, not_before, &self.pool, memo, repair, tracer, audit,
         )
     }
 

@@ -373,6 +373,261 @@ impl PlanEvaluation {
     }
 }
 
+/// The numeric result of scoring one candidate plan: every timing and
+/// value field of a [`PlanEvaluation`] except the identity (query id and
+/// local-table set), which the caller carries separately. Plain `Copy`
+/// data, so the search hot path moves scores through arenas, caches and
+/// worker threads without touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateScore {
+    /// When execution is released.
+    pub execute_at: SimTime,
+    /// When processing actually starts (release + queuing).
+    pub service_start: SimTime,
+    /// When the result is received.
+    pub finish: SimTime,
+    /// The stalest timestamp among the data the plan read.
+    pub data_version: SimTime,
+    /// The computational/synchronization latency pair.
+    pub latencies: Latencies,
+    /// The delivered information value.
+    pub information_value: InformationValue,
+    /// The cost-model components (processing + transmission, no queuing).
+    pub cost: PlanCost,
+    /// How many footprint tables the plan reads locally (the last
+    /// [`is_better`](crate::search::is_better) tie-break).
+    pub local_len: u32,
+}
+
+impl CandidateScore {
+    /// Materializes the full [`PlanEvaluation`] this score summarizes.
+    /// `local_tables` must be the local set the score was computed for.
+    #[must_use]
+    pub fn into_evaluation(
+        self,
+        query: QueryId,
+        local_tables: BTreeSet<TableId>,
+    ) -> PlanEvaluation {
+        PlanEvaluation {
+            query,
+            local_tables,
+            execute_at: self.execute_at,
+            service_start: self.service_start,
+            finish: self.finish,
+            data_version: self.data_version,
+            latencies: self.latencies,
+            information_value: self.information_value,
+            cost: self.cost,
+        }
+    }
+}
+
+/// The shared scoring kernel: one candidate, timing model steps 2–5 of
+/// [`evaluate_plan`]. Both the boxed evaluation path and the arena hot
+/// path funnel through this function, with identical operation order, so
+/// their floating-point results are bit-identical by construction.
+///
+/// `local` must be sorted ascending (data-version minimization iterates
+/// it in order), `sites` must be the ascending sites spanned by the
+/// remote reads (empty iff `remote_empty`), and `cost` the cost-model
+/// estimate for that split.
+fn score_candidate(
+    ctx: &PlanContext<'_>,
+    request: &QueryRequest,
+    execute_at: SimTime,
+    local: &[TableId],
+    remote_empty: bool,
+    sites: &[SiteId],
+    cost: PlanCost,
+) -> CandidateScore {
+    // Queuing: the local federation server always participates (for the
+    // plan's local work and result reception); remote sites participate
+    // when the plan reads base tables there.
+    let mut queue_delay = ctx.queues.local_delay(execute_at, cost.local_service());
+    for &site in sites {
+        queue_delay = queue_delay.max(ctx.queues.remote_delay(
+            site,
+            execute_at,
+            cost.remote_processing,
+        ));
+    }
+    let service_start = execute_at + queue_delay;
+    let finish = service_start + cost.total();
+
+    // Data versions: replicas carry their last sync at release time; base
+    // tables are effectively stamped at processing start.
+    let mut data_version = if remote_empty {
+        SimTime::MAX
+    } else {
+        service_start
+    };
+    for &t in local {
+        let version = ctx
+            .timelines
+            .last_sync(t, execute_at)
+            .unwrap_or(SimTime::ZERO);
+        data_version = data_version.min(version);
+    }
+
+    let latencies = Latencies::from_timing(request.submitted_at, finish, data_version);
+    let information_value = InformationValue::compute(request.business_value, ctx.rates, latencies);
+
+    CandidateScore {
+        execute_at,
+        service_start,
+        finish,
+        data_version,
+        latencies,
+        information_value,
+        cost,
+        local_len: u32::try_from(local.len()).expect("footprint fits in u32"),
+    }
+}
+
+/// Structure-of-arrays store of everything about a query's candidate
+/// subsets that does **not** depend on the release time: per-mask local
+/// tables, spanned remote sites and cost-model estimates, each flattened
+/// into one shared vector with per-mask ranges. Built once per search,
+/// it makes scoring a candidate — [`SubsetArena::score`] — completely
+/// allocation-free: the release-time-dependent work is just queue
+/// probes, a handful of additions and the two `powf` calls of the IV
+/// formula.
+///
+/// Mask `m` selects replicated table `i` iff bit `i` of `m` is set, in
+/// exactly the [`local_subsets`](crate::search::local_subsets)
+/// enumeration order (mask 0 is the all-remote plan), so arena masks,
+/// memo frontiers and plan-cache candidates all index the same space.
+#[derive(Debug, Clone)]
+pub struct SubsetArena {
+    replicated: Vec<TableId>,
+    /// All masks' local tables, flattened; each mask's slice is sorted.
+    locals: Vec<TableId>,
+    local_ranges: Vec<(usize, usize)>,
+    /// All masks' spanned remote sites, flattened and ascending per mask.
+    sites: Vec<SiteId>,
+    site_ranges: Vec<(usize, usize)>,
+    costs: Vec<PlanCost>,
+    remote_empty: Vec<bool>,
+}
+
+impl SubsetArena {
+    /// Precomputes the per-mask tables, sites and costs for `request`
+    /// under `ctx`. `replicated` must be the request's replicated
+    /// footprint (see
+    /// [`replicated_footprint`](crate::search::replicated_footprint)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replicated footprint has `usize::BITS` or more
+    /// tables (the subset enumeration would overflow).
+    #[must_use]
+    pub fn build(ctx: &PlanContext<'_>, request: &QueryRequest, replicated: &[TableId]) -> Self {
+        let n = replicated.len();
+        assert!(n < usize::BITS as usize, "too many replicated tables");
+        let n_masks = 1usize << n;
+        let mut arena = SubsetArena {
+            replicated: replicated.to_vec(),
+            locals: Vec::new(),
+            local_ranges: Vec::with_capacity(n_masks),
+            sites: Vec::new(),
+            site_ranges: Vec::with_capacity(n_masks),
+            costs: Vec::with_capacity(n_masks),
+            remote_empty: Vec::with_capacity(n_masks),
+        };
+        for mask in 0..n_masks {
+            let local: BTreeSet<TableId> = replicated
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &t)| t)
+                .collect();
+            let local_start = arena.locals.len();
+            arena.locals.extend(local.iter().copied());
+            arena.local_ranges.push((local_start, arena.locals.len()));
+
+            let remote: BTreeSet<TableId> = request
+                .query
+                .tables()
+                .iter()
+                .copied()
+                .filter(|t| !local.contains(t))
+                .collect();
+            arena
+                .costs
+                .push(ctx.model.plan_cost(ctx.catalog, &request.query, &remote));
+            let site_start = arena.sites.len();
+            if !remote.is_empty() {
+                let remote_vec: Vec<TableId> = remote.iter().copied().collect();
+                arena.sites.extend(ctx.catalog.sites_spanned(&remote_vec));
+            }
+            arena.site_ranges.push((site_start, arena.sites.len()));
+            arena.remote_empty.push(remote.is_empty());
+        }
+        arena
+    }
+
+    /// Number of candidate masks (`2^replicated`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.local_ranges.len()
+    }
+
+    /// `true` only for a degenerate arena with no masks (never produced
+    /// by [`SubsetArena::build`], which always has at least mask 0).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.local_ranges.is_empty()
+    }
+
+    /// The replicated footprint the masks enumerate.
+    #[must_use]
+    pub fn replicated(&self) -> &[TableId] {
+        &self.replicated
+    }
+
+    /// Mask `m`'s local tables, sorted ascending.
+    #[must_use]
+    pub fn local(&self, mask: usize) -> &[TableId] {
+        let (start, end) = self.local_ranges[mask];
+        &self.locals[start..end]
+    }
+
+    /// Scores mask `m` released at `execute_at` — the allocation-free
+    /// equivalent of [`evaluate_plan`] on a candidate that is valid by
+    /// construction, bit-identical to it (both run [`score_candidate`]).
+    #[must_use]
+    pub fn score(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        execute_at: SimTime,
+        mask: usize,
+    ) -> CandidateScore {
+        let (start, end) = self.site_ranges[mask];
+        score_candidate(
+            ctx,
+            request,
+            execute_at,
+            self.local(mask),
+            self.remote_empty[mask],
+            &self.sites[start..end],
+            self.costs[mask],
+        )
+    }
+
+    /// Materializes the winning `(mask, score)` pair into the
+    /// [`PlanEvaluation`] the sequential search would have produced.
+    #[must_use]
+    pub fn evaluation(
+        &self,
+        request: &QueryRequest,
+        mask: usize,
+        score: CandidateScore,
+    ) -> PlanEvaluation {
+        score.into_evaluation(request.id(), self.local(mask).iter().copied().collect())
+    }
+}
+
 /// Evaluates the candidate plan *(execute_at, local)* for `request`.
 ///
 /// Timing model:
@@ -386,6 +641,9 @@ impl PlanEvaluation {
 ///    `execute_at`; remote base data is stamped with the processing start;
 /// 5. `CL = finish − submitted_at`, `SL = finish − min(data timestamps)`,
 ///    and `IV = BV·(1−λ_CL)^CL·(1−λ_SL)^SL`.
+///
+/// Steps 2–5 run in [`score_candidate`], the same kernel the search's
+/// [`SubsetArena`] hot path uses, so both paths agree bit for bit.
 ///
 /// # Errors
 ///
@@ -420,53 +678,23 @@ pub fn evaluate_plan(
         .collect();
 
     let cost = ctx.model.plan_cost(ctx.catalog, &request.query, &remote);
-
-    // Queuing: the local federation server always participates (for the
-    // plan's local work and result reception); remote sites participate
-    // when the plan reads base tables there.
-    let mut queue_delay = ctx.queues.local_delay(execute_at, cost.local_service());
-    if !remote.is_empty() {
-        let remote_vec: Vec<TableId> = remote.iter().copied().collect();
-        for site in ctx.catalog.sites_spanned(&remote_vec) {
-            queue_delay = queue_delay.max(ctx.queues.remote_delay(
-                site,
-                execute_at,
-                cost.remote_processing,
-            ));
-        }
-    }
-    let service_start = execute_at + queue_delay;
-    let finish = service_start + cost.total();
-
-    // Data versions: replicas carry their last sync at release time; base
-    // tables are effectively stamped at processing start.
-    let mut data_version = if remote.is_empty() {
-        SimTime::MAX
+    let local_vec: Vec<TableId> = local.iter().copied().collect();
+    let sites: Vec<SiteId> = if remote.is_empty() {
+        Vec::new()
     } else {
-        service_start
+        let remote_vec: Vec<TableId> = remote.iter().copied().collect();
+        ctx.catalog.sites_spanned(&remote_vec).into_iter().collect()
     };
-    for &t in local {
-        let version = ctx
-            .timelines
-            .last_sync(t, execute_at)
-            .unwrap_or(SimTime::ZERO);
-        data_version = data_version.min(version);
-    }
-
-    let latencies = Latencies::from_timing(request.submitted_at, finish, data_version);
-    let information_value = InformationValue::compute(request.business_value, ctx.rates, latencies);
-
-    Ok(PlanEvaluation {
-        query: request.id(),
-        local_tables: local.clone(),
+    let score = score_candidate(
+        ctx,
+        request,
         execute_at,
-        service_start,
-        finish,
-        data_version,
-        latencies,
-        information_value,
+        &local_vec,
+        remote.is_empty(),
+        &sites,
         cost,
-    })
+    );
+    Ok(score.into_evaluation(request.id(), local.clone()))
 }
 
 #[cfg(test)]

@@ -23,6 +23,23 @@
 //!   only considered at submission), tighten the boundary on every
 //!   improvement, and stop as soon as the next synchronization lies beyond
 //!   the boundary.
+//!
+//! # Hot-path representation
+//!
+//! Candidates never touch the heap: the per-mask tables, sites and costs
+//! live in a [`SubsetArena`] built once per search, each candidate scores
+//! into a `Copy` [`CandidateScore`] through the same kernel
+//! [`evaluate_plan`] uses (so the numbers are bit-identical by
+//! construction), the incumbent race runs branchless
+//! ([`is_better_score`]), and only the final winner materializes into a
+//! [`PlanEvaluation`]. [`ScatterGatherSearch::reference_search_boxed`]
+//! preserves the historical per-candidate boxed implementation as a
+//! differential oracle. On top of the arena, a [`ReplanCache`] can make
+//! re-planning *incremental*: scores already computed by a previous
+//! search of the same query survive timeline revisions outside their
+//! dirty window and are reused instead of recomputed — transparently
+//! below the search algorithm, so outcomes, counters and emitted events
+//! stay bit-identical (see [`crate::repair`]).
 
 use std::collections::BTreeSet;
 
@@ -31,9 +48,14 @@ use ivdss_costmodel::query::QueryId;
 use ivdss_obs::{BoundStep, EventKind, MemoProbe, SearchAudit, SearchCandidate, Tracer};
 use ivdss_simkernel::time::SimTime;
 
-use crate::memo::{PhaseKey, PhaseMemo, FRONTIER_MARGIN};
+use crate::frontier::{FrontierArena, FrontierEntry};
+use crate::memo::{PhaseKey, PhaseMemo};
 use crate::parallel::PlannerPool;
-use crate::plan::{evaluate_plan, PlanContext, PlanError, PlanEvaluation, QueryRequest};
+use crate::plan::{
+    evaluate_plan, CandidateScore, PlanContext, PlanError, PlanEvaluation, QueryRequest,
+    SubsetArena,
+};
+use crate::repair::{OutcomeCard, RepairSession, ReplanCache};
 
 /// Hard cap on gather iterations, protecting against unbounded searches
 /// when `λ_CL = 0` (no boundary exists) over infinite periodic schedules.
@@ -116,7 +138,42 @@ impl ScatterGatherSearch {
         request: &QueryRequest,
         not_before: SimTime,
     ) -> Result<SearchOutcome, PlanError> {
-        self.search_from_observed(ctx, request, not_before, &Tracer::disabled(), None)
+        self.search_from_repaired_observed(
+            ctx,
+            request,
+            not_before,
+            None,
+            &Tracer::disabled(),
+            None,
+        )
+    }
+
+    /// [`ScatterGatherSearch::search_from`] with incremental re-planning:
+    /// candidate scores a previous search of this query left in `repair`
+    /// are reused verbatim instead of recomputed. The outcome — plan,
+    /// counters, boundary — is bit-identical to a from-scratch
+    /// [`ScatterGatherSearch::search_from`]; only wall-clock effort
+    /// shrinks. Sound only under a stateless queue estimator and a cache
+    /// that has seen every timeline revision (see [`crate::repair`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    pub fn search_from_repaired(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+        repair: &ReplanCache,
+    ) -> Result<SearchOutcome, PlanError> {
+        self.search_from_repaired_observed(
+            ctx,
+            request,
+            not_before,
+            Some(repair),
+            &Tracer::disabled(),
+            None,
+        )
     }
 
     /// [`ScatterGatherSearch::search_from`] with observability: search
@@ -139,41 +196,109 @@ impl ScatterGatherSearch {
         request: &QueryRequest,
         not_before: SimTime,
         tracer: &Tracer,
+        audit: Option<&mut SearchAudit>,
+    ) -> Result<SearchOutcome, PlanError> {
+        self.search_from_repaired_observed(ctx, request, not_before, None, tracer, audit)
+    }
+
+    /// The sequential search core:
+    /// [`ScatterGatherSearch::search_from_observed`] plus an optional
+    /// [`ReplanCache`]. The cache sits strictly below the algorithm —
+    /// every wave, candidate, counter and event is produced exactly as
+    /// without it; a cached candidate merely skips the scoring kernel —
+    /// so enabling repair cannot change outcome bits or trace bytes.
+    ///
+    /// One exception trades observability for speed without touching
+    /// the bits: when the tracer is disabled and no audit is attached,
+    /// a re-plan at the same release floor whose recorded
+    /// [`OutcomeCard`] survived every invalidation returns that whole
+    /// outcome directly — the card's scan horizon proves a from-scratch
+    /// walk would reproduce it bit for bit (the `repair_differential`
+    /// suite pins exactly this). Observed searches always take the full
+    /// walk, keeping their event streams byte-stable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    pub fn search_from_repaired_observed(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+        repair: Option<&ReplanCache>,
+        tracer: &Tracer,
         mut audit: Option<&mut SearchAudit>,
     ) -> Result<SearchOutcome, PlanError> {
         let query = request.id();
         let submit = request.submitted_at.max(not_before);
         let replicated = replicated_footprint(ctx, request);
-        let subsets = local_subsets(&replicated);
+        let mut session = repair.map(|cache| cache.begin(ctx, request, &replicated));
+
+        // Whole-outcome fast path: a previous search at the same release
+        // floor whose scan horizon no revision has touched IS this
+        // search — return its recorded outcome without building the
+        // arena or walking a wave. Taken only when nothing observes the
+        // wave structure (no tracer, no audit), so observed runs keep
+        // their full, byte-stable event streams.
+        if !tracer.enabled() && audit.is_none() {
+            if let Some(card) = session
+                .as_mut()
+                .and_then(|s| s.cached_outcome(submit, self.max_sync_points))
+            {
+                if let Some(s) = session.take() {
+                    s.finish();
+                }
+                return Ok(SearchOutcome {
+                    best: card
+                        .best
+                        .into_evaluation(query, card.local_tables.iter().copied().collect()),
+                    plans_explored: card.plans_explored,
+                    sync_points_visited: card.sync_points_visited,
+                    boundary: card.boundary,
+                });
+            }
+        }
+
+        let arena = SubsetArena::build(ctx, request, &replicated);
+        let n_masks = arena.len();
 
         tracer.emit_with(submit, || EventKind::SearchStarted {
             query,
             release_floor: submit,
-            subsets: subsets.len(),
+            subsets: n_masks,
             memo: false,
         });
 
         let mut explored = 0usize;
-        let mut best: Option<PlanEvaluation> = None;
+        let mut best: Option<(CandidateScore, usize)> = None;
 
         // Scatter: every combination, released immediately.
         tracer.emit_with(submit, || EventKind::SearchWave {
             query,
             wave: submit,
-            candidates: subsets.len(),
+            candidates: n_masks,
             memo: MemoProbe::Off,
         });
-        for local in &subsets {
-            let eval = evaluate_plan(ctx, request, submit, local)?;
+        for mask in 0..n_masks {
+            let score = score_one(&mut session, &arena, ctx, request, submit, mask);
             explored += 1;
-            note_candidate(&mut audit, &eval);
-            if is_better(&eval, best.as_ref()) {
-                best = Some(eval);
+            note_candidate_score(&mut audit, &arena, mask, score);
+            if is_better_score(&score, best.as_ref().map(|(s, _)| s)) {
+                best = Some((score, mask));
             }
         }
-        let mut best = best.expect("at least the all-remote plan exists");
-        let mut boundary = self.boundary_for(ctx, request, &best);
-        note_bound(tracer, &mut audit, query, submit, submit, &best, boundary);
+        let (mut best, mut best_mask) = best.expect("at least the all-remote plan exists");
+        let mut boundary = self.boundary_for(ctx, request, best.information_value.value());
+        let mut scan_horizon = boundary.max(submit);
+        note_bound(
+            tracer,
+            &mut audit,
+            query,
+            submit,
+            submit,
+            best.information_value.value(),
+            boundary,
+        );
 
         // Gather: walk the synchronization time line.
         let mut now = submit;
@@ -190,23 +315,30 @@ impl ScatterGatherSearch {
             tracer.emit_with(submit, || EventKind::SearchWave {
                 query,
                 wave: now,
-                candidates: subsets.len() - 1,
+                candidates: n_masks - 1,
                 memo: MemoProbe::Off,
             });
-            for local in &subsets {
-                if local.is_empty() {
-                    // "if only base tables are involved, then the query
-                    // evaluation should be executed immediately" — delaying
-                    // an all-remote plan only adds CL.
-                    continue;
-                }
-                let eval = evaluate_plan(ctx, request, now, local)?;
+            // "if only base tables are involved, then the query evaluation
+            // should be executed immediately" — delaying the all-remote
+            // mask 0 only adds CL, so gather waves start at mask 1.
+            for mask in 1..n_masks {
+                let score = score_one(&mut session, &arena, ctx, request, now, mask);
                 explored += 1;
-                note_candidate(&mut audit, &eval);
-                if is_better(&eval, Some(&best)) {
-                    best = eval;
-                    boundary = self.boundary_for(ctx, request, &best);
-                    note_bound(tracer, &mut audit, query, submit, now, &best, boundary);
+                note_candidate_score(&mut audit, &arena, mask, score);
+                if is_better_score(&score, Some(&best)) {
+                    best = score;
+                    best_mask = mask;
+                    boundary = self.boundary_for(ctx, request, best.information_value.value());
+                    scan_horizon = scan_horizon.max(boundary);
+                    note_bound(
+                        tracer,
+                        &mut audit,
+                        query,
+                        submit,
+                        now,
+                        best.information_value.value(),
+                        boundary,
+                    );
                 }
             }
         }
@@ -224,9 +356,22 @@ impl ScatterGatherSearch {
             release: best.execute_at,
             iv: best.information_value.value(),
         });
+        if let Some(mut session) = session {
+            session.record_outcome(OutcomeCard {
+                release_floor: submit.value().to_bits(),
+                max_sync_points: self.max_sync_points,
+                best,
+                local_tables: arena.local(best_mask).to_vec(),
+                plans_explored: explored,
+                sync_points_visited: visited,
+                boundary,
+                scan_horizon,
+            });
+            session.finish();
+        }
 
         Ok(SearchOutcome {
-            best,
+            best: arena.evaluation(request, best_mask, best),
             plans_explored: explored,
             sync_points_visited: visited,
             boundary,
@@ -258,9 +403,7 @@ impl ScatterGatherSearch {
     ///
     /// # Errors
     ///
-    /// Propagates [`PlanError`] from plan evaluation. Errors surface in
-    /// sequential order (lowest wave, then lowest subset), though later
-    /// candidates may already have been evaluated speculatively.
+    /// Propagates [`PlanError`] from plan evaluation.
     pub fn search_from_with(
         &self,
         ctx: &PlanContext<'_>,
@@ -269,12 +412,13 @@ impl ScatterGatherSearch {
         pool: &PlannerPool,
         memo: Option<&PhaseMemo>,
     ) -> Result<SearchOutcome, PlanError> {
-        self.search_from_with_observed(
+        self.search_from_with_repaired_observed(
             ctx,
             request,
             not_before,
             pool,
             memo,
+            None,
             &Tracer::disabled(),
             None,
         )
@@ -300,16 +444,46 @@ impl ScatterGatherSearch {
         pool: &PlannerPool,
         memo: Option<&PhaseMemo>,
         tracer: &Tracer,
+        audit: Option<&mut SearchAudit>,
+    ) -> Result<SearchOutcome, PlanError> {
+        self.search_from_with_repaired_observed(
+            ctx, request, not_before, pool, memo, None, tracer, audit,
+        )
+    }
+
+    /// The full search entry point: parallel pool, optional [`PhaseMemo`]
+    /// frontiers, optional [`ReplanCache`] incremental repair, and
+    /// observability — each layer individually and jointly bit-identical
+    /// to the plain sequential search. Both caches require a stateless
+    /// queue estimator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation, in sequential
+    /// order.
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_lines)]
+    pub fn search_from_with_repaired_observed(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+        pool: &PlannerPool,
+        memo: Option<&PhaseMemo>,
+        repair: Option<&ReplanCache>,
+        tracer: &Tracer,
         mut audit: Option<&mut SearchAudit>,
     ) -> Result<SearchOutcome, PlanError> {
         if pool.is_sequential() && memo.is_none() {
-            return self.search_from_observed(ctx, request, not_before, tracer, audit);
+            return self
+                .search_from_repaired_observed(ctx, request, not_before, repair, tracer, audit);
         }
         let query = request.id();
         let submit = request.submitted_at.max(not_before);
         let replicated = replicated_footprint(ctx, request);
-        let subsets = local_subsets(&replicated);
-        let n_masks = subsets.len();
+        let arena = SubsetArena::build(ctx, request, &replicated);
+        let n_masks = arena.len();
+        let mut session = repair.map(|cache| cache.begin(ctx, request, &replicated));
 
         tracer.emit_with(submit, || EventKind::SearchStarted {
             query,
@@ -335,9 +509,9 @@ impl ScatterGatherSearch {
             (Some(_), None) => MemoProbe::Miss,
         };
         let mut pruned = n_masks - scatter_masks.len();
-        let scatter_evals = pool.try_run_indexed(scatter_masks.len(), |i| {
-            evaluate_plan(ctx, request, submit, &subsets[scatter_masks[i]])
-        })?;
+        let scatter_tasks: Vec<(SimTime, usize)> =
+            scatter_masks.iter().map(|&m| (submit, m)).collect();
+        let scatter_evals = score_tasks(pool, &mut session, &arena, ctx, request, &scatter_tasks);
         let mut explored = scatter_evals.len();
         tracer.emit_with(submit, || EventKind::SearchWave {
             query,
@@ -346,16 +520,24 @@ impl ScatterGatherSearch {
             memo: scatter_probe,
         });
         note_probe(&mut audit, scatter_probe);
-        let mut best = None;
-        for eval in &scatter_evals {
-            note_candidate(&mut audit, eval);
-            if is_better(eval, best.as_ref()) {
-                best = Some(eval.clone());
+        let mut best: Option<(CandidateScore, usize)> = None;
+        for (i, score) in scatter_evals.iter().enumerate() {
+            note_candidate_score(&mut audit, &arena, scatter_masks[i], *score);
+            if is_better_score(score, best.as_ref().map(|(s, _)| s)) {
+                best = Some((*score, scatter_masks[i]));
             }
         }
-        let mut best = best.expect("at least the all-remote plan exists");
-        let mut boundary = self.boundary_for(ctx, request, &best);
-        note_bound(tracer, &mut audit, query, submit, submit, &best, boundary);
+        let (mut best, mut best_mask) = best.expect("at least the all-remote plan exists");
+        let mut boundary = self.boundary_for(ctx, request, best.information_value.value());
+        note_bound(
+            tracer,
+            &mut audit,
+            query,
+            submit,
+            submit,
+            best.information_value.value(),
+            boundary,
+        );
         if scatter_frontier.is_none() && n_masks > 1 {
             if let (Some(memo), Some(key)) = (memo, scatter_key) {
                 memo.record(key, frontier_of(&scatter_masks[1..], &scatter_evals[1..]));
@@ -406,15 +588,15 @@ impl ScatterGatherSearch {
                 }
             })
             .collect();
-        let tasks: Vec<(usize, usize)> = wave_masks
+        let tasks: Vec<(SimTime, usize)> = wave_masks
             .iter()
             .enumerate()
-            .flat_map(|(w, masks)| masks.iter().map(move |&m| (w, m)))
+            .flat_map(|(w, masks)| {
+                let at = wave_times[w];
+                masks.iter().map(move |&m| (at, m))
+            })
             .collect();
-        let evals = pool.try_run_indexed(tasks.len(), |i| {
-            let (w, m) = tasks[i];
-            evaluate_plan(ctx, request, wave_times[w], &subsets[m])
-        })?;
+        let evals = score_tasks(pool, &mut session, &arena, ctx, request, &tasks);
 
         // Record frontiers of the fully evaluated (miss) waves — valid
         // whether or not the replay below reaches them.
@@ -450,13 +632,22 @@ impl ScatterGatherSearch {
             });
             note_probe(&mut audit, wave_probes[w]);
             pruned += (n_masks - 1) - masks.len();
-            for eval in slice {
+            for (i, score) in slice.iter().enumerate() {
                 explored += 1;
-                note_candidate(&mut audit, eval);
-                if is_better(eval, Some(&best)) {
-                    best = eval.clone();
-                    boundary = self.boundary_for(ctx, request, &best);
-                    note_bound(tracer, &mut audit, query, submit, at, &best, boundary);
+                note_candidate_score(&mut audit, &arena, masks[i], *score);
+                if is_better_score(score, Some(&best)) {
+                    best = *score;
+                    best_mask = masks[i];
+                    boundary = self.boundary_for(ctx, request, best.information_value.value());
+                    note_bound(
+                        tracer,
+                        &mut audit,
+                        query,
+                        submit,
+                        at,
+                        best.information_value.value(),
+                        boundary,
+                    );
                 }
             }
         }
@@ -475,6 +666,74 @@ impl ScatterGatherSearch {
             release: best.execute_at,
             iv: best.information_value.value(),
         });
+        if let Some(session) = session {
+            session.finish();
+        }
+
+        Ok(SearchOutcome {
+            best: arena.evaluation(request, best_mask, best),
+            plans_explored: explored,
+            sync_points_visited: visited,
+            boundary,
+        })
+    }
+
+    /// The historical per-candidate boxed implementation of the
+    /// sequential search: every candidate heap-materialized into a
+    /// [`PlanEvaluation`] through [`evaluate_plan`], the incumbent
+    /// cloned on every improvement. Kept verbatim as the differential
+    /// oracle the arena hot path is pinned against (the
+    /// `parallel_differential` and `repair_differential` suites, and the
+    /// `arena_vs_boxed` bench cells).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from plan evaluation.
+    pub fn reference_search_boxed(
+        &self,
+        ctx: &PlanContext<'_>,
+        request: &QueryRequest,
+        not_before: SimTime,
+    ) -> Result<SearchOutcome, PlanError> {
+        let submit = request.submitted_at.max(not_before);
+        let replicated = replicated_footprint(ctx, request);
+        let subsets = local_subsets(&replicated);
+
+        let mut explored = 0usize;
+        let mut best: Option<PlanEvaluation> = None;
+        for local in &subsets {
+            let eval = evaluate_plan(ctx, request, submit, local)?;
+            explored += 1;
+            if is_better(&eval, best.as_ref()) {
+                best = Some(eval);
+            }
+        }
+        let mut best = best.expect("at least the all-remote plan exists");
+        let mut boundary = self.boundary_for(ctx, request, best.information_value.value());
+
+        let mut now = submit;
+        let mut visited = 0usize;
+        while visited < self.max_sync_points {
+            let Some((_, next_sync)) = ctx.timelines.next_sync_among(&replicated, now) else {
+                break;
+            };
+            if next_sync > boundary {
+                break;
+            }
+            now = next_sync;
+            visited += 1;
+            for local in &subsets {
+                if local.is_empty() {
+                    continue;
+                }
+                let eval = evaluate_plan(ctx, request, now, local)?;
+                explored += 1;
+                if is_better(&eval, Some(&best)) {
+                    best = eval;
+                    boundary = self.boundary_for(ctx, request, best.information_value.value());
+                }
+            }
+        }
 
         Ok(SearchOutcome {
             best,
@@ -484,17 +743,12 @@ impl ScatterGatherSearch {
         })
     }
 
-    /// The latest release time that could still beat `best`: even with
-    /// zero synchronization latency and zero service time, a plan released
-    /// at `submit + L` has `CL ≥ L`, so it needs
+    /// The latest release time that could still beat the incumbent: even
+    /// with zero synchronization latency and zero service time, a plan
+    /// released at `submit + L` has `CL ≥ L`, so it needs
     /// `(1 − λ_CL)^L ≥ best/BV`.
-    fn boundary_for(
-        &self,
-        ctx: &PlanContext<'_>,
-        request: &QueryRequest,
-        best: &PlanEvaluation,
-    ) -> SimTime {
-        let threshold = (best.information_value.value() / request.business_value.value()).min(1.0);
+    fn boundary_for(&self, ctx: &PlanContext<'_>, request: &QueryRequest, best_iv: f64) -> SimTime {
+        let threshold = (best_iv / request.business_value.value()).min(1.0);
         if threshold <= 0.0 {
             return SimTime::MAX;
         }
@@ -505,15 +759,74 @@ impl ScatterGatherSearch {
     }
 }
 
+/// Scores one candidate through the repair session when one is open
+/// (reusing a surviving score if the cache has it), directly off the
+/// arena otherwise. Identical bits either way.
+fn score_one(
+    session: &mut Option<RepairSession<'_>>,
+    arena: &SubsetArena,
+    ctx: &PlanContext<'_>,
+    request: &QueryRequest,
+    execute_at: SimTime,
+    mask: usize,
+) -> CandidateScore {
+    match session {
+        Some(s) => s.score(arena, ctx, request, execute_at, mask),
+        None => arena.score(ctx, request, execute_at, mask),
+    }
+}
+
+/// Scores a batch of `(release, mask)` tasks over the pool. With a
+/// repair session, cached scores are pulled sequentially first (the
+/// session is not shared across workers) and only the gaps are computed
+/// in the parallel region; fresh scores are folded back in afterwards.
+fn score_tasks(
+    pool: &PlannerPool,
+    session: &mut Option<RepairSession<'_>>,
+    arena: &SubsetArena,
+    ctx: &PlanContext<'_>,
+    request: &QueryRequest,
+    tasks: &[(SimTime, usize)],
+) -> Vec<CandidateScore> {
+    match session {
+        None => pool.run_indexed(tasks.len(), |i| {
+            let (at, mask) = tasks[i];
+            arena.score(ctx, request, at, mask)
+        }),
+        Some(s) => {
+            let cached: Vec<Option<CandidateScore>> =
+                tasks.iter().map(|&(at, mask)| s.probe(at, mask)).collect();
+            let scores = pool.run_indexed(tasks.len(), |i| match cached[i] {
+                Some(score) => score,
+                None => {
+                    let (at, mask) = tasks[i];
+                    arena.score(ctx, request, at, mask)
+                }
+            });
+            for (i, &(at, mask)) in tasks.iter().enumerate() {
+                if cached[i].is_none() {
+                    s.put(at, mask, scores[i]);
+                }
+            }
+            scores
+        }
+    }
+}
+
 /// Appends a candidate to the audit (no-op without one). Audit
 /// collection is recording-only: the search never reads it back.
-fn note_candidate(audit: &mut Option<&mut SearchAudit>, eval: &PlanEvaluation) {
+fn note_candidate_score(
+    audit: &mut Option<&mut SearchAudit>,
+    arena: &SubsetArena,
+    mask: usize,
+    score: CandidateScore,
+) {
     if let Some(a) = audit.as_deref_mut() {
         a.candidates.push(SearchCandidate {
-            release: eval.execute_at,
-            local: eval.local_tables.iter().copied().collect(),
-            iv: eval.information_value.value(),
-            finish: eval.finish,
+            release: score.execute_at,
+            local: arena.local(mask).to_vec(),
+            iv: score.information_value.value(),
+            finish: score.finish,
         });
     }
 }
@@ -528,10 +841,9 @@ fn note_bound(
     query: QueryId,
     stamp: SimTime,
     at: SimTime,
-    best: &PlanEvaluation,
+    incumbent_iv: f64,
     boundary: SimTime,
 ) {
-    let incumbent_iv = best.information_value.value();
     tracer.emit_with(stamp, || EventKind::SearchBound {
         query,
         at,
@@ -665,22 +977,42 @@ pub fn is_better(candidate: &PlanEvaluation, incumbent: Option<&PlanEvaluation>)
     candidate.local_tables.len() > inc.local_tables.len()
 }
 
-/// The masks whose IV is within a relative [`FRONTIER_MARGIN`] of the
-/// wave winner — every potential winner at any other wave with the same
-/// phase offsets (see [`PhaseMemo`] for the argument). `masks` and
-/// `evals` are aligned; masks ascending in, ascending out.
-fn frontier_of(masks: &[usize], evals: &[PlanEvaluation]) -> Vec<usize> {
-    let winner = evals
-        .iter()
-        .map(|e| e.information_value.value())
-        .fold(0.0f64, f64::max);
-    let threshold = winner * (1.0 - FRONTIER_MARGIN);
-    masks
-        .iter()
-        .zip(evals)
-        .filter(|(_, eval)| eval.information_value.value() >= threshold)
-        .map(|(&mask, _)| mask)
-        .collect()
+/// [`is_better`] over arena [`CandidateScore`]s, branchless: the three
+/// tie-break comparisons fold into one boolean expression with no
+/// short-circuit jumps, which the hot loop resolves without branch
+/// mispredictions. Decision-identical to [`is_better`] on the
+/// materialized evaluations (`local_len` is the local-table count).
+#[must_use]
+#[inline]
+pub fn is_better_score(candidate: &CandidateScore, incumbent: Option<&CandidateScore>) -> bool {
+    let Some(inc) = incumbent else { return true };
+    let c = candidate.information_value.value();
+    let i = inc.information_value.value();
+    let better_iv = c > i;
+    let tied_iv = c == i;
+    let earlier_finish = candidate.finish < inc.finish;
+    let tied_finish = candidate.finish == inc.finish;
+    let more_local = candidate.local_len > inc.local_len;
+    better_iv | (tied_iv & (earlier_finish | (tied_finish & more_local)))
+}
+
+/// The masks whose IV is within a relative
+/// [`FRONTIER_MARGIN`](crate::memo::FRONTIER_MARGIN) of the wave winner
+/// — every potential winner at any other wave with the same phase
+/// offsets (see [`PhaseMemo`] for the argument). Computed by margin
+/// dominance over a [`FrontierArena`]: a mask survives iff no mask
+/// dominates it, which is exactly the within-margin-of-the-winner set
+/// (domination by *any* mask implies domination by the winner). `masks`
+/// and `scores` are aligned; masks ascending in, ascending out.
+fn frontier_of(masks: &[usize], scores: &[CandidateScore]) -> Vec<usize> {
+    let mut frontier = FrontierArena::with_capacity(masks.len());
+    for (&mask, score) in masks.iter().zip(scores) {
+        frontier.insert(FrontierEntry {
+            mask,
+            iv: score.information_value.value(),
+        });
+    }
+    frontier.masks()
 }
 
 #[cfg(test)]
@@ -754,6 +1086,72 @@ mod tests {
                 ex.best.information_value
             );
         }
+    }
+
+    #[test]
+    fn arena_search_matches_boxed_reference_bit_for_bit() {
+        let (catalog, timelines) = fixture(&[(0, 8.0), (1, 2.0), (2, 5.0)]);
+        let model = StylizedCostModel::paper_fig4();
+        let search = ScatterGatherSearch::new();
+        for (lcl, lsl) in [(0.1, 0.1), (0.01, 0.05), (0.0, 0.1), (0.2, 0.02)] {
+            let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(lcl, lsl));
+            for submit in [0.0, 3.5, 11.0, 40.0] {
+                let req = QueryRequest::new(
+                    QuerySpec::new(QueryId::new(0), vec![t(0), t(1), t(2), t(3)]),
+                    SimTime::new(submit),
+                );
+                let arena = search.search(&ctx, &req).unwrap();
+                let boxed = search
+                    .reference_search_boxed(&ctx, &req, req.submitted_at)
+                    .unwrap();
+                assert_eq!(arena, boxed, "λcl={lcl} λsl={lsl} submit={submit}");
+            }
+        }
+    }
+
+    #[test]
+    fn repaired_search_is_bit_identical_and_reuses_scores() {
+        let (catalog, timelines) = fixture(&[(0, 8.0), (1, 2.0), (2, 5.0)]);
+        let model = StylizedCostModel::paper_fig4();
+        let search = ScatterGatherSearch::new();
+        let ctx = ctx(&catalog, &timelines, &model, DiscountRates::new(0.05, 0.05));
+        let req = QueryRequest::new(
+            QuerySpec::new(QueryId::new(0), vec![t(0), t(1), t(2), t(3)]),
+            SimTime::new(11.0),
+        );
+        let cache = crate::repair::ReplanCache::new();
+        let scratch = search.search(&ctx, &req).unwrap();
+        let cold = search
+            .search_from_repaired(&ctx, &req, req.submitted_at, &cache)
+            .unwrap();
+        assert_eq!(cold, scratch, "cold repaired run matches from-scratch");
+        assert_eq!(cache.stats().hits, 0);
+        let warm = search
+            .search_from_repaired(&ctx, &req, req.submitted_at, &cache)
+            .unwrap();
+        assert_eq!(warm, scratch, "warm repaired run matches from-scratch");
+        let stats = cache.stats();
+        assert_eq!(
+            stats.outcome_hits, 1,
+            "a warm identical re-plan reuses the whole recorded outcome"
+        );
+        assert_eq!(
+            stats.hits, 0,
+            "the outcome tier answers before any per-candidate probe"
+        );
+
+        // A later release floor cannot reuse the outcome card, but the
+        // gather waves still sit on the shared absolute sync grid, so
+        // the per-candidate tier reuses their scores.
+        let floor = SimTime::new(12.0);
+        let later = search
+            .search_from_repaired(&ctx, &req, floor, &cache)
+            .unwrap();
+        let later_scratch = search.search_from(&ctx, &req, floor).unwrap();
+        assert_eq!(later, later_scratch, "floored repaired run matches scratch");
+        let stats = cache.stats();
+        assert_eq!(stats.outcome_hits, 1, "a new floor must miss the card");
+        assert!(stats.hits > 0, "shared-grid scores are reused");
     }
 
     #[test]
@@ -965,6 +1363,33 @@ mod tests {
         let (outcome2, rendered2, _) = run_observed();
         assert_eq!(outcome2, plain);
         assert_eq!(rendered, rendered2, "identical runs render identical bytes");
+
+        // The repaired search under observation renders the exact same
+        // bytes — the cache sits below the events.
+        let cache = crate::repair::ReplanCache::new();
+        for round in 0..2 {
+            let trace = Arc::new(Trace::new());
+            let tracer = Tracer::recording(Arc::clone(&trace));
+            let mut audit = SearchAudit::default();
+            let repaired = search
+                .search_from_repaired_observed(
+                    &ctx,
+                    &req,
+                    req.submitted_at,
+                    Some(&cache),
+                    &tracer,
+                    Some(&mut audit),
+                )
+                .unwrap();
+            assert_eq!(repaired, plain, "round={round}");
+            assert_eq!(audit.explored(), plain.plans_explored);
+            assert_eq!(
+                trace.render(),
+                rendered,
+                "repair must not change trace bytes (round={round})"
+            );
+        }
+        assert!(cache.stats().hits > 0, "warm round must reuse scores");
 
         // The parallel memoized variant stays bit-identical under
         // observation too, and reports its memo probes.

@@ -1,0 +1,141 @@
+//! Property suite for the arena dominance frontier.
+//!
+//! Four laws over random candidate sequences (with draws deliberately
+//! clustered around the [`FRONTIER_MARGIN`] threshold, where naive
+//! float reasoning goes wrong):
+//!
+//! 1. Margin dominance is a **strict partial order** on non-negative
+//!    information values: irreflexive, asymmetric, transitive.
+//! 2. Pruning is **exactly** global non-domination: an inserted
+//!    candidate survives iff no other candidate in the whole sequence
+//!    dominates it — sequential insertion with tombstoning loses
+//!    nothing a full pairwise scan would keep (transitivity is what
+//!    makes the online algorithm equal the offline one).
+//! 3. **Compaction preserves iteration order** (and is idempotent):
+//!    masks, entries and liveness are unchanged by any interleaving of
+//!    `compact()` calls.
+//! 4. Insert/prune round-trips are **bit-identical to the boxed
+//!    reference**: same accept/reject verdict on every insert, same
+//!    surviving masks after every insert.
+//!
+//! (The vendored proptest stand-in has no `prop_map`, so margin
+//! snapping happens in the test bodies from raw `(base, selector)`
+//! draws.)
+
+use ivdss_core::frontier::{dominates, BoxedFrontier, FrontierArena, FrontierEntry};
+use ivdss_core::memo::FRONTIER_MARGIN;
+use proptest::prelude::*;
+
+/// Derives an information value from a raw draw: optionally snapped to
+/// sit just inside, exactly at, or just beyond the dominance margin of
+/// the base — the region where the pruning rule's strictness matters.
+fn snap(base: f64, sel: u8) -> f64 {
+    match sel {
+        0 => base,
+        1 => base * (1.0 - FRONTIER_MARGIN / 2.0), // inside the margin
+        2 => base * (1.0 - FRONTIER_MARGIN),       // exactly at it
+        _ => base * (1.0 - 3.0 * FRONTIER_MARGIN), // beyond it
+    }
+}
+
+/// Decodes a raw `(mask, base, selector)` draw into a frontier entry.
+fn decode(raw: &[(usize, f64, u8)]) -> Vec<FrontierEntry> {
+    raw.iter()
+        .map(|&(mask, base, sel)| FrontierEntry {
+            mask,
+            iv: snap(base, sel),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn dominance_is_a_strict_partial_order(
+        a_raw in (0.0f64..2.0, 0u8..4),
+        b_raw in (0.0f64..2.0, 0u8..4),
+        c_raw in (0.0f64..2.0, 0u8..4),
+    ) {
+        let ea = FrontierEntry { mask: 0, iv: snap(a_raw.0, a_raw.1) };
+        let eb = FrontierEntry { mask: 1, iv: snap(b_raw.0, b_raw.1) };
+        let ec = FrontierEntry { mask: 2, iv: snap(c_raw.0, c_raw.1) };
+        // Irreflexive.
+        prop_assert!(!dominates(&ea, &ea));
+        // Asymmetric.
+        prop_assert!(!(dominates(&ea, &eb) && dominates(&eb, &ea)));
+        // Transitive.
+        if dominates(&ea, &eb) && dominates(&eb, &ec) {
+            prop_assert!(dominates(&ea, &ec));
+        }
+    }
+
+    #[test]
+    fn pruning_keeps_exactly_the_globally_non_dominated(
+        raw in prop::collection::vec((0usize..64, 0.0f64..2.0, 0u8..4), 0..40),
+    ) {
+        let entries = decode(&raw);
+        let mut arena = FrontierArena::new();
+        for &entry in &entries {
+            arena.insert(entry);
+        }
+        // The offline oracle: index i survives iff no other draw
+        // dominates it. (Duplicates never dominate each other, so equal
+        // candidates all survive.)
+        let expected: Vec<usize> = entries
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| {
+                !entries
+                    .iter()
+                    .enumerate()
+                    .any(|(j, other)| j != *i && dominates(other, e))
+            })
+            .map(|(_, e)| e.mask)
+            .collect();
+        prop_assert_eq!(arena.masks(), expected);
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_is_idempotent(
+        raw in prop::collection::vec((0usize..64, 0.0f64..2.0, 0u8..4), 0..40),
+        compact_every in 1usize..6,
+    ) {
+        let entries = decode(&raw);
+        let mut eager = FrontierArena::new();
+        let mut lazy = FrontierArena::new();
+        for (i, &entry) in entries.iter().enumerate() {
+            prop_assert_eq!(eager.insert(entry), lazy.insert(entry));
+            if i % compact_every == 0 {
+                eager.compact();
+            }
+            prop_assert_eq!(eager.masks(), lazy.masks());
+            prop_assert_eq!(eager.len(), lazy.len());
+            prop_assert_eq!(eager.is_empty(), lazy.is_empty());
+        }
+        let before = lazy.masks();
+        lazy.compact();
+        prop_assert_eq!(&lazy.masks(), &before, "compaction reordered survivors");
+        lazy.compact();
+        prop_assert_eq!(&lazy.masks(), &before, "compaction is not idempotent");
+        let collected: Vec<FrontierEntry> = lazy.iter().copied().collect();
+        prop_assert_eq!(collected.len(), lazy.len());
+    }
+
+    #[test]
+    fn arena_round_trips_match_the_boxed_reference(
+        raw in prop::collection::vec((0usize..64, 0.0f64..2.0, 0u8..4), 0..40),
+    ) {
+        let mut arena = FrontierArena::new();
+        let mut boxed = BoxedFrontier::new();
+        for entry in decode(&raw) {
+            prop_assert_eq!(
+                arena.insert(entry),
+                boxed.insert(entry),
+                "accept/reject verdict diverged on {:?}",
+                entry
+            );
+            prop_assert_eq!(arena.masks(), boxed.masks());
+        }
+    }
+}

@@ -34,7 +34,7 @@ use ivdss_replication::timelines::{SyncMode, SyncTimelines};
 use ivdss_simkernel::rng::{SeedFactory, Stream, UniformStream};
 use ivdss_simkernel::time::SimTime;
 
-const SEEDS: u64 = 30;
+const SEEDS: u64 = 50;
 const HORIZON: f64 = 400.0;
 
 fn t(i: u32) -> TableId {
@@ -175,8 +175,8 @@ fn parallel_planner_matches_sequential_over_seeded_workloads() {
     }
 
     assert!(
-        workloads >= 50,
-        "the band must cover at least 50 workloads, got {workloads}"
+        workloads >= 200,
+        "the band must cover at least 200 workloads, got {workloads}"
     );
     assert!(
         degraded_differs > SEEDS * 3 / 4,

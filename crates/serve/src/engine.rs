@@ -58,6 +58,7 @@ use ivdss_core::plan::{
     evaluate_plan, FacilityQueues, NoQueues, PlanContext, PlanError, PlanEvaluation, QueryRequest,
     SiteFloors,
 };
+use ivdss_core::repair::ReplanCache;
 use ivdss_core::starvation::AgingPolicy;
 use ivdss_core::value::DiscountRates;
 use ivdss_costmodel::model::CostModel;
@@ -98,6 +99,18 @@ pub struct ServeConfig {
     /// Plan-decision audits retained (most recent first to go; `0`
     /// disables audit collection entirely).
     pub audit_capacity: usize,
+    /// `true` lets dispatch-time fresh searches reuse candidate scores
+    /// from previous searches of the same query via the engine's
+    /// [`ReplanCache`] (incremental re-planning). Transparent: plans,
+    /// counters and traces are bit-identical either way — only
+    /// wall-clock shrinks.
+    pub use_repair: bool,
+    /// `true` makes a fault revision proactively repair the plans of
+    /// queued queries touching the revised table (emitting a
+    /// `plan_repaired` trace event per query), so their dispatch-time
+    /// searches start warm. Off by default: it adds events to the
+    /// trace.
+    pub replan_on_revision: bool,
 }
 
 impl ServeConfig {
@@ -113,6 +126,8 @@ impl ServeConfig {
             use_cache: true,
             dispatch_backlog: SimDuration::new(f64::INFINITY),
             audit_capacity: 256,
+            use_repair: true,
+            replan_on_revision: false,
         }
     }
 }
@@ -204,8 +219,19 @@ pub struct ServeEngine<'a, C: Clock> {
     /// Keyed by phase *offsets*, so timeline revisions never invalidate
     /// it, and only consulted under stateless-queue contexts (the
     /// [`NoQueues`] planning and nominal-bound paths — never the
-    /// floored outage re-plan).
-    memo: PhaseMemo,
+    /// floored outage re-plan). Owned per engine by default; a cluster
+    /// shares one across its shards via
+    /// [`ServeEngine::with_phase_memo`] — the sharded memo makes that
+    /// contention-cheap, and [`PhaseKey`](ivdss_core::memo::PhaseKey)
+    /// carries the replicated footprint, so shards with different
+    /// replication plans cannot collide.
+    memo: Arc<PhaseMemo>,
+    /// Candidate scores surviving from previous searches, reused by
+    /// dispatch-time fresh searches (incremental re-planning). Only
+    /// sound under the [`NoQueues`] planning context, and invalidated
+    /// on every applied timeline revision — the floored outage re-plan
+    /// and the nominal-bound search (different timelines!) bypass it.
+    replan: ReplanCache,
     /// Structured-event emission handle (disabled unless a trace is
     /// attached via [`ServeEngine::with_tracer`]).
     tracer: Tracer,
@@ -240,7 +266,8 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             clock,
             faults: None,
             planner: ParallelPlanner::new(Arc::new(PlannerPool::sequential())),
-            memo: PhaseMemo::new(),
+            memo: Arc::new(PhaseMemo::new()),
+            replan: ReplanCache::new(),
             tracer: Tracer::disabled(),
             audits: AuditLog::new(config.audit_capacity),
         }
@@ -254,6 +281,18 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
     #[must_use]
     pub fn with_planner_pool(mut self, pool: Arc<PlannerPool>) -> Self {
         self.planner = ParallelPlanner::new(pool);
+        self
+    }
+
+    /// Shares a sync-phase memo with this engine (builder-style) — the
+    /// cluster injects one memo into all its shard engines so
+    /// frontiers recorded by any shard prune every shard's searches.
+    /// Hit-for-hit behavior within one engine is unchanged: a shared
+    /// memo can only *add* frontiers another engine recorded, and the
+    /// frontier replay is bit-exact regardless of who recorded it.
+    #[must_use]
+    pub fn with_phase_memo(mut self, memo: Arc<PhaseMemo>) -> Self {
+        self.memo = memo;
         self
     }
 
@@ -397,6 +436,20 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
         &self.memo
     }
 
+    /// The memo as a shareable handle (what
+    /// [`ServeEngine::with_phase_memo`] accepts).
+    #[must_use]
+    pub fn shared_memo(&self) -> Arc<PhaseMemo> {
+        Arc::clone(&self.memo)
+    }
+
+    /// The incremental re-planning cache (hit/miss/invalidation
+    /// counters for observability).
+    #[must_use]
+    pub fn replan_cache(&self) -> &ReplanCache {
+        &self.replan
+    }
+
     /// The engine's emission handle (disabled unless attached via
     /// [`ServeEngine::with_tracer`]).
     #[must_use]
@@ -450,7 +503,8 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
     /// Revisions are applied *before* the sync cursor advances, so a
     /// slipped or dropped completion is never delivered at its nominal
     /// time: the cursor walks the already-revised belief.
-    fn sync_tick(&mut self, now: SimTime) {
+    fn sync_tick(&mut self, now: SimTime) -> Result<(), PlanError> {
+        let mut revised: Vec<TableId> = Vec::new();
         if let Some(faults) = &mut self.faults {
             let due = faults.revisions.advance_to(faults.plan.revisions(), now);
             for revision in due {
@@ -461,6 +515,14 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
                 {
                     let evicted = self.cache.invalidate_table(revision.table);
                     self.metrics.record_cache_invalidations(evicted as u64);
+                    // The replan cache keeps every candidate score the
+                    // revision cannot have touched (its dirty floor);
+                    // the invalidation is what keeps incremental
+                    // re-planning bit-exact.
+                    self.replan.invalidate_revision(revision);
+                    if !revised.contains(&revision.table) {
+                        revised.push(revision.table);
+                    }
                     if revision.new_time.is_some() {
                         self.metrics.record_fault_slip();
                     } else {
@@ -497,6 +559,53 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             }
         }
         self.metrics.set_cache_size(self.cache.len());
+        if self.config.replan_on_revision {
+            self.repair_queued(now, &revised)?;
+        }
+        Ok(())
+    }
+
+    /// Proactively repairs the plans of queued queries whose footprint
+    /// touches a just-revised table: each runs an incremental repaired
+    /// search *now* (scores outside the revision's dirty window are
+    /// reused, the dirty ones recomputed), leaving the replan cache warm
+    /// for its dispatch-time search. One `plan_repaired` event per
+    /// repaired query reports how much survived.
+    fn repair_queued(&mut self, now: SimTime, revised: &[TableId]) -> Result<(), PlanError> {
+        if revised.is_empty() || self.queue.is_empty() {
+            return Ok(());
+        }
+        let affected: Vec<QueryRequest> = self
+            .queue
+            .iter()
+            .filter(|q| q.request.query.tables().iter().any(|t| revised.contains(t)))
+            .map(|q| q.request.clone())
+            .collect();
+        for request in affected {
+            let query = request.id();
+            let before = self.replan.stats();
+            // The inner search is deliberately unobserved: the repair is
+            // a warm-up, and the dispatch-time search re-emits the full
+            // search trace exactly as without repair.
+            self.planner.search_repaired_observed(
+                &planning_ctx!(self),
+                &request,
+                request.submitted_at,
+                Some(&self.memo),
+                Some(&self.replan),
+                &Tracer::disabled(),
+                None,
+            )?;
+            let after = self.replan.stats();
+            let reused = after.hits - before.hits;
+            let recomputed = after.misses - before.misses;
+            self.tracer.emit_with(now, || EventKind::PlanRepaired {
+                query,
+                reused,
+                recomputed,
+            });
+        }
+        Ok(())
     }
 
     /// Moves the engine's clock to `to` (if in the future), delivering
@@ -509,7 +618,7 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
     pub fn advance_to(&mut self, to: SimTime) -> Result<Vec<Completion>, PlanError> {
         self.clock.advance_to(to);
         let now = self.clock.now();
-        self.sync_tick(now);
+        self.sync_tick(now)?;
         self.pump(now, false)
     }
 
@@ -527,7 +636,7 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
     pub fn submit(&mut self, request: QueryRequest) -> Result<SubmitReport, PlanError> {
         self.clock.advance_to(request.submitted_at);
         let now = self.clock.now();
-        self.sync_tick(now);
+        self.sync_tick(now)?;
         self.metrics.record_submitted();
 
         let floors = self.current_floors(now);
@@ -559,7 +668,7 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
     /// Propagates [`PlanError`] from planning a dispatched query.
     pub fn accept(&mut self, queued: QueuedQuery) -> Result<SubmitReport, PlanError> {
         let now = self.clock.now();
-        self.sync_tick(now);
+        self.sync_tick(now)?;
         let floors = self.current_floors(now);
         let floored = SiteFloors::new(&NoQueues, floors);
         let arrival = queued.request.id();
@@ -667,16 +776,21 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
             };
             eval
         } else {
-            // NoQueues context → the sync-phase memo is sound here.
+            // NoQueues context → the sync-phase memo and the replan
+            // cache are both sound here. Repair is transparent: the
+            // outcome, counters and emitted search events are
+            // bit-identical with or without it.
             source = PlanSource::FreshSearch;
             let mut audit = collect_audit.then(SearchAudit::default);
+            let repair = self.config.use_repair.then_some(&self.replan);
             let best = self
                 .planner
-                .search_memoized_observed(
+                .search_repaired_observed(
                     &planning_ctx!(self),
                     &request,
                     request.submitted_at,
-                    &self.memo,
+                    Some(&self.memo),
+                    repair,
                     &self.tracer,
                     audit.as_mut(),
                 )?
@@ -852,7 +966,7 @@ impl<'a, C: Clock> ServeEngine<'a, C> {
     /// Propagates [`PlanError`] from planning a dispatched query.
     pub fn drain(&mut self) -> Result<Vec<Completion>, PlanError> {
         let now = self.clock.now();
-        self.sync_tick(now);
+        self.sync_tick(now)?;
         self.pump(now, true)
     }
 

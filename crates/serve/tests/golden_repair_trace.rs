@@ -1,0 +1,156 @@
+//! Golden-trace snapshot of a seeded run with **incremental
+//! re-planning on revisions** enabled.
+//!
+//! Same discipline as `golden_trace`: one fixed scenario, rendered
+//! bytes compared byte-for-byte against
+//! `tests/fixtures/golden_repair_trace.txt`, re-blessed only
+//! deliberately via
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p ivdss-serve --test golden_repair_trace
+//! ```
+//!
+//! The scenario differs from the base golden in two knobs: a
+//! zero-tolerance dispatch gate keeps queries waiting in the admission
+//! queue, and [`ServeConfig::replan_on_revision`] is on — so when a
+//! fault revision lands at a sync tick, every queued query touching the
+//! revised table is proactively re-planned through the [`ReplanCache`]
+//! and a `plan_repaired` event (with its reused/recomputed counters) is
+//! pinned into the fixture.
+//!
+//! [`ReplanCache`]: ivdss_core::repair::ReplanCache
+
+use std::sync::Arc;
+
+use ivdss_catalog::placement::PlacementStrategy;
+use ivdss_catalog::synthetic::{synthetic_catalog, SyntheticConfig};
+use ivdss_core::value::DiscountRates;
+use ivdss_costmodel::model::StylizedCostModel;
+use ivdss_faults::observe::emit_fault_plan;
+use ivdss_faults::{FaultConfig, FaultPlan};
+use ivdss_obs::{Trace, Tracer};
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+use ivdss_serve::clock::DesClock;
+use ivdss_serve::engine::{ServeConfig, ServeEngine};
+use ivdss_simkernel::rng::SeedFactory;
+use ivdss_simkernel::time::{SimDuration, SimTime};
+use ivdss_workloads::stream::ArrivalStream;
+use ivdss_workloads::synthetic::{random_queries, RandomQueryConfig};
+
+const SEED: u64 = 0x9E9A;
+const QUERIES: usize = 12;
+
+/// Runs the fixed repair scenario once, recording into a fresh trace,
+/// and returns the rendered bytes.
+fn run_golden() -> String {
+    let seeds = SeedFactory::new(SEED);
+    let catalog = synthetic_catalog(&SyntheticConfig {
+        tables: 8,
+        sites: 3,
+        placement: PlacementStrategy::Skewed,
+        replicated_tables: 4,
+        mean_sync_period: 5.0,
+        seed: seeds.seed_for("catalog"),
+        ..SyntheticConfig::default()
+    })
+    .expect("golden catalog configuration is valid");
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let model = StylizedCostModel::paper_fig4();
+    let faults = FaultPlan::generate(
+        &FaultConfig {
+            slip_probability: 0.45,
+            drop_probability: 0.1,
+            slip_delay: (1.0, 8.0),
+            horizon: SimTime::new(200.0),
+            ..FaultConfig::default()
+        },
+        &timelines,
+        catalog.site_count(),
+        seeds.seed_for("faults"),
+    );
+    let templates = random_queries(&RandomQueryConfig {
+        queries: 6,
+        tables: 8,
+        max_tables_per_query: 4,
+        weight_range: (0.8, 2.0),
+        seed: seeds.seed_for("queries"),
+    });
+    let mut stream = ArrivalStream::new(templates, 2.0, seeds.seed_for("arrivals"));
+
+    // Cache off (full search telemetry), zero dispatch tolerance (the
+    // queue actually holds queries when revisions land), repair-on-
+    // revision on (the knob under test).
+    let mut config = ServeConfig::new(DiscountRates::new(0.01, 0.05));
+    config.use_cache = false;
+    config.dispatch_backlog = SimDuration::ZERO;
+    config.replan_on_revision = true;
+
+    let trace = Arc::new(Trace::new());
+    let tracer = Tracer::recording(Arc::clone(&trace));
+    emit_fault_plan(&faults, &tracer);
+    let mut engine = ServeEngine::with_faults(
+        &catalog,
+        &timelines,
+        &model,
+        config,
+        DesClock::new(),
+        faults,
+    )
+    .with_tracer(tracer);
+    for _ in 0..QUERIES {
+        engine
+            .submit(stream.next_request())
+            .expect("golden submission plans");
+    }
+    engine.drain().expect("golden drain plans");
+    trace.render()
+}
+
+#[test]
+fn golden_repair_trace_matches_fixture_byte_for_byte() {
+    let rendered = run_golden();
+
+    // In-process determinism first: two identical runs, identical bytes.
+    let again = run_golden();
+    assert_eq!(
+        rendered.as_bytes(),
+        again.as_bytes(),
+        "two identical seeded runs must render byte-identical traces"
+    );
+
+    // The scenario must exercise the repair path, or the fixture is a
+    // vacuous copy of the base golden.
+    for needle in [
+        "fault_slip_planned",
+        "revision_applied",
+        "plan_repaired",
+        "search_started",
+        "search_finished",
+        " completed ",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "golden repair scenario no longer exercises {needle:?}"
+        );
+    }
+
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden_repair_trace.txt"
+    );
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::write(fixture, &rendered).expect("bless writes the fixture");
+    }
+    let expected = std::fs::read_to_string(fixture).expect(
+        "golden repair fixture missing — regenerate with \
+         GOLDEN_BLESS=1 cargo test -p ivdss-serve --test golden_repair_trace",
+    );
+    assert!(
+        rendered == expected,
+        "trace diverged from tests/fixtures/golden_repair_trace.txt \
+         (review the diff, then re-bless with GOLDEN_BLESS=1):\n\
+         rendered {} bytes, fixture {} bytes",
+        rendered.len(),
+        expected.len()
+    );
+}
