@@ -1,0 +1,129 @@
+//! Storage calibration bench: record-page scan throughput plus the
+//! measured-vs-modeled error battery, emitting machine-readable JSON
+//! (`BENCH_storage.json`).
+//!
+//! Two kinds of cells:
+//!
+//! * `scan_throughput` — wall-clock rate of repeated full table scans
+//!   through the record-page engine (pages + slots really walked). Host
+//!   dependent; `host_parallelism` is recorded alongside.
+//! * `model_error` — the deterministic calibration point
+//!   (`ivdss_dsim::experiments::calibration`): held-out mean relative
+//!   per-scan error of the uncalibrated analytic prediction vs the
+//!   fitted one. Bit-stable across hosts; the bin runs the point twice
+//!   and asserts the repeat is identical, and asserts the calibrated
+//!   error is strictly lower than the analytic error.
+//!
+//! Flags: `--smoke` (scaled-down throughput loop), `--out <path>`
+//! (default `BENCH_storage.json` in the current directory).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ivdss_dsim::experiments::calibration::{run_calibration, CalibrationConfig};
+use ivdss_storage::{StorageConfig, StorageEngine};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_storage.json".to_owned());
+
+    let config = CalibrationConfig::default();
+
+    println!("== storage_calibration ==");
+
+    // Deterministic model-error point, run twice: the repeat must be
+    // bit-identical or the calibration pipeline has lost determinism.
+    let point = run_calibration(&config);
+    let again = run_calibration(&config);
+    assert_eq!(point, again, "calibration point must be bit-reproducible");
+    assert!(
+        point.calibrated_err < point.analytic_err,
+        "calibrated error {} must be strictly below analytic error {}",
+        point.calibrated_err,
+        point.analytic_err
+    );
+    print!("{}", point.to_table());
+
+    // Wall-clock scan throughput: repeated full scans of every table of
+    // the same catalog the calibration point used.
+    let catalog = ivdss_catalog::tpch::tpch_catalog(&ivdss_catalog::tpch::TpchConfig {
+        scale_factor: config.scale_factor,
+        sites: config.sites,
+        replicated_tables: config.replicated_tables,
+        mean_sync_period: config.mean_sync_period,
+        seed: ivdss_simkernel::rng::SeedFactory::new(config.seed).seed_for("catalog"),
+        ..ivdss_catalog::tpch::TpchConfig::default()
+    })
+    .expect("bench catalog configuration is valid");
+    let storage = StorageEngine::build(&catalog, &StorageConfig::default());
+    let rounds = if smoke { 20 } else { 400 };
+    let mut scans = 0u64;
+    let mut bytes_scanned = 0u64;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        for table in catalog.table_ids() {
+            let m = storage.execute_table_scan(table);
+            scans += 1;
+            bytes_scanned += m.bytes;
+        }
+    }
+    let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+    let mb_per_sec = bytes_scanned as f64 / 1e6 / wall_secs;
+    let scans_per_sec = scans as f64 / wall_secs;
+    let host_parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!(
+        "scan throughput: {scans} scans, {bytes_scanned} bytes in {wall_secs:.4} s \
+         ({mb_per_sec:.1} MB/s, {scans_per_sec:.0} scans/s, host_parallelism = {host_parallelism})"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"storage_calibration\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"seed\": {},", config.seed);
+    let _ = writeln!(json, "  \"scale_factor\": {},", config.scale_factor);
+    let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
+    json.push_str("  \"scan_throughput\": {\n");
+    let _ = writeln!(json, "    \"rounds\": {rounds},");
+    let _ = writeln!(json, "    \"scans\": {scans},");
+    let _ = writeln!(json, "    \"bytes_scanned\": {bytes_scanned},");
+    let _ = writeln!(json, "    \"wall_secs\": {wall_secs:.6},");
+    let _ = writeln!(json, "    \"mb_per_sec\": {mb_per_sec:.1},");
+    let _ = writeln!(json, "    \"scans_per_sec\": {scans_per_sec:.0}");
+    json.push_str("  },\n");
+    json.push_str("  \"model_error\": {\n");
+    let _ = writeln!(json, "    \"fit_scans\": {},", point.fit_scans);
+    let _ = writeln!(json, "    \"holdout_scans\": {},", point.holdout_scans);
+    let _ = writeln!(json, "    \"completed\": {},", point.completed);
+    let _ = writeln!(json, "    \"analytic_err\": {:.6},", point.analytic_err);
+    let _ = writeln!(json, "    \"calibrated_err\": {:.6},", point.calibrated_err);
+    let _ = writeln!(json, "    \"improvement\": {:.1}", point.improvement);
+    json.push_str("  },\n");
+    json.push_str("  \"fit\": {\n");
+    let _ = writeln!(json, "    \"overhead\": {:e},", point.fit.overhead);
+    let _ = writeln!(
+        json,
+        "    \"secs_per_byte\": {:e},",
+        point.fit.secs_per_byte
+    );
+    let _ = writeln!(json, "    \"samples\": {}", point.fit.samples);
+    json.push_str("  },\n");
+    json.push_str(
+        "  \"note\": \"model_error cells are deterministic (device-profile latencies, seeded \
+         catalog+workload) and bit-stable across hosts; scan_throughput is wall-clock and \
+         host-dependent (see docs/STORAGE.md)\"\n",
+    );
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write bench JSON");
+    println!("wrote {out}");
+}

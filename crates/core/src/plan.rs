@@ -594,7 +594,7 @@ impl SubsetArena {
 
     /// Scores mask `m` released at `execute_at` — the allocation-free
     /// equivalent of [`evaluate_plan`] on a candidate that is valid by
-    /// construction, bit-identical to it (both run [`score_candidate`]).
+    /// construction, bit-identical to it (both run `score_candidate`).
     #[must_use]
     pub fn score(
         &self,
@@ -642,7 +642,7 @@ impl SubsetArena {
 /// 5. `CL = finish − submitted_at`, `SL = finish − min(data timestamps)`,
 ///    and `IV = BV·(1−λ_CL)^CL·(1−λ_SL)^SL`.
 ///
-/// Steps 2–5 run in [`score_candidate`], the same kernel the search's
+/// Steps 2–5 run in `score_candidate`, the same kernel the search's
 /// [`SubsetArena`] hot path uses, so both paths agree bit for bit.
 ///
 /// # Errors

@@ -13,7 +13,10 @@
 //! * [`model::AnalyticCostModel`] — a size-based model with per-site
 //!   parallelism, bounded-bandwidth result shipping and per-site
 //!   coordination overhead;
-//! * [`compile::CompiledQuery`] — the pre-computed combination table.
+//! * [`compile::CompiledQuery`] — the pre-computed combination table;
+//! * [`calibrate::CalibratedCostModel`] — the analytic model with its
+//!   local side refitted from measured storage scans
+//!   (see `ivdss-storage`).
 //!
 //! # Example
 //!
@@ -37,10 +40,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod compile;
 pub mod model;
 pub mod query;
 
+pub use calibrate::{fit_local, CalibratedCostModel, CalibrationSample, LocalFit};
 pub use compile::CompiledQuery;
 pub use model::{AnalyticCostModel, CostModel, PlanCost, StylizedCostModel};
 pub use query::{QueryId, QuerySpec};

@@ -5,6 +5,7 @@
 //! (`cargo run -p ivdss-bench --release --bin figN`).
 
 pub mod adaptive_sync;
+pub mod calibration;
 pub mod chaos;
 pub mod cluster;
 pub mod common;
@@ -19,6 +20,9 @@ pub mod serve_net;
 pub use adaptive_sync::{
     run_adaptive_chaos_point, run_adaptive_point, run_adaptive_sync, AdaptiveChaosPoint,
     AdaptiveScenario, AdaptiveSyncConfig, AdaptiveSyncPoint, AdaptiveSyncResults,
+};
+pub use calibration::{
+    run_calibration, run_calibration_traced, CalibrationConfig, CalibrationResults,
 };
 pub use chaos::{run_chaos, severity_faults, ChaosConfig, ChaosPoint, ChaosResults};
 pub use cluster::{

@@ -1,0 +1,134 @@
+//! Golden-trace snapshot of a storage-backed serve run.
+//!
+//! One fixed scenario (seeded TPC-H replica catalog, record-page storage
+//! engine, seeded arrival stream) runs on the sim clock with the engine
+//! in storage-backed mode: every dispatched plan's local tables are
+//! really scanned, so the trace carries `scan_started`/`scan_done`
+//! events with the estimated and measured access counts. The rendered
+//! trace is compared **byte for byte** against
+//! `tests/fixtures/golden_storage_trace.txt`; re-bless deliberately with
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p ivdss-serve --test golden_storage_trace
+//! ```
+//!
+//! The pre-existing goldens (`golden_trace.txt`, net traces, scenario
+//! pins) must stay byte-identical — storage-backed mode is opt-in and
+//! this suite is the proof it stays that way.
+
+use std::sync::Arc;
+
+use ivdss_catalog::tpch::{tpch_catalog, TpchConfig};
+use ivdss_core::value::DiscountRates;
+use ivdss_costmodel::model::AnalyticCostModel;
+use ivdss_obs::{Trace, Tracer};
+use ivdss_replication::timelines::{SyncMode, SyncTimelines};
+use ivdss_serve::clock::DesClock;
+use ivdss_serve::engine::{ServeConfig, ServeEngine};
+use ivdss_simkernel::rng::SeedFactory;
+use ivdss_storage::{StorageConfig, StorageEngine};
+use ivdss_workloads::stream::ArrivalStream;
+use ivdss_workloads::synthetic::{random_queries, RandomQueryConfig};
+
+const SEED: u64 = 0x57_0A;
+const QUERIES: usize = 10;
+
+/// Runs the fixed storage-backed scenario once and returns the rendered
+/// trace bytes.
+fn run_golden() -> String {
+    let seeds = SeedFactory::new(SEED);
+    let catalog = tpch_catalog(&TpchConfig {
+        scale_factor: 0.0005,
+        sites: 3,
+        replicated_tables: 8,
+        mean_sync_period: 6.0,
+        seed: seeds.seed_for("catalog"),
+        ..TpchConfig::default()
+    })
+    .expect("golden catalog configuration is valid");
+    let storage = StorageEngine::build(&catalog, &StorageConfig::default());
+    assert!(
+        storage.is_full_fidelity(),
+        "golden tables must fit the row cap"
+    );
+    let timelines = SyncTimelines::from_plan(catalog.replication(), SyncMode::Deterministic);
+    let model = AnalyticCostModel::paper_scale();
+    let templates = random_queries(&RandomQueryConfig {
+        queries: 5,
+        tables: catalog.table_count(),
+        max_tables_per_query: 3,
+        weight_range: (0.8, 2.0),
+        seed: seeds.seed_for("queries"),
+    });
+    let mut stream = ArrivalStream::new(templates, 2.0, seeds.seed_for("arrivals"));
+
+    let trace = Arc::new(Trace::new());
+    let tracer = Tracer::recording(Arc::clone(&trace));
+    let mut engine = ServeEngine::new(
+        &catalog,
+        &timelines,
+        &model,
+        ServeConfig::new(DiscountRates::new(0.01, 0.05)),
+        DesClock::new(),
+    )
+    .with_storage(&storage)
+    .with_tracer(tracer);
+    for _ in 0..QUERIES {
+        engine
+            .submit(stream.next_request())
+            .expect("golden submission plans");
+    }
+    engine.drain().expect("golden drain plans");
+    trace.render()
+}
+
+#[test]
+fn golden_storage_trace_matches_fixture_byte_for_byte() {
+    let rendered = run_golden();
+
+    // In-process determinism first: two identical runs, identical bytes.
+    let again = run_golden();
+    assert_eq!(
+        rendered.as_bytes(),
+        again.as_bytes(),
+        "two identical seeded storage-backed runs must render byte-identical traces"
+    );
+
+    // The scenario must exercise the storage path, or the golden file
+    // degenerates into an ordinary serve snapshot.
+    for needle in [
+        "submitted",
+        "scan_started",
+        "scan_done",
+        " blocks_est=",
+        " blocks=",
+        " seconds=",
+        "sync_delivered",
+        " completed ",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "golden scenario no longer exercises {needle:?}"
+        );
+    }
+
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden_storage_trace.txt"
+    );
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::write(fixture, &rendered).expect("bless writes the fixture");
+    }
+    let expected = std::fs::read_to_string(fixture).expect(
+        "golden fixture missing — regenerate with \
+         GOLDEN_BLESS=1 cargo test -p ivdss-serve --test golden_storage_trace",
+    );
+    assert!(
+        rendered == expected,
+        "trace diverged from tests/fixtures/golden_storage_trace.txt \
+         (review the diff, then re-bless with GOLDEN_BLESS=1):\n\
+         rendered {} bytes, fixture {} bytes",
+        rendered.len(),
+        expected.len()
+    );
+}

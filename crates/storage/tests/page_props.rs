@@ -1,0 +1,174 @@
+//! Property suite for record pages, layouts and heap files.
+//!
+//! The laws under test:
+//!
+//! * **Committed records are readable** — after `populate`, every one of
+//!   the `rows` records is live at its dense position and reads back its
+//!   sequential key.
+//! * **Slot reuse never aliases live records** — deleting an arbitrary
+//!   subset and re-inserting exactly that many records lands precisely
+//!   on the freed slots (lowest first) and leaves every surviving
+//!   record's payload untouched.
+//! * **Offsets stay within bounds** — for an arbitrary schema, field
+//!   offsets are packed after the live flag, strictly increasing, and
+//!   every field ends inside the slot.
+//! * **Schema↔layout round-trip** — the canonical mapping of an
+//!   arbitrary catalog table yields a slot of exactly
+//!   `1 + max(row_bytes, 8)` bytes, and int/byte fields written through
+//!   the layout read back identically.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use ivdss_catalog::ids::TableId;
+use ivdss_catalog::table::TableMeta;
+use ivdss_storage::{table_layout, FieldType, Layout, Page, RecordId, Schema, TableStorage};
+use proptest::prelude::*;
+
+const PAGE_SIZES: [usize; 4] = [128, 256, 512, 1024];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Every populated record is live at its dense position and holds
+    /// its sequential key; the page count is exactly the dense packing.
+    #[test]
+    fn committed_records_read_back(
+        rows in 0u64..150,
+        row_bytes in 9u32..100,
+        page_choice in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let page_size = PAGE_SIZES[page_choice];
+        let meta = TableMeta::new(TableId::new(0), "t", rows, row_bytes);
+        let heap = TableStorage::populate(&meta, rows, page_size, seed);
+        let spp = heap.slots_per_page() as u64;
+        prop_assert!(spp > 0);
+        prop_assert_eq!(heap.live_records(), rows);
+        prop_assert_eq!(heap.blocks(), rows.div_ceil(spp));
+        for key in 0..rows {
+            let rid = RecordId {
+                page: (key / spp) as usize,
+                slot: (key % spp) as usize,
+            };
+            prop_assert!(heap.is_live(rid));
+            prop_assert_eq!(heap.get_int(rid, 0), key as i64);
+        }
+    }
+
+    /// Deleting a subset then inserting the same count reuses exactly
+    /// the freed slots and never disturbs surviving records.
+    #[test]
+    fn slot_reuse_never_aliases_live_records(
+        rows in 1u64..120,
+        delete_mask in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        let meta = TableMeta::new(TableId::new(0), "t", rows, 24);
+        let mut heap = TableStorage::populate(&meta, rows, 256, seed);
+        let spp = heap.slots_per_page() as u64;
+
+        let mut deleted = BTreeSet::new();
+        let mut survivors = BTreeMap::new();
+        for key in 0..rows {
+            let rid = RecordId {
+                page: (key / spp) as usize,
+                slot: (key % spp) as usize,
+            };
+            if delete_mask & (1 << (key % 32)) != 0 {
+                heap.delete(rid);
+                deleted.insert(rid);
+            } else {
+                survivors.insert(rid, heap.get_int(rid, 0));
+            }
+        }
+        prop_assert_eq!(heap.live_records(), rows - deleted.len() as u64);
+
+        let mut reused = BTreeSet::new();
+        for j in 0..deleted.len() {
+            let rid = heap.insert();
+            heap.set_int(rid, 0, 1_000_000 + j as i64);
+            prop_assert!(
+                deleted.contains(&rid),
+                "insert {:?} must land on a freed slot", rid
+            );
+            prop_assert!(reused.insert(rid), "insert returned a slot twice");
+        }
+        prop_assert_eq!(&reused, &deleted);
+        prop_assert_eq!(heap.live_records(), rows);
+        for (rid, key) in &survivors {
+            prop_assert!(heap.is_live(*rid));
+            prop_assert_eq!(heap.get_int(*rid, 0), *key);
+        }
+    }
+
+    /// Packed layout invariants over arbitrary schemas.
+    #[test]
+    fn layout_offsets_stay_in_bounds(
+        raw_fields in prop::collection::vec((any::<u8>(), 1u16..40), 1..8),
+    ) {
+        let mut schema = Schema::new();
+        for (i, (selector, width)) in raw_fields.iter().enumerate() {
+            if selector % 2 == 0 {
+                schema.add_int(format!("f{i}"));
+            } else {
+                schema.add_bytes(format!("f{i}"), *width);
+            }
+        }
+        let widths: Vec<usize> = schema.fields().iter().map(|(_, ty)| ty.width()).collect();
+        let layout = Layout::new(schema);
+        prop_assert_eq!(layout.offset(0), 1, "first field follows the live flag");
+        let mut expected = 1usize;
+        for (i, width) in widths.iter().enumerate() {
+            prop_assert_eq!(layout.offset(i), expected);
+            prop_assert_eq!(layout.field_width(i), *width);
+            expected += width;
+            prop_assert!(layout.offset(i) + width <= layout.slot_size());
+        }
+        prop_assert_eq!(layout.slot_size(), expected);
+    }
+
+    /// The canonical catalog-table mapping round-trips through a page.
+    #[test]
+    fn table_schema_round_trips_through_a_page(
+        rows in 1u64..50,
+        row_bytes in 1u32..200,
+        raw_key in any::<u64>(),
+        fill in any::<u8>(),
+    ) {
+        let key = raw_key as i64;
+        let meta = TableMeta::new(TableId::new(7), "rt", rows, row_bytes);
+        let layout = table_layout(&meta);
+        prop_assert_eq!(layout.slot_size(), 1 + (row_bytes as usize).max(8));
+        prop_assert!(layout.schema().has_field("rt_key"));
+        let has_pad = row_bytes as usize > 8;
+        prop_assert_eq!(layout.schema().has_field("rt_pad"), has_pad);
+        prop_assert_eq!(
+            layout.schema().fields()[0].1, FieldType::Int,
+            "key field is an integer"
+        );
+
+        let mut page = Page::new(layout.slot_size() * 3);
+        page.set_live(&layout, 1, true);
+        page.write_int(&layout, 1, 0, key);
+        prop_assert!(page.is_live(&layout, 1));
+        prop_assert_eq!(page.read_int(&layout, 1, 0), key);
+        if has_pad {
+            let pad_width = layout.field_width(1);
+            let partial = vec![fill; pad_width.min(3)];
+            page.write_bytes(&layout, 1, 1, &partial);
+            let read = page.read_bytes(&layout, 1, 1);
+            prop_assert_eq!(read.len(), pad_width);
+            prop_assert_eq!(&read[..partial.len()], &partial[..]);
+            prop_assert!(
+                read[partial.len()..].iter().all(|&b| b == 0),
+                "short writes are zero-padded"
+            );
+        }
+        // Neighbouring slots are untouched by slot-1 writes.
+        prop_assert!(!page.is_live(&layout, 0));
+        prop_assert!(!page.is_live(&layout, 2));
+        prop_assert_eq!(page.read_int(&layout, 0, 0), 0);
+        prop_assert_eq!(page.read_int(&layout, 2, 0), 0);
+    }
+}

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Reproducible benchmark trajectory: regenerates every paper figure,
 # runs the ablations, and produces the machine-readable planner-scaling,
-# cluster shard-scaling, network-serving, adaptive-scheduling and
-# scenario-sweep reports (BENCH_planner.json, BENCH_cluster.json,
-# BENCH_serve_net.json, BENCH_sched.json and BENCH_scenarios.json at the
-# repo root).
+# cluster shard-scaling, network-serving, adaptive-scheduling,
+# scenario-sweep and storage-calibration reports (BENCH_planner.json,
+# BENCH_cluster.json, BENCH_serve_net.json, BENCH_sched.json,
+# BENCH_scenarios.json and BENCH_storage.json at the repo root).
 #
 # Usage:
 #   scripts/bench.sh                    # full run (minutes)
@@ -14,6 +14,7 @@
 #   scripts/bench.sh --net-out F        # write the net-serving JSON to F instead
 #   scripts/bench.sh --sched-out F      # write the scheduling JSON to F instead
 #   scripts/bench.sh --scenarios-out F  # write the scenario JSON to F instead
+#   scripts/bench.sh --storage-out F    # write the storage JSON to F instead
 #
 # Every bin is seeded and deterministic; only the wall-clock timings in
 # the JSON reports vary across hosts (BENCH_planner.json records the
@@ -29,6 +30,7 @@ CLUSTER_OUT="BENCH_cluster.json"
 NET_OUT="BENCH_serve_net.json"
 SCHED_OUT="BENCH_sched.json"
 SCENARIOS_OUT="BENCH_scenarios.json"
+STORAGE_OUT="BENCH_storage.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1 ;;
@@ -57,7 +59,12 @@ while [[ $# -gt 0 ]]; do
       [[ $# -gt 0 ]] || { echo "--scenarios-out needs a path" >&2; exit 2; }
       SCENARIOS_OUT="$1"
       ;;
-    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE] [--cluster-out FILE] [--net-out FILE] [--sched-out FILE] [--scenarios-out FILE]" >&2; exit 2 ;;
+    --storage-out)
+      shift
+      [[ $# -gt 0 ]] || { echo "--storage-out needs a path" >&2; exit 2; }
+      STORAGE_OUT="$1"
+      ;;
+    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE] [--cluster-out FILE] [--net-out FILE] [--sched-out FILE] [--scenarios-out FILE] [--storage-out FILE]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -99,4 +106,8 @@ echo "==> scenario sweeps (writes $SCENARIOS_OUT)"
 cargo run --offline --release -p ivdss-bench --bin scenarios -- \
   ${QUICK[@]+"${QUICK[@]}"} --out "$SCENARIOS_OUT"
 
-echo "Benchmark trajectory complete; scaling reports at $OUT, $CLUSTER_OUT, $NET_OUT, $SCHED_OUT and $SCENARIOS_OUT."
+echo "==> storage calibration (writes $STORAGE_OUT)"
+cargo run --offline --release -p ivdss-bench --bin storage_calibration -- \
+  ${QUICK[@]+"${QUICK[@]}"} --out "$STORAGE_OUT"
+
+echo "Benchmark trajectory complete; scaling reports at $OUT, $CLUSTER_OUT, $NET_OUT, $SCHED_OUT, $SCENARIOS_OUT and $STORAGE_OUT."

@@ -27,6 +27,11 @@ echo "==> scenario engine property + golden + catalog-pin suites (release)"
 cargo test --offline --release -p ivdss-scenarios
 cargo test --offline --release -p ivdss-dsim --test golden_scenario --test scenario_catalog_pins
 
+echo "==> storage differential + property + calibration + golden suites (release)"
+cargo test --offline --release -p ivdss-storage
+cargo test --offline --release -p ivdss-dsim --test calibration_regression
+cargo test --offline --release -p ivdss-serve --test golden_storage_trace
+
 echo "==> markdown link check"
 scripts/linkcheck.sh
 

@@ -31,6 +31,7 @@
 //! | [`net`] | TCP front door: length-delimited binary protocol, hand-rolled `std::net` server over the serving engines, blocking client, closed-loop load driver |
 //! | [`sched`] | Adaptive synchronization scheduling: refresh schedules as a decision variable — marginal-IV greedy + GA search at the fixed schedules' refresh budget, behind a never-worse guard |
 //! | [`scenarios`] | Seeded composable traffic scenarios: Zipf popularity, diurnal/flash-crowd arrivals, multi-tenant SLA mixes, schema growth with cold timelines |
+//! | [`storage`] | Record-page storage engine: slotted pages over catalog tables, scan/select/project/product plans with pre-execution estimates, measured scans feeding cost-model calibration |
 //! | [`dsim`] | End-to-end DSS simulator and the per-figure experiment drivers |
 //!
 //! # Quickstart
@@ -78,6 +79,7 @@ pub use ivdss_scenarios as scenarios;
 pub use ivdss_sched as sched;
 pub use ivdss_serve as serve;
 pub use ivdss_simkernel as simkernel;
+pub use ivdss_storage as storage;
 pub use ivdss_workloads as workloads;
 
 /// The most commonly used items, importable with one `use`.
@@ -98,8 +100,8 @@ pub mod prelude {
         PlanEvaluation, Planner, PlannerPool, QueryRequest, ScatterGatherSearch, WarehousePlanner,
     };
     pub use ivdss_costmodel::{
-        AnalyticCostModel, CompiledQuery, CostModel, PlanCost, QueryId, QuerySpec,
-        StylizedCostModel,
+        AnalyticCostModel, CalibratedCostModel, CompiledQuery, CostModel, LocalFit, PlanCost,
+        QueryId, QuerySpec, StylizedCostModel,
     };
     pub use ivdss_dsim::{
         run_arrival_driven, run_prioritized, Environment, ReplicaLoading, RunMetrics,
@@ -135,6 +137,9 @@ pub mod prelude {
     };
     pub use ivdss_simkernel::{
         Engine, ExponentialStream, OnlineStats, SeedFactory, SimDuration, SimTime, Stream,
+    };
+    pub use ivdss_storage::{
+        DeviceProfile, Plan, Predicate, Scan, ScanMeasurement, StorageConfig, StorageEngine,
     };
     pub use ivdss_workloads::{
         mid_cost_query_specs, overlapping_queries, random_queries, tpch_query_specs, ArrivalStream,
